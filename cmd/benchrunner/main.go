@@ -1,0 +1,147 @@
+// Command benchrunner regenerates the paper's tables and figures (§IX)
+// and prints them alongside the paper's reference numbers.
+//
+// Usage:
+//
+//	benchrunner [flags] <experiment>
+//
+// Experiments: fig1, fig9, table2, fig10a, fig10b, fig10c, all.
+//
+// The experiments run at a laptop scale (seconds each) by default; raise
+// -txns / -records / -ops to approach the paper's scale. Reported
+// throughput is virtual time from the resource model (see DESIGN.md); the
+// *shape* — who wins and by what factor — is the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eleos/internal/harness"
+	"eleos/internal/tpcc"
+)
+
+func main() {
+	var (
+		txns    = flag.Int("txns", 3000, "TPC-C transactions to trace (fig9/table2)")
+		records = flag.Uint64("records", 60_000, "YCSB records (fig10*)")
+		ops     = flag.Int("ops", 60_000, "YCSB operations (fig10*)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	exp := flag.Arg(0)
+	scale := harness.DefaultScale()
+	scale.TPCCTransactions = *txns
+	scale.YCSBRecords = *records
+	scale.YCSBOps = *ops
+	if err := run(exp, scale); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale harness.Scale) error {
+	needTrace := exp == "fig9" || exp == "table2" || exp == "all"
+	var tr *tpcc.Trace
+	if needTrace {
+		fmt.Printf("collecting TPC-C trace (%d transactions)...\n", scale.TPCCTransactions)
+		var err error
+		tr, err = harness.CollectDefaultTrace(scale.TPCCTransactions)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d page writes, avg %.0f bytes (paper: 1.91 KB), %.1f MB total\n\n",
+			len(tr.Writes), tr.AvgSize(), float64(tr.TotalBytes())/(1<<20))
+	}
+	switch exp {
+	case "fig1":
+		harness.PrintFig1(os.Stdout)
+	case "fig9":
+		rows, err := harness.RunFig9(tr, scale.BufferSizes)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig9(os.Stdout, tr, rows)
+	case "table2":
+		res, err := harness.RunTable2(tr)
+		if err != nil {
+			return err
+		}
+		harness.PrintTable2(os.Stdout, res)
+	case "fig10a", "fig10b":
+		rows, err := harness.RunFig10a(scale.YCSBRecords, scale.YCSBOps, scale.CachePcts)
+		if err != nil {
+			return err
+		}
+		if exp == "fig10a" {
+			harness.PrintFig10a(os.Stdout, rows)
+		} else {
+			harness.PrintFig10b(os.Stdout, rows)
+		}
+	case "fig10c":
+		res, err := harness.RunFig10c(scale.YCSBRecords, scale.YCSBOps)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig10c(os.Stdout, res)
+	case "readheavy":
+		rows, err := harness.RunReadHeavy(scale.YCSBRecords, scale.YCSBOps, scale.CachePcts)
+		if err != nil {
+			return err
+		}
+		harness.PrintReadHeavy(os.Stdout, rows)
+	case "durability":
+		res, err := harness.RunDurability(scale.YCSBRecords, scale.YCSBOps)
+		if err != nil {
+			return err
+		}
+		harness.PrintDurability(os.Stdout, res)
+	case "ablation":
+		if err := harness.PrintGCAblation(os.Stdout, 900, 1); err != nil {
+			return err
+		}
+	case "all":
+		harness.PrintFig1(os.Stdout)
+		fmt.Println()
+		rows9, err := harness.RunFig9(tr, scale.BufferSizes)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig9(os.Stdout, tr, rows9)
+		fmt.Println()
+		t2, err := harness.RunTable2(tr)
+		if err != nil {
+			return err
+		}
+		harness.PrintTable2(os.Stdout, t2)
+		fmt.Println()
+		rows10, err := harness.RunFig10a(scale.YCSBRecords, scale.YCSBOps, scale.CachePcts)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig10a(os.Stdout, rows10)
+		fmt.Println()
+		harness.PrintFig10b(os.Stdout, rows10)
+		fmt.Println()
+		r10c, err := harness.RunFig10c(scale.YCSBRecords, scale.YCSBOps)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig10c(os.Stdout, r10c)
+		fmt.Println()
+		if err := harness.PrintGCAblation(os.Stdout, 900, 1); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command tracegen generates and inspects TPC-C page-write traces — the
+// §IX-A3 experiment artifact replayed by Fig. 9 and Table II.
+//
+// Usage:
+//
+//	tracegen gen -out trace.bin [-txns N] [-warehouses N]
+//	tracegen info trace.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"eleos/internal/tpcc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = gen(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: tracegen gen -out FILE [-txns N] [-warehouses N] | tracegen info FILE\n")
+}
+
+func gen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "trace.bin", "output file")
+	txns := fs.Int("txns", 5000, "transactions to run")
+	warehouses := fs.Int("warehouses", 2, "TPC-C warehouses")
+	seed := fs.Int64("seed", 1, "rng seed")
+	_ = fs.Parse(args)
+
+	cfg := tpcc.DefaultConfig()
+	cfg.Warehouses = *warehouses
+	cfg.Seed = *seed
+	fmt.Printf("running %d TPC-C transactions over %d warehouses...\n", *txns, *warehouses)
+	tr, err := tpcc.Collect(tpcc.CollectOptions{Config: cfg, Transactions: *txns})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := tr.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d page writes, avg %.0f bytes\n", *out, len(tr.Writes), tr.AvgSize())
+	return nil
+}
+
+func info(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("info needs a trace file")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := tpcc.DecodeTrace(f)
+	if err != nil {
+		return err
+	}
+	sizes := make([]int, len(tr.Writes))
+	pids := map[uint64]int{}
+	for i, w := range tr.Writes {
+		sizes[i] = w.Size
+		pids[w.PID]++
+	}
+	sort.Ints(sizes)
+	pct := func(p int) int {
+		if len(sizes) == 0 {
+			return 0
+		}
+		return sizes[len(sizes)*p/100]
+	}
+	fmt.Printf("page size:        %d bytes (uncompressed)\n", tr.PageBytes)
+	fmt.Printf("page writes:      %d (%d distinct pages)\n", len(tr.Writes), len(pids))
+	fmt.Printf("total:            %.2f MB compressed\n", float64(tr.TotalBytes())/(1<<20))
+	fmt.Printf("avg size:         %.0f bytes (paper: 1.91 KB)\n", tr.AvgSize())
+	fmt.Printf("size percentiles: p10=%d p50=%d p90=%d p99=%d max=%d\n",
+		pct(10), pct(50), pct(90), pct(99), sizes[len(sizes)-1])
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package eleos is a from-scratch reproduction of "Programming an SSD
+// Controller to Support Batched Writes for Variable-Size Pages" (Do, Luo,
+// Lomet — ICDE 2021).
+//
+// The ELEOS controller itself lives in internal/core, over the flash media
+// simulator in internal/flash; the baselines (a conventional block FTL and
+// a host-based log-structured store), the applications (Bw-tree key-value
+// store, compressed B+-tree with a TPC-C workload), and the experiment
+// harness live in the other internal packages. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation; see DESIGN.md for the system inventory and EXPERIMENTS.md
+// for paper-versus-measured results.
+package eleos

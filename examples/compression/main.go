@@ -1,0 +1,45 @@
+// compression demonstrates §I-B's motivation: a B+-tree storage engine
+// whose 4 KB pages are compressed before being written becomes a producer
+// of variable-size pages, and only a variable-size-page interface can bank
+// the savings. The example runs a TPC-C-style workload through the
+// compressed B+-tree, collects the page-write trace, and compares the
+// bytes each interface must physically write.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eleos/internal/addr"
+	"eleos/internal/tpcc"
+)
+
+func main() {
+	cfg := tpcc.DefaultConfig()
+	cfg.Warehouses = 1
+	fmt.Println("running TPC-C on a B+-tree with DEFLATE page compression...")
+	tr, err := tpcc.Collect(tpcc.CollectOptions{Config: cfg, Transactions: 1500})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d page writes captured; 4 KB pages compress to %.0f bytes on average (paper: 1.91 KB)\n",
+		len(tr.Writes), tr.AvgSize())
+
+	// What each interface must physically write for this trace:
+	var blockBytes, fpBytes, vpBytes int64
+	for _, w := range tr.Writes {
+		blockBytes += int64(tr.PageBytes) // one 4 KB block per page
+		fpBytes += int64(tr.PageBytes)    // batched, but padded to 4 KB
+		vpBytes += int64(addr.AlignUp(w.Size))
+	}
+	fmt.Printf("\nbytes written to flash for the same logical work:\n")
+	fmt.Printf("  Block      %8.1f MB (one 4 KB block write per page)\n", mb(blockBytes))
+	fmt.Printf("  Batch(FP)  %8.1f MB (batched, fixed 4 KB pages)\n", mb(fpBytes))
+	fmt.Printf("  Batch(VP)  %8.1f MB (batched, exact 64 B-aligned sizes)\n", mb(vpBytes))
+	fmt.Printf("\nvariable-size pages write %.1f%% less than fixed-size pages —\n",
+		100*(1-float64(vpBytes)/float64(fpBytes)))
+	fmt.Println("the internal fragmentation the paper eliminates (Fig. 9, Table II, Fig. 10(b)).")
+}
+
+func mb(n int64) float64 { return float64(n) / (1 << 20) }

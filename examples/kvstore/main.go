@@ -1,0 +1,45 @@
+// kvstore runs the paper's Bw-tree key-value store over the three storage
+// interfaces — Block (host log structuring over a conventional SSD),
+// Batch(FP) (batched fixed pages), and Batch(VP) (ELEOS) — on a small
+// YCSB-style workload and prints the §IX-C comparison: throughput, data
+// written, and where the bottleneck sits.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eleos/internal/flash"
+	"eleos/internal/harness"
+	"eleos/internal/nvme"
+)
+
+func main() {
+	const (
+		records  = 30_000
+		ops      = 30_000
+		cachePct = 25
+	)
+	fmt.Printf("Bw-tree, %d records x 100 B, %d ops (95%% updates / 5%% reads), %d%% cache\n\n",
+		records, ops, cachePct)
+	fmt.Printf("%-10s %12s %14s %14s %16s\n", "interface", "ops/sec", "SSD writes", "cache misses", "bottleneck")
+	for _, iface := range harness.Interfaces {
+		res, err := harness.RunYCSB(harness.YCSBOptions{
+			Interface: iface,
+			Records:   records,
+			Ops:       ops,
+			CachePct:  cachePct,
+			Profile:   nvme.STT100(),
+			Latency:   flash.TypicalNANDLatency(),
+			Seed:      42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.0f %11.1f MB %14d %16s\n",
+			iface, res.OpsPerSec, float64(res.BytesWritten)/(1<<20), res.CacheMisses, res.Bottleneck)
+	}
+	fmt.Println("\nthe batch interface amortises the per-I/O execution cost over the whole")
+	fmt.Println("1 MB write buffer (one write context instead of one per block), and the")
+	fmt.Println("variable-size pages avoid writing the padding of fixed 4 KB pages.")
+}

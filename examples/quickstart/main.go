@@ -1,0 +1,69 @@
+// Quickstart: format a simulated Open-Channel SSD with the ELEOS FTL,
+// write a batch of variable-size pages with one I/O, read them back, and
+// survive a crash.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"eleos/internal/addr"
+	"eleos/internal/core"
+	"eleos/internal/flash"
+)
+
+func main() {
+	// A simulated device: 4 channels x 32 EBLOCKs of 1 MB.
+	dev, err := flash.NewDevice(flash.Geometry{
+		Channels: 4, EBlocksPerChannel: 32,
+		EBlockBytes: 1 << 20, WBlockBytes: 32 << 10, RBlockBytes: 4 << 10,
+	}, flash.TypicalNANDLatency())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Format installs the ELEOS FTL: checkpoint area, recovery log, tables.
+	ctl, err := core.Format(dev, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One batched write of three pages with *different sizes* — a single
+	// I/O command, atomic as a unit (the paper's flush_batch).
+	err = ctl.WriteBatch(0, 0, []core.LPage{
+		{LPID: 1, Data: []byte("a tiny 64-byte page")},
+		{LPID: 2, Data: []byte(strings.Repeat("compressed B-tree page ", 80))}, // ~1.8 KB
+		{LPID: 3, Data: make([]byte, 4096)},                                    // a classic 4 KB page
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reads address pages by LPID (the paper's read_lpid); the controller
+	// returns exactly the stored extent, 64-byte aligned.
+	for _, lpid := range []addr.LPID{1, 2, 3} {
+		data, err := ctl.Read(lpid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("LPID %d: %4d bytes stored\n", lpid, len(data))
+	}
+
+	// Crash the controller and recover from flash alone.
+	ctl.Crash()
+	ctl2, err := core.Open(dev, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := ctl2.Read(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after crash+recovery, LPID 2 still holds %d bytes: %q...\n",
+		len(data), string(data[:23]))
+
+	s := ctl2.Stats()
+	fmt.Printf("recovered controller: %d reads, media time so far %v\n",
+		s.Reads, dev.MediaTime())
+}

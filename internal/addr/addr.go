@@ -1,0 +1,180 @@
+// Package addr defines logical page identities and packed physical flash
+// addresses for the ELEOS controller.
+//
+// Following §III-B of the paper, a physical address fits in 8 bytes and
+// identifies the channel, EBLOCK, start offset and length of an LPAGE.
+// LPAGEs are aligned to 64 bytes (§III-A), so offsets and lengths are stored
+// in 64-byte units.
+package addr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Align is the LPAGE alignment unit. All LPAGE offsets and lengths are
+// multiples of Align; the smallest LPAGE is Align bytes (§III-A).
+const Align = 64
+
+// LPID uniquely identifies a logical page (§III-A).
+type LPID uint64
+
+// PageType classifies the content of a stored LPAGE. The type is kept in
+// EBLOCK metadata along with the LPID (§IV-A1) so that garbage collection
+// and recovery know which table a relocated page belongs to.
+type PageType uint8
+
+const (
+	// PageInvalid is the zero value; never stored.
+	PageInvalid PageType = iota
+	// PageUser is an application LPAGE written through the batch interface.
+	PageUser
+	// PageMap is a mapping-table page (indexed by the small table).
+	PageMap
+	// PageSmallMap is a small-table page (indexed by the tiny table).
+	PageSmallMap
+	// PageSummary is an EBLOCK-summary-table page (indexed by the locator).
+	PageSummary
+	// PageSession is a session-table snapshot page.
+	PageSession
+)
+
+func (t PageType) String() string {
+	switch t {
+	case PageUser:
+		return "user"
+	case PageMap:
+		return "map"
+	case PageSmallMap:
+		return "smallmap"
+	case PageSummary:
+		return "summary"
+	case PageSession:
+		return "session"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is a storable page type.
+func (t PageType) Valid() bool { return t > PageInvalid && t <= PageSession }
+
+// Bit widths of the packed physical-address fields.
+const (
+	channelBits = 8
+	eblockBits  = 20
+	offBits     = 18 // offset within EBLOCK, in Align units (max 16 MB EBLOCK)
+	lenBits     = 18 // LPAGE length, in Align units (max 16 MB LPAGE)
+
+	// MaxChannels is the largest channel count addressable by PhysAddr.
+	MaxChannels = 1 << channelBits
+	// MaxEBlocks is the largest per-channel EBLOCK count addressable.
+	MaxEBlocks = 1 << eblockBits
+	// MaxEBlockBytes is the largest EBLOCK size addressable.
+	MaxEBlockBytes = (1 << offBits) * Align
+	// MaxLPageBytes is the largest LPAGE length addressable.
+	MaxLPageBytes = (1 << lenBits) * Align
+)
+
+// PhysAddr is a packed 8-byte physical flash address: channel, EBLOCK,
+// byte offset within the EBLOCK, and LPAGE length. The zero value is the
+// invalid ("unmapped") address: a real address always has a non-zero
+// length, because the smallest LPAGE is Align bytes.
+type PhysAddr uint64
+
+// Errors returned by Pack.
+var (
+	ErrChannelRange = errors.New("addr: channel out of range")
+	ErrEBlockRange  = errors.New("addr: eblock out of range")
+	ErrOffsetRange  = errors.New("addr: offset out of range or unaligned")
+	ErrLengthRange  = errors.New("addr: length out of range, zero, or unaligned")
+)
+
+// Pack builds a PhysAddr from its components. Offset and length are in
+// bytes and must be multiples of Align; length must be non-zero.
+func Pack(channel, eblock int, offset, length int) (PhysAddr, error) {
+	if channel < 0 || channel >= MaxChannels {
+		return 0, fmt.Errorf("%w: %d", ErrChannelRange, channel)
+	}
+	if eblock < 0 || eblock >= MaxEBlocks {
+		return 0, fmt.Errorf("%w: %d", ErrEBlockRange, eblock)
+	}
+	if offset < 0 || offset%Align != 0 || offset/Align >= 1<<offBits {
+		return 0, fmt.Errorf("%w: %d", ErrOffsetRange, offset)
+	}
+	if length <= 0 || length%Align != 0 || length/Align > 1<<lenBits {
+		return 0, fmt.Errorf("%w: %d", ErrLengthRange, length)
+	}
+	v := uint64(channel)
+	v = v<<eblockBits | uint64(eblock)
+	v = v<<offBits | uint64(offset/Align)
+	// Store length-1 in Align units so a maximal length still fits and a
+	// zero raw word remains the invalid sentinel only when length would be
+	// zero; we instead guarantee invalidity by requiring length >= Align,
+	// so the packed word is non-zero whenever length-1 units plus any other
+	// field is non-zero. To keep "zero word == invalid" strictly true, the
+	// length field stores length/Align (1..2^lenBits), and we reject the
+	// single colliding encoding channel=0, eblock=0, offset=0, length=0.
+	v = v<<lenBits | uint64(length/Align-1)
+	a := PhysAddr(v)
+	if a == 0 && length == Align {
+		// channel 0, eblock 0, offset 0, length 64 packs to the zero word.
+		// That location is inside the reserved checkpoint area and never
+		// holds an LPAGE, so reject it rather than alias the sentinel.
+		return 0, fmt.Errorf("%w: encoding collides with invalid sentinel", ErrOffsetRange)
+	}
+	return a, nil
+}
+
+// MustPack is Pack for statically-valid inputs; it panics on error.
+func MustPack(channel, eblock int, offset, length int) PhysAddr {
+	a, err := Pack(channel, eblock, offset, length)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// IsValid reports whether a is a real address (non-sentinel).
+func (a PhysAddr) IsValid() bool { return a != 0 }
+
+// Channel returns the flash channel index.
+func (a PhysAddr) Channel() int {
+	return int(uint64(a) >> (eblockBits + offBits + lenBits) & (1<<channelBits - 1))
+}
+
+// EBlock returns the EBLOCK index within the channel.
+func (a PhysAddr) EBlock() int {
+	return int(uint64(a) >> (offBits + lenBits) & (1<<eblockBits - 1))
+}
+
+// Offset returns the byte offset of the LPAGE within its EBLOCK.
+func (a PhysAddr) Offset() int {
+	return int(uint64(a)>>lenBits&(1<<offBits-1)) * Align
+}
+
+// Length returns the LPAGE length in bytes.
+func (a PhysAddr) Length() int {
+	return (int(uint64(a)&(1<<lenBits-1)) + 1) * Align
+}
+
+// End returns the byte offset one past the LPAGE within its EBLOCK.
+func (a PhysAddr) End() int { return a.Offset() + a.Length() }
+
+// SameEBlock reports whether a and b address the same EBLOCK.
+func (a PhysAddr) SameEBlock(b PhysAddr) bool {
+	return a.Channel() == b.Channel() && a.EBlock() == b.EBlock()
+}
+
+func (a PhysAddr) String() string {
+	if !a.IsValid() {
+		return "phys(invalid)"
+	}
+	return fmt.Sprintf("phys(ch=%d eb=%d off=%d len=%d)", a.Channel(), a.EBlock(), a.Offset(), a.Length())
+}
+
+// AlignUp rounds n up to the next multiple of Align.
+func AlignUp(n int) int { return (n + Align - 1) &^ (Align - 1) }
+
+// IsAligned reports whether n is a multiple of Align.
+func IsAligned(n int) bool { return n%Align == 0 }

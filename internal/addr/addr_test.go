@@ -1,0 +1,154 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	cases := []struct {
+		ch, eb, off, length int
+	}{
+		{0, 0, 64, 64},
+		{0, 0, 0, 128},
+		{1, 0, 0, 64},
+		{3, 17, 4096, 1920},
+		{255, MaxEBlocks - 1, MaxEBlockBytes - Align, Align},
+		{7, 123, 0, MaxLPageBytes},
+		{12, 42, 8*1024*1024 - 64, 64},
+	}
+	for _, c := range cases {
+		a, err := Pack(c.ch, c.eb, c.off, c.length)
+		if err != nil {
+			t.Fatalf("Pack(%+v): %v", c, err)
+		}
+		if !a.IsValid() {
+			t.Fatalf("Pack(%+v) produced invalid sentinel", c)
+		}
+		if a.Channel() != c.ch || a.EBlock() != c.eb || a.Offset() != c.off || a.Length() != c.length {
+			t.Fatalf("roundtrip mismatch: got ch=%d eb=%d off=%d len=%d want %+v",
+				a.Channel(), a.EBlock(), a.Offset(), a.Length(), c)
+		}
+		if a.End() != c.off+c.length {
+			t.Fatalf("End() = %d, want %d", a.End(), c.off+c.length)
+		}
+	}
+}
+
+func TestPackRejectsSentinelCollision(t *testing.T) {
+	// channel 0, eblock 0, offset 0, length Align packs to raw zero.
+	if _, err := Pack(0, 0, 0, Align); err == nil {
+		t.Fatal("expected error for sentinel-colliding encoding")
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	bad := []struct {
+		name                string
+		ch, eb, off, length int
+	}{
+		{"negative channel", -1, 0, 0, 128},
+		{"channel too big", MaxChannels, 0, 0, 128},
+		{"negative eblock", 0, -1, 0, 128},
+		{"eblock too big", 0, MaxEBlocks, 0, 128},
+		{"negative offset", 0, 0, -64, 128},
+		{"unaligned offset", 0, 0, 63, 128},
+		{"offset too big", 0, 0, MaxEBlockBytes, 128},
+		{"zero length", 0, 0, 0, 0},
+		{"negative length", 0, 0, 0, -64},
+		{"unaligned length", 0, 0, 0, 100},
+		{"length too big", 0, 0, 0, MaxLPageBytes + Align},
+	}
+	for _, c := range bad {
+		if _, err := Pack(c.ch, c.eb, c.off, c.length); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestZeroIsInvalid(t *testing.T) {
+	var a PhysAddr
+	if a.IsValid() {
+		t.Fatal("zero PhysAddr must be invalid")
+	}
+	if a.String() != "phys(invalid)" {
+		t.Fatalf("unexpected String: %q", a.String())
+	}
+}
+
+func TestPackUnpackQuick(t *testing.T) {
+	f := func(ch uint8, eb uint32, offU, lenU uint32) bool {
+		eblock := int(eb % MaxEBlocks)
+		off := int(offU%(1<<offBits)) * Align
+		length := (int(lenU%(1<<lenBits)) + 1) * Align
+		a, err := Pack(int(ch), eblock, off, length)
+		if err != nil {
+			// Only the sentinel collision may fail here.
+			return ch == 0 && eblock == 0 && off == 0 && length == Align
+		}
+		return a.Channel() == int(ch) && a.EBlock() == eblock &&
+			a.Offset() == off && a.Length() == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressOrderingWithinEBlock(t *testing.T) {
+	// Within one EBLOCK, higher offsets compare greater as raw words when
+	// lengths are equal — the property the GC monotonic scan relies on is
+	// on offsets, but sanity-check Offset ordering here.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		o1 := rng.Intn(1<<offBits) * Align
+		o2 := rng.Intn(1<<offBits) * Align
+		if o1 == o2 {
+			continue
+		}
+		a1 := MustPack(2, 5, o1, 128)
+		a2 := MustPack(2, 5, o2, 128)
+		if (o1 < o2) != (a1.Offset() < a2.Offset()) {
+			t.Fatalf("offset ordering broken: %d %d", o1, o2)
+		}
+		if !a1.SameEBlock(a2) {
+			t.Fatal("SameEBlock false for same eblock")
+		}
+	}
+}
+
+func TestSameEBlock(t *testing.T) {
+	a := MustPack(1, 2, 0, 64)
+	b := MustPack(1, 3, 0, 64)
+	c := MustPack(2, 2, 0, 64)
+	if a.SameEBlock(b) || a.SameEBlock(c) {
+		t.Fatal("SameEBlock should be false across eblocks/channels")
+	}
+}
+
+func TestAlignHelpers(t *testing.T) {
+	if AlignUp(0) != 0 || AlignUp(1) != 64 || AlignUp(64) != 64 || AlignUp(65) != 128 {
+		t.Fatal("AlignUp wrong")
+	}
+	if !IsAligned(0) || !IsAligned(128) || IsAligned(100) {
+		t.Fatal("IsAligned wrong")
+	}
+}
+
+func TestPageTypeString(t *testing.T) {
+	types := map[PageType]string{
+		PageUser: "user", PageMap: "map", PageSmallMap: "smallmap",
+		PageSummary: "summary", PageSession: "session",
+	}
+	for ty, want := range types {
+		if ty.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)
+		}
+		if !ty.Valid() {
+			t.Errorf("%v should be valid", ty)
+		}
+	}
+	if PageInvalid.Valid() || PageType(200).Valid() {
+		t.Error("invalid types reported valid")
+	}
+}

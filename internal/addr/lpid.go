@@ -1,0 +1,34 @@
+package addr
+
+// LPIDs are partitioned into namespaces so that system-table pages
+// (mapping-table pages, small-table pages, EBLOCK-summary pages, session
+// snapshots) can be stored, relocated by GC, and logged exactly like user
+// LPAGEs (§VI, §VIII). The top byte of an LPID carries the page type of a
+// table page; user LPIDs keep a zero top byte.
+
+const lpidTypeShift = 56
+
+// MaxUserLPID is the largest LPID available to applications.
+const MaxUserLPID LPID = 1<<lpidTypeShift - 1
+
+// MakeTableLPID builds the LPID under which table page idx of type t is
+// stored. t must be a table page type (not PageUser).
+func MakeTableLPID(t PageType, idx uint64) LPID {
+	return LPID(uint64(t)<<lpidTypeShift | idx&uint64(MaxUserLPID))
+}
+
+// TableType returns the table page type encoded in l, or PageUser when l is
+// an application LPID.
+func (l LPID) TableType() PageType {
+	t := PageType(uint64(l) >> lpidTypeShift)
+	if t == 0 {
+		return PageUser
+	}
+	return t
+}
+
+// TableIndex returns the table page index encoded in l.
+func (l LPID) TableIndex() uint64 { return uint64(l & MaxUserLPID) }
+
+// IsUser reports whether l is an application LPID.
+func (l LPID) IsUser() bool { return l.TableType() == PageUser }

@@ -1,0 +1,196 @@
+package blockftl
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"eleos/internal/flash"
+)
+
+func newFTL(t *testing.T, lbas int) (*FTL, *flash.Device) {
+	t.Helper()
+	dev := flash.MustNewDevice(flash.SmallGeometry(), flash.Latency{})
+	f, err := New(dev, 4096, lbas, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, dev
+}
+
+func blockContent(lba, version int, size int) []byte {
+	b := make([]byte, size)
+	rng := rand.New(rand.NewSource(int64(lba*7919 + version)))
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f, _ := newFTL(t, 100)
+	want := blockContent(5, 1, 4096)
+	if err := f.WriteBlock(5, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadBlock(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestStagedBlockReadableBeforeFlush(t *testing.T) {
+	// A freshly written block sits in controller RAM until its WBLOCK
+	// fills; it must still be readable.
+	f, dev := newFTL(t, 100)
+	if err := f.WriteBlock(1, blockContent(1, 1, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().WBlocksWritten != 0 {
+		t.Fatal("single 4KB block should not flush a 16KB wblock yet")
+	}
+	got, err := f.ReadBlock(1)
+	if err != nil || !bytes.Equal(got, blockContent(1, 1, 4096)) {
+		t.Fatal("staged block unreadable")
+	}
+}
+
+func TestShortDataPadded(t *testing.T) {
+	f, _ := newFTL(t, 10)
+	if err := f.WriteBlock(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4096 || got[0] != 1 || got[3] != 0 {
+		t.Fatal("padding wrong")
+	}
+}
+
+func TestOverwriteInvalidatesOld(t *testing.T) {
+	f, _ := newFTL(t, 10)
+	for v := 1; v <= 10; v++ {
+		if err := f.WriteBlock(3, blockContent(3, v, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.ReadBlock(3)
+	if err != nil || !bytes.Equal(got, blockContent(3, 10, 4096)) {
+		t.Fatal("latest version lost")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	f, _ := newFTL(t, 10)
+	if err := f.WriteBlock(-1, nil); !errors.Is(err, ErrBadLBA) {
+		t.Fatal("negative LBA accepted")
+	}
+	if err := f.WriteBlock(10, nil); !errors.Is(err, ErrBadLBA) {
+		t.Fatal("out-of-range LBA accepted")
+	}
+	if err := f.WriteBlock(0, make([]byte, 5000)); !errors.Is(err, ErrBadSize) {
+		t.Fatal("oversized data accepted")
+	}
+	if _, err := f.ReadBlock(5); !errors.Is(err, ErrNotWritten) {
+		t.Fatal("unwritten LBA readable")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	dev := flash.MustNewDevice(flash.SmallGeometry(), flash.Latency{})
+	if _, err := New(dev, 5000, 10, 0.1); err == nil {
+		t.Fatal("non-dividing block size accepted")
+	}
+	if _, err := New(dev, 4096, 0, 0.1); err == nil {
+		t.Fatal("zero LBAs accepted")
+	}
+	if _, err := New(dev, 4096, 1<<30, 0.1); err == nil {
+		t.Fatal("over-capacity LBAs accepted")
+	}
+}
+
+func TestGCReclaimsUnderChurn(t *testing.T) {
+	// Logical space is 25% of physical; churn many overwrites so GC must
+	// run, then verify all content.
+	dev := flash.MustNewDevice(flash.SmallGeometry(), flash.Latency{})
+	lbas := int(dev.Geometry().CapacityBytes() / 4096 / 4)
+	f, err := New(dev, 4096, lbas, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	version := make(map[int]int)
+	rng := rand.New(rand.NewSource(2))
+	cold := lbas / 4
+	for i := 0; i < lbas*8; i++ {
+		// Mix hot overwrites with cold singletons so GC victims contain
+		// valid blocks that must be moved.
+		var lba int
+		if i%8 == 0 && cold < lbas {
+			lba = cold
+			cold++
+		} else {
+			lba = rng.Intn(lbas / 4)
+		}
+		version[lba]++
+		if err := f.WriteBlock(lba, blockContent(lba, version[lba], 4096)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if f.Stats().Erases == 0 || f.Stats().GCMoves == 0 {
+		t.Fatalf("GC inactive: %+v", f.Stats())
+	}
+	for lba, v := range version {
+		got, err := f.ReadBlock(lba)
+		if err != nil {
+			t.Fatalf("read %d: %v", lba, err)
+		}
+		if !bytes.Equal(got, blockContent(lba, v, 4096)) {
+			t.Fatalf("lba %d content wrong after GC", lba)
+		}
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	f, _ := newFTL(t, 50)
+	for i := 0; i < 16; i++ {
+		_ = f.WriteBlock(i, blockContent(i, 1, 4096))
+	}
+	_, _ = f.ReadBlock(0)
+	s := f.Stats()
+	if s.HostWrites != 16 || s.HostReads != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// 16 blocks round-robin over 4 channels fill one 16KB wblock each.
+	if s.WBlocksFlush == 0 {
+		t.Fatal("16 blocks should flush wblocks")
+	}
+}
+
+func TestManyLBAsFullDevice(t *testing.T) {
+	dev := flash.MustNewDevice(flash.SmallGeometry(), flash.Latency{})
+	lbas := int(dev.Geometry().CapacityBytes() / 4096 / 2)
+	f, err := New(dev, 4096, lbas, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential fill then full overwrite; everything must survive.
+	for round := 1; round <= 2; round++ {
+		for lba := 0; lba < lbas; lba++ {
+			if err := f.WriteBlock(lba, blockContent(lba, round, 512)); err != nil {
+				t.Fatalf("round %d lba %d: %v", round, lba, err)
+			}
+		}
+	}
+	for lba := 0; lba < lbas; lba += 97 {
+		got, err := f.ReadBlock(lba)
+		if err != nil || !bytes.Equal(got[:512], blockContent(lba, 2, 512)) {
+			t.Fatalf("lba %d wrong after full overwrite: %v", lba, err)
+		}
+	}
+}

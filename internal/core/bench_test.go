@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"eleos/internal/addr"
+	"eleos/internal/flash"
+)
+
+// Micro-benchmarks of the controller itself (wall-clock cost of the
+// simulation, complementing the virtual-time experiment benchmarks at the
+// repository root).
+
+func benchController(b *testing.B) *Controller {
+	b.Helper()
+	geo := flash.Geometry{
+		Channels: 8, EBlocksPerChannel: 64,
+		EBlockBytes: 1 << 20, WBlockBytes: 32 << 10, RBlockBytes: 4 << 10,
+	}
+	dev := flash.MustNewDevice(geo, flash.Latency{})
+	cfg := DefaultConfig()
+	cfg.AutoCheckpointLogBytes = 8 << 20 // keep truncation ahead of the log
+	c, err := Format(dev, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkWriteBatchVP measures batched variable-size writes through the
+// whole controller stack (provisioning, logging, media programs, install).
+func BenchmarkWriteBatchVP(b *testing.B) {
+	for _, pages := range []int{16, 256} {
+		b.Run(fmt.Sprintf("pages%d", pages), func(b *testing.B) {
+			c := benchController(b)
+			data := make([]byte, 1920)
+			batch := make([]LPage, pages)
+			// Steady state: a bounded working set is overwritten, so GC
+			// has garbage to reclaim no matter how long the bench runs.
+			const workingSet = 40_000
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					batch[j] = LPage{LPID: addr.LPID((i*pages+j)%workingSet + 1), Data: data}
+				}
+				if err := c.WriteBatch(0, 0, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(pages * len(data)))
+		})
+	}
+}
+
+// BenchmarkReadLPID measures the read path (mapping lookup + RBLOCK
+// transfer + extent extraction).
+func BenchmarkReadLPID(b *testing.B) {
+	c := benchController(b)
+	data := make([]byte, 1920)
+	var batch []LPage
+	for j := 0; j < 256; j++ {
+		batch = append(batch, LPage{LPID: addr.LPID(j + 1), Data: data})
+	}
+	if err := c.WriteBatch(0, 0, batch); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(addr.LPID(i%256 + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(data)))
+}
+
+// BenchmarkCheckpoint measures a fuzzy checkpoint after a burst of writes.
+func BenchmarkCheckpoint(b *testing.B) {
+	c := benchController(b)
+	data := make([]byte, 1024)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 64; j++ {
+			if err := c.WriteBatch(0, 0, []LPage{{LPID: addr.LPID(j + 1), Data: data}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := c.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery measures Open() against a device with a realistic mix
+// of checkpointed state and log tail.
+func BenchmarkRecovery(b *testing.B) {
+	geo := flash.Geometry{
+		Channels: 8, EBlocksPerChannel: 64,
+		EBlockBytes: 1 << 20, WBlockBytes: 32 << 10, RBlockBytes: 4 << 10,
+	}
+	dev := flash.MustNewDevice(geo, flash.Latency{})
+	cfg := DefaultConfig()
+	c, err := Format(dev, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 1500)
+	for j := 0; j < 200; j++ {
+		if err := c.WriteBatch(0, 0, []LPage{{LPID: addr.LPID(j%40 + 1), Data: data}}); err != nil {
+			b.Fatal(err)
+		}
+		if j == 100 {
+			if err := c.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	c.Crash()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Open(dev, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,501 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"eleos/internal/addr"
+	"eleos/internal/provision"
+	"eleos/internal/record"
+	"eleos/internal/summary"
+	"eleos/internal/wal"
+)
+
+// Checkpoint performs a fuzzy checkpoint (§VIII-B): it force-closes
+// long-open EBLOCKs, determines the log truncation LSN, flushes dirty
+// mapping / small / summary pages and a full session-table snapshot with a
+// checkpoint system action, and finally persists a checkpoint record to
+// the reserved well-known area.
+func (c *Controller) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	return c.checkpointLocked()
+}
+
+func (c *Controller) maybeCheckpointLocked() {
+	if c.cfg.AutoCheckpointLogBytes > 0 && c.logBytes >= c.cfg.AutoCheckpointLogBytes {
+		_ = c.checkpointLocked()
+	}
+}
+
+func (c *Controller) checkpointLocked() error {
+	if c.inCheckpoint {
+		return nil
+	}
+	c.inCheckpoint = true
+	defer func() { c.inCheckpoint = false }()
+	// Force-close EBLOCKs open since before the previous checkpoint so the
+	// truncation LSN can advance (GC buckets can stay open a long time).
+	for _, ref := range c.st.OpenEBlocks() {
+		if ref.Stream == record.StreamLog {
+			continue
+		}
+		if ref.OpenLSN != 0 && ref.OpenLSN < c.lastCkptLSN {
+			if err := c.forceCloseLocked(ref); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Truncation LSN = min(active actions, dirty table pages, open
+	// EBLOCKs) (§VIII-B). Computed before the flush: conservative.
+	trunc := c.log.NextLSN()
+	consider := func(l record.LSN) {
+		if l != 0 && l < trunc {
+			trunc = l
+		}
+	}
+	for _, l := range c.active {
+		consider(l)
+	}
+	consider(c.mt.MinRecLSN())
+	consider(c.st.MinRecLSN())
+	consider(c.st.MinOpenLSN())
+	if trunc < c.lastTruncLSN {
+		trunc = c.lastTruncLSN
+	}
+
+	if err := c.flushTablesLocked(); err != nil {
+		return err
+	}
+	if err := c.crashIf("ckpt.after-flush"); err != nil {
+		return err
+	}
+
+	// Assemble and persist the checkpoint record.
+	ck := ckptRecord{
+		Seq:        c.ckptSeq + 1,
+		TruncLSN:   trunc,
+		Tiny:       c.mt.TinyTable(),
+		Locator:    c.st.Locator(),
+		SessAddr:   c.sessSnapAddr,
+		UpdateSeq:  c.updateSeq,
+		NextAction: c.nextAction,
+	}
+	if s, first, ok := c.log.PageFor(trunc); ok {
+		ck.StartSlots = []wal.Slot{s}
+		ck.StartLSN = first
+	} else if s, first, ok := c.log.LastPage(); ok {
+		ck.StartSlots = []wal.Slot{s}
+		ck.StartLSN = first
+	} else {
+		cands, err := c.log.StartCandidates()
+		if err != nil {
+			return err
+		}
+		ck.StartSlots = cands
+		ck.StartLSN = c.log.NextLSN()
+	}
+	if err := c.writeCkptRecordLocked(&ck); err != nil {
+		return err
+	}
+	c.ckptSeq = ck.Seq
+	c.lastTruncLSN = trunc
+	c.lastCkptLSN = c.log.NextLSN()
+	c.log.Truncate(trunc)
+	c.logBytes = 0
+	c.stats.Checkpoints++
+	return nil
+}
+
+// forceCloseLocked closes a long-open EBLOCK by flushing its metadata to
+// its next WBLOCKs directly (no provisioning needed — the space is the
+// EBLOCK's own tail).
+func (c *Controller) forceCloseLocked(ref summary.OpenRef) error {
+	d, err := c.st.Desc(ref.Channel, ref.EBlock)
+	if err != nil {
+		return err
+	}
+	meta := c.st.Meta(ref.Channel, ref.EBlock)
+	img := summary.EncodeMetaBlock(meta)
+	w := c.geo.WBlockBytes
+	metaWB := (len(img) + w - 1) / w
+	if int(d.DataWBlocks)+metaWB > c.geo.WBlocksPerEBlock() {
+		return fmt.Errorf("core: no room to close eblock (%d,%d)", ref.Channel, ref.EBlock)
+	}
+	for k := 0; k < metaWB; k++ {
+		lo := k * w
+		hi := lo + w
+		if hi > len(img) {
+			hi = len(img)
+		}
+		if err := c.dev.Program(ref.Channel, ref.EBlock, int(d.DataWBlocks)+k, img[lo:hi]); err != nil {
+			// Treat like any write failure: migrate the EBLOCK away.
+			c.migrateFailedLocked([][2]int{{ref.Channel, ref.EBlock}})
+			return nil
+		}
+		c.stats.IOCommands++
+	}
+	ts := c.clock()
+	if ref.Stream == record.StreamGC {
+		ts = d.Timestamp
+	}
+	lsn := c.lsnHint()
+	trace("forceClose (%d,%d) stream=%v openLSN=%d lastCkptLSN=%d", ref.Channel, ref.EBlock, ref.Stream, ref.OpenLSN, c.lastCkptLSN)
+	if err := c.st.CloseEBlock(ref.Channel, ref.EBlock, ts, metaWB, lsn); err != nil {
+		return err
+	}
+	tail := (c.geo.WBlocksPerEBlock() - int(d.DataWBlocks) - metaWB) * w
+	if tail > 0 {
+		if err := c.st.AddAvail(ref.Channel, ref.EBlock, tail, lsn); err != nil {
+			return err
+		}
+	}
+	if _, err := c.append(record.CloseEBlock{
+		Channel: uint32(ref.Channel), EBlock: uint32(ref.EBlock),
+		Timestamp: ts, DataWBlocks: d.DataWBlocks, MetaWBlocks: uint32(metaWB),
+	}); err != nil {
+		return err
+	}
+	c.prov.DropOpen(ref.Channel, ref.EBlock)
+	return nil
+}
+
+// flushTablesLocked writes dirty mapping pages, dirty small-table pages,
+// dirty summary pages, and a full session snapshot as one checkpoint
+// system action, one WBLOCK at a time via the ordinary write path.
+func (c *Controller) flushTablesLocked() error {
+	mapDirty := c.mt.DirtyPages()
+	smallDirty := c.mt.DirtySmallPages()
+	sessImg := c.sess.Serialize()
+
+	// Mapping and small-table and session images are stable now; summary
+	// images must be serialized after provisioning (provisioning mutates
+	// the summary table), so only their sizes are fixed here.
+	type flushPage struct {
+		lpid addr.LPID
+		ty   addr.PageType
+		idx  int
+		img  []byte // nil for summary pages until post-provisioning
+	}
+	var fps []flushPage
+	for _, idx := range mapDirty {
+		img, err := c.mt.SerializePage(idx)
+		if err != nil {
+			return err
+		}
+		fps = append(fps, flushPage{lpid: addr.MakeTableLPID(addr.PageMap, uint64(idx)), ty: addr.PageMap, idx: idx, img: img})
+	}
+	for _, sp := range smallDirty {
+		fps = append(fps, flushPage{lpid: addr.MakeTableLPID(addr.PageSmallMap, uint64(sp)), ty: addr.PageSmallMap, idx: sp, img: c.mt.SerializeSmallPage(sp)})
+	}
+	sumDirty := c.st.DirtyPages()
+	sumSize := len(c.st.SerializePage(0, 0))
+	for _, idx := range sumDirty {
+		fps = append(fps, flushPage{lpid: addr.MakeTableLPID(addr.PageSummary, uint64(idx)), ty: addr.PageSummary, idx: idx, img: nil})
+	}
+	fps = append(fps, flushPage{lpid: addr.MakeTableLPID(addr.PageSession, 0), ty: addr.PageSession, idx: 0, img: sessImg})
+
+	// Provision the whole flush as one batch.
+	bps := make([]provision.BatchPage, len(fps))
+	off := 0
+	for i, fp := range fps {
+		n := sumSize
+		if fp.img != nil {
+			n = len(fp.img)
+		}
+		bps[i] = provision.BatchPage{LPID: fp.lpid, Type: fp.ty, Length: n, BufOff: off}
+		off += n
+	}
+	hint := c.lsnHint()
+	plan, err := c.prov.ProvisionBatch(bps, c.clock, hint)
+	if errors.Is(err, provision.ErrNoSpace) {
+		c.gcAllLocked()
+		plan, err = c.prov.ProvisionBatch(bps, c.clock, hint)
+	}
+	if err != nil {
+		return err
+	}
+	id := c.nextAction
+	c.nextAction++
+	c.active[id] = hint
+	lsns, err := c.logPlanLocked(id, plan, nil)
+	if err != nil {
+		delete(c.active, id)
+		return err
+	}
+
+	// Serialize summary pages now, embedding each page's own update-record
+	// LSN as its flush LSN (§VIII-C3), then assemble the buffer.
+	buf := make([]byte, off)
+	lsnByLPID := make(map[addr.LPID]record.LSN, len(plan.Pages))
+	for i, pg := range plan.Pages {
+		lsnByLPID[pg.LPID] = lsns[i]
+	}
+	for i, fp := range fps {
+		img := fp.img
+		if fp.ty == addr.PageSummary {
+			img = c.st.SerializePage(fp.idx, lsnByLPID[fp.lpid])
+		}
+		copy(buf[bps[i].BufOff:], img)
+	}
+
+	failed := c.executeIOsLocked(buf, plan)
+	if len(failed) > 0 {
+		c.abortActionLocked(id, plan)
+		c.migrateFailedLocked(failed)
+		return fmt.Errorf("%w: checkpoint action %d", ErrWriteFailed, id)
+	}
+	if err := c.logClosesLocked(plan); err != nil {
+		return err
+	}
+	if _, err := c.append(record.Commit{Action: id, AKind: record.ActionCheckpoint}); err != nil {
+		return err
+	}
+	if err := c.forceLog(); err != nil {
+		return err
+	}
+
+	// Install: record new table-page homes; old homes become garbage.
+	var garbage []record.AddrPair
+	for i, pg := range plan.Pages {
+		fp := fps[i]
+		var old addr.PhysAddr
+		switch fp.ty {
+		case addr.PageMap:
+			old = c.mt.PageAddr(fp.idx)
+			c.mt.MarkFlushed(fp.idx, pg.Addr, lsns[i])
+		case addr.PageSmallMap:
+			old = c.mt.SmallPageAddr(fp.idx)
+			c.mt.MarkSmallFlushed(fp.idx, pg.Addr)
+		case addr.PageSummary:
+			old = c.st.Locator()[fp.idx]
+			c.st.MarkFlushed(fp.idx, pg.Addr, lsns[i])
+		case addr.PageSession:
+			old = c.sessSnapAddr
+			c.sessSnapAddr = pg.Addr
+		}
+		if old.IsValid() {
+			garbage = append(garbage, record.AddrPair{LPID: pg.LPID, Addr: old})
+			if err := c.st.AddAvail(old.Channel(), old.EBlock(), old.Length(), lsns[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := c.lazyGarbageLocked(id, garbage); err != nil {
+		return err
+	}
+	delete(c.active, id)
+	return nil
+}
+
+// --- checkpoint record -------------------------------------------------------
+
+// ckptRecord is the state persisted at the well-known location.
+type ckptRecord struct {
+	Seq        uint64
+	TruncLSN   record.LSN
+	StartSlots []wal.Slot // where replay probes for the first log page
+	StartLSN   record.LSN // expected first LSN at the start page
+	Tiny       []addr.PhysAddr
+	Locator    []addr.PhysAddr
+	SessAddr   addr.PhysAddr
+	UpdateSeq  uint64
+	NextAction uint64
+}
+
+const (
+	ckptMagic     = 0x434B5054 // "CKPT"
+	ckptPartMagic = 0x434B5050 // "CKPP"
+)
+
+func encodeCkpt(ck *ckptRecord) []byte {
+	var b []byte
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u32(ckptMagic)
+	u64(ck.Seq)
+	u64(uint64(ck.TruncLSN))
+	u64(uint64(ck.StartLSN))
+	u32(uint32(len(ck.StartSlots)))
+	for _, s := range ck.StartSlots {
+		u32(uint32(int32(s.Channel)))
+		u32(uint32(int32(s.EBlock)))
+		u32(uint32(int32(s.WBlock)))
+	}
+	u32(uint32(len(ck.Tiny)))
+	for _, a := range ck.Tiny {
+		u64(uint64(a))
+	}
+	u32(uint32(len(ck.Locator)))
+	for _, a := range ck.Locator {
+		u64(uint64(a))
+	}
+	u64(uint64(ck.SessAddr))
+	u64(ck.UpdateSeq)
+	u64(ck.NextAction)
+	crc := crc32.ChecksumIEEE(b)
+	b = binary.LittleEndian.AppendUint32(b, crc)
+	return b
+}
+
+var errBadCkpt = errors.New("core: bad checkpoint record")
+
+func decodeCkpt(b []byte) (*ckptRecord, error) {
+	if len(b) < 8 {
+		return nil, errBadCkpt
+	}
+	if crc32.ChecksumIEEE(b[:len(b)-4]) != binary.LittleEndian.Uint32(b[len(b)-4:]) {
+		return nil, errBadCkpt
+	}
+	pos := 0
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(b[pos:]); pos += 8; return v }
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(b[pos:]); pos += 4; return v }
+	if u32() != ckptMagic {
+		return nil, errBadCkpt
+	}
+	ck := &ckptRecord{}
+	ck.Seq = u64()
+	ck.TruncLSN = record.LSN(u64())
+	ck.StartLSN = record.LSN(u64())
+	n := int(u32())
+	for i := 0; i < n; i++ {
+		ck.StartSlots = append(ck.StartSlots, wal.Slot{
+			Channel: int(int32(u32())), EBlock: int(int32(u32())), WBlock: int(int32(u32())),
+		})
+	}
+	n = int(u32())
+	for i := 0; i < n; i++ {
+		ck.Tiny = append(ck.Tiny, addr.PhysAddr(u64()))
+	}
+	n = int(u32())
+	for i := 0; i < n; i++ {
+		ck.Locator = append(ck.Locator, addr.PhysAddr(u64()))
+	}
+	ck.SessAddr = addr.PhysAddr(u64())
+	ck.UpdateSeq = u64()
+	ck.NextAction = u64()
+	return ck, nil
+}
+
+// part header: magic u32 | seq u64 | part u16 | totalParts u16 |
+// payloadLen u32 | crc u32 (over header sans crc + payload).
+const ckptPartHeader = 4 + 8 + 2 + 2 + 4 + 4
+
+func (c *Controller) encodeCkptParts(ck *ckptRecord) [][]byte {
+	body := encodeCkpt(ck)
+	w := c.geo.WBlockBytes
+	per := w - ckptPartHeader
+	total := (len(body) + per - 1) / per
+	parts := make([][]byte, 0, total)
+	for i := 0; i < total; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > len(body) {
+			hi = len(body)
+		}
+		payload := body[lo:hi]
+		hdr := make([]byte, ckptPartHeader-4)
+		binary.LittleEndian.PutUint32(hdr[0:], ckptPartMagic)
+		binary.LittleEndian.PutUint64(hdr[4:], ck.Seq)
+		binary.LittleEndian.PutUint16(hdr[12:], uint16(i))
+		binary.LittleEndian.PutUint16(hdr[14:], uint16(total))
+		binary.LittleEndian.PutUint32(hdr[16:], uint32(len(payload)))
+		crc := crc32.ChecksumIEEE(hdr)
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		part := make([]byte, 0, ckptPartHeader+len(payload))
+		part = append(part, hdr...)
+		part = binary.LittleEndian.AppendUint32(part, crc)
+		part = append(part, payload...)
+		parts = append(parts, part)
+	}
+	return parts
+}
+
+type ckptPart struct {
+	seq     uint64
+	part    int
+	total   int
+	payload []byte
+}
+
+func decodeCkptPart(raw []byte) (*ckptPart, error) {
+	if len(raw) < ckptPartHeader {
+		return nil, errBadCkpt
+	}
+	if binary.LittleEndian.Uint32(raw[0:]) != ckptPartMagic {
+		return nil, errBadCkpt
+	}
+	seq := binary.LittleEndian.Uint64(raw[4:])
+	part := int(binary.LittleEndian.Uint16(raw[12:]))
+	total := int(binary.LittleEndian.Uint16(raw[14:]))
+	plen := int(binary.LittleEndian.Uint32(raw[16:]))
+	if plen < 0 || ckptPartHeader+plen > len(raw) || total == 0 || part >= total {
+		return nil, errBadCkpt
+	}
+	payload := raw[ckptPartHeader : ckptPartHeader+plen]
+	crc := crc32.ChecksumIEEE(raw[:16+4])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if binary.LittleEndian.Uint32(raw[20:]) != crc {
+		return nil, errBadCkpt
+	}
+	return &ckptPart{seq: seq, part: part, total: total, payload: payload}, nil
+}
+
+// writeCkptRecordLocked writes the record's parts into the checkpoint
+// area, switching (and erasing) the other area EBLOCK when the current one
+// is full. The previous complete record always survives until the new one
+// is fully durable. A program failure in the current EBLOCK (which
+// disables its remaining WBLOCKs) fails over to the other EBLOCK once.
+func (c *Controller) writeCkptRecordLocked(ck *ckptRecord) error {
+	parts := c.encodeCkptParts(ck)
+	if len(parts) > c.geo.WBlocksPerEBlock() {
+		return fmt.Errorf("core: checkpoint record too large (%d parts)", len(parts))
+	}
+	switchArea := func() error {
+		other := ckptEBlockA
+		if c.ckptEB == ckptEBlockA {
+			other = ckptEBlockB
+		}
+		if err := c.dev.Erase(ckptChannel, other); err != nil {
+			return err
+		}
+		c.ckptEB, c.ckptWB = other, 0
+		return nil
+	}
+	if c.ckptWB+len(parts) > c.geo.WBlocksPerEBlock() {
+		if err := switchArea(); err != nil {
+			return err
+		}
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		err := func() error {
+			for i, part := range parts {
+				if err := c.dev.Program(ckptChannel, c.ckptEB, c.ckptWB+i, part); err != nil {
+					return err
+				}
+				c.stats.IOCommands++
+			}
+			return nil
+		}()
+		if err == nil {
+			c.ckptWB += len(parts)
+			return nil
+		}
+		if attempt == 0 {
+			// A torn partial record in the old EBLOCK is harmless: the
+			// recovery scan only accepts complete part sets.
+			if serr := switchArea(); serr != nil {
+				return serr
+			}
+			continue
+		}
+		return fmt.Errorf("core: checkpoint area write failed in both eblocks")
+	}
+	return nil
+}

@@ -1,0 +1,445 @@
+// Package core implements ELEOS, the SSD controller FTL of the paper:
+// a batched write interface for variable-size pages (§III), with
+// provisioning and I/O command generation (§IV), the RBLOCK-aligned read
+// path (§V), minimum-cost-decline garbage collection with hot/cold
+// separation (§VI), write-failure handling by EBLOCK migration (§VII), and
+// redo-only logging, fuzzy checkpointing, and two-pass crash recovery
+// (§VIII).
+//
+// The controller operates over the flash media simulator. All multi-page
+// writes execute as *system actions* with initialization, execution and
+// commit phases; a write buffer's pages become visible in the mapping
+// table all-or-nothing, in buffer order, and sessions order entire buffers
+// by write sequence number (WSN).
+//
+// A Controller is obtained by formatting a device (Format) or recovering
+// one (Open). Crash simulation: SetCrashPoint makes the controller die at
+// a named point; a dead controller rejects every call, and Open on the
+// same device recovers exactly the committed state.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"eleos/internal/addr"
+	"eleos/internal/flash"
+	"eleos/internal/mapping"
+	"eleos/internal/provision"
+	"eleos/internal/record"
+	"eleos/internal/session"
+	"eleos/internal/summary"
+	"eleos/internal/wal"
+)
+
+// GCPolicy selects the victim-selection strategy (§VI-A discusses all
+// three; ELEOS uses minimum cost decline).
+type GCPolicy int
+
+const (
+	// GCMinCostDecline scores EBLOCKs by (1-E)/(E^2*age) and collects the
+	// smallest — the paper's strategy.
+	GCMinCostDecline GCPolicy = iota
+	// GCGreedy collects the EBLOCK with the most reclaimable space, the
+	// locally-optimal strategy the paper argues against.
+	GCGreedy
+	// GCOldest collects the oldest EBLOCK (LLAMA's circular-log
+	// cleaning), optimal only for uniform updates.
+	GCOldest
+)
+
+func (p GCPolicy) String() string {
+	switch p {
+	case GCMinCostDecline:
+		return "min-cost-decline"
+	case GCGreedy:
+		return "greedy"
+	case GCOldest:
+		return "oldest"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config tunes the controller.
+type Config struct {
+	// Mapping sizes the three-level mapping table.
+	Mapping mapping.Config
+	// SummaryPerPage is the number of EBLOCK descriptors per summary page.
+	SummaryPerPage int
+	// Provision tunes write provisioning (GC buckets etc.).
+	Provision provision.Config
+	// GCFreeFraction triggers GC on a channel when its free-EBLOCK
+	// fraction drops below this value (the paper uses 10%).
+	GCFreeFraction float64
+	// GCMaxRounds bounds how many EBLOCKs one GC pass may collect per
+	// channel.
+	GCMaxRounds int
+	// GCPolicy selects the victim-selection strategy (default: the
+	// paper's minimum cost decline).
+	GCPolicy GCPolicy
+	// GarbagePairsPerRecord chunks lazy Garbage log records.
+	GarbagePairsPerRecord int
+	// SessionSeed seeds random SID generation.
+	SessionSeed int64
+	// AutoCheckpointLogBytes forces a checkpoint after this much log
+	// *space* has been consumed — every log force burns a WBLOCK-sized
+	// page — so truncation keeps pace with log growth (0 disables auto
+	// checkpointing). Values below a few WBLOCKs checkpoint every write.
+	AutoCheckpointLogBytes int
+}
+
+// DefaultConfig returns production-like defaults.
+func DefaultConfig() Config {
+	return Config{
+		Mapping:                mapping.DefaultConfig(),
+		SummaryPerPage:         64,
+		Provision:              provision.DefaultConfig(),
+		GCFreeFraction:         0.10,
+		GCMaxRounds:            8,
+		GarbagePairsPerRecord:  256,
+		SessionSeed:            1,
+		AutoCheckpointLogBytes: 0,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Mapping.EntriesPerPage == 0 {
+		c.Mapping = d.Mapping
+	}
+	if c.SummaryPerPage == 0 {
+		c.SummaryPerPage = d.SummaryPerPage
+	}
+	if c.Provision.GCBuckets == 0 {
+		c.Provision = d.Provision
+	}
+	if c.GCFreeFraction == 0 {
+		c.GCFreeFraction = d.GCFreeFraction
+	}
+	if c.GCMaxRounds == 0 {
+		c.GCMaxRounds = d.GCMaxRounds
+	}
+	if c.GarbagePairsPerRecord == 0 {
+		c.GarbagePairsPerRecord = d.GarbagePairsPerRecord
+	}
+	if c.SessionSeed == 0 {
+		c.SessionSeed = d.SessionSeed
+	}
+	return c
+}
+
+// Errors.
+var (
+	ErrCrashed      = errors.New("core: controller crashed; recover with Open")
+	ErrEmptyBatch   = errors.New("core: empty write buffer")
+	ErrBadLPID      = errors.New("core: invalid application LPID")
+	ErrNotFound     = errors.New("core: LPID not mapped")
+	ErrWriteFailed  = errors.New("core: write buffer aborted by media failure; retry")
+	ErrNoCheckpoint = errors.New("core: no valid checkpoint record on device")
+)
+
+// LPage is one logical page of a write buffer. Data of any length is
+// accepted; it is stored padded to the 64-byte LPAGE alignment and reads
+// return the padded image (applications track exact lengths themselves,
+// as with the paper's in-batch metadata).
+type LPage struct {
+	LPID addr.LPID
+	Data []byte
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	BatchesWritten   int64
+	PagesWritten     int64
+	BytesAccepted    int64 // logical bytes handed to WriteBatch
+	BytesStored      int64 // aligned LPAGE bytes placed on flash
+	Reads            int64
+	ReadRBlocks      int64 // RBLOCKs transferred for reads (amplification)
+	IOCommands       int64
+	LogRecords       int64
+	LogForces        int64
+	StaleWrites      int64
+	AbortedActions   int64
+	GCRounds         int64
+	GCPagesMoved     int64
+	GCBytesMoved     int64
+	GCEBlocksFreed   int64
+	GCMetaUnreadable int64
+	Migrations       int64
+	Checkpoints      int64
+}
+
+// checkpoint area location: the first two EBLOCKs of channel 0 are
+// reserved and ping-pong full checkpoint records (§VIII-B "well-known
+// location").
+const (
+	ckptChannel = 0
+	ckptEBlockA = 0
+	ckptEBlockB = 1
+)
+
+// Controller is the ELEOS FTL.
+type Controller struct {
+	mu      sync.Mutex
+	wsnCond *sync.Cond
+
+	cfg  Config
+	dev  *flash.Device
+	geo  flash.Geometry
+	st   *summary.Table
+	mt   *mapping.Table
+	sess *session.Table
+	prov *provision.Provisioner
+	log  *wal.Log
+
+	updateSeq    uint64                // timestamp proxy (update sequence number)
+	nextAction   uint64                // next system action ID
+	active       map[uint64]record.LSN // active actions -> first LSN
+	sessSnapAddr addr.PhysAddr         // current durable session snapshot
+
+	hintLSN      record.LSN // mirrors log.NextLSN without taking the log lock
+	ckptSeq      uint64
+	ckptEB       int // current checkpoint-area EBLOCK (A or B)
+	ckptWB       int // next WBLOCK within it
+	lastTruncLSN record.LSN
+	lastCkptLSN  record.LSN // log position at last checkpoint
+	logBytes     int        // record bytes appended since last checkpoint
+
+	migrationDepth int
+	inCheckpoint   bool
+
+	crashed     bool
+	crashPoints map[string]bool
+
+	stats Stats
+}
+
+func newController(dev *flash.Device, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	geo := dev.Geometry()
+	st, err := summary.New(geo, cfg.SummaryPerPage)
+	if err != nil {
+		return nil, err
+	}
+	mt, err := mapping.New(cfg.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	prov, err := provision.New(geo, st, cfg.Provision)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:         cfg,
+		dev:         dev,
+		geo:         geo,
+		st:          st,
+		mt:          mt,
+		sess:        session.New(cfg.SessionSeed),
+		prov:        prov,
+		nextAction:  1,
+		hintLSN:     1,
+		active:      make(map[uint64]record.LSN),
+		ckptEB:      ckptEBlockA,
+		crashPoints: make(map[string]bool),
+	}
+	c.wsnCond = sync.NewCond(&c.mu)
+	c.mt.SetLoader(c.loadExtent)
+	return c, nil
+}
+
+// loadExtent reads an LPAGE image from flash given its physical address
+// (the shared loader for all table pages).
+func (c *Controller) loadExtent(a addr.PhysAddr) ([]byte, error) {
+	data, nR, err := c.dev.ReadExtent(a.Channel(), a.EBlock(), a.Offset(), a.Length())
+	if err != nil {
+		return nil, err
+	}
+	c.stats.ReadRBlocks += int64(nR)
+	return data, nil
+}
+
+// clock returns the current update sequence number (the paper's time
+// proxy).
+func (c *Controller) clock() uint64 { return c.updateSeq }
+
+// lsnHint returns a conservative lower bound for LSNs about to be
+// assigned. It deliberately avoids log.NextLSN(): the WAL calls back into
+// the controller (slot provisioning, program failover) while holding its
+// own lock, so the hint is mirrored here instead.
+func (c *Controller) lsnHint() record.LSN {
+	if c.hintLSN == 0 {
+		return 1
+	}
+	return c.hintLSN
+}
+
+// append adds a log record, tracking statistics.
+func (c *Controller) append(r record.Record) (record.LSN, error) {
+	lsn, err := c.log.Append(r)
+	if err != nil {
+		return 0, err
+	}
+	c.hintLSN = lsn + 1
+	c.stats.LogRecords++
+	return lsn, nil
+}
+
+func (c *Controller) forceLog() error {
+	if err := c.log.Force(); err != nil {
+		return err
+	}
+	c.stats.LogForces++
+	// Auto-checkpoint accounting tracks log *space*: every force consumes
+	// a whole WBLOCK-sized log page regardless of how few records it
+	// carries, and reclaiming that space needs the truncation LSN to
+	// advance — i.e. a checkpoint.
+	c.logBytes += c.geo.WBlockBytes
+	return nil
+}
+
+// --- crash simulation -------------------------------------------------------
+
+// SetCrashPoint arms a named crash point; the controller dies when
+// execution reaches it. Used by fault-injection tests and benchmarks.
+func (c *Controller) SetCrashPoint(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashPoints[name] = true
+}
+
+// Crash kills the controller immediately (simulated power loss). All
+// volatile state is considered lost; recover with Open on the same device.
+func (c *Controller) Crash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed = true
+	c.wsnCond.Broadcast()
+}
+
+// Crashed reports whether the controller has died.
+func (c *Controller) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// crashIf kills the controller if the named crash point is armed.
+func (c *Controller) crashIf(point string) error {
+	if c.crashPoints[point] {
+		delete(c.crashPoints, point)
+		c.crashed = true
+		c.wsnCond.Broadcast()
+		return fmt.Errorf("%w: at %q", ErrCrashed, point)
+	}
+	return nil
+}
+
+// --- accessors ---------------------------------------------------------------
+
+// Stats returns a snapshot of controller statistics.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Device returns the underlying flash device (for media-time accounting in
+// benchmarks).
+func (c *Controller) Device() *flash.Device { return c.dev }
+
+// Geometry returns the device geometry.
+func (c *Controller) Geometry() flash.Geometry { return c.geo }
+
+// UpdateSeq returns the current update sequence number.
+func (c *Controller) UpdateSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.updateSeq
+}
+
+// FreeFraction returns the fraction of a channel's EBLOCKs that are free.
+func (c *Controller) FreeFraction(ch int) float64 {
+	return float64(c.st.FreeCount(ch)) / float64(c.geo.EBlocksPerChannel)
+}
+
+// MaxLPageBytes returns the largest storable LPAGE for this geometry.
+func (c *Controller) MaxLPageBytes() int { return c.prov.MaxLPageBytes() }
+
+// --- sessions ---------------------------------------------------------------
+
+// OpenSession opens a durable write-ordering session and returns its SID
+// (§III-A2).
+func (c *Controller) OpenSession() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	sid := c.sess.Open()
+	if _, err := c.append(record.SessionOpen{SID: sid}); err != nil {
+		return 0, err
+	}
+	if err := c.forceLog(); err != nil {
+		return 0, err
+	}
+	return sid, nil
+}
+
+// CloseSession closes a session.
+func (c *Controller) CloseSession(sid uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if err := c.sess.Close(sid); err != nil {
+		return err
+	}
+	if _, err := c.append(record.SessionClose{SID: sid}); err != nil {
+		return err
+	}
+	return c.forceLog()
+}
+
+// SessionHighestWSN returns the session's highest applied WSN.
+func (c *Controller) SessionHighestWSN(sid uint64) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess.HighestWSN(sid)
+}
+
+// --- wal sink ----------------------------------------------------------------
+
+// logSink adapts the provisioner + device to the WAL's Sink interface.
+type logSink struct{ c *Controller }
+
+func (s logSink) ProvisionSlots(n int) ([]wal.Slot, error) {
+	slots, _, err := s.c.prov.ProvisionLogSlots(n, s.c.lsnHint())
+	return slots, err
+}
+
+func (s logSink) Program(sl wal.Slot, page []byte) error {
+	err := s.c.dev.Program(sl.Channel, sl.EBlock, sl.WBlock, page)
+	if err != nil {
+		// Retire the EBLOCK so fresh slots come from elsewhere; the WAL's
+		// forward candidates handle the in-flight page.
+		_ = s.c.prov.AbandonLogEBlock(sl.Channel, sl.EBlock, s.c.lsnHint())
+		return err
+	}
+	// Track the highest LSN actually stored in the EBLOCK: slots are
+	// provisioned ahead of writing, so the EBLOCK may already be retired
+	// (Used) when this page lands — the raise keeps truncation-reclaim
+	// from erasing it while it still holds live log pages.
+	if _, last, ok := wal.PageLSNRange(page); ok {
+		_ = s.c.st.RaiseTimestamp(sl.Channel, sl.EBlock, uint64(last), last)
+	}
+	return nil
+}
+
+func (s logSink) Read(sl wal.Slot) ([]byte, error) {
+	data, _, err := s.c.dev.ReadExtent(sl.Channel, sl.EBlock, sl.WBlock*s.c.geo.WBlockBytes, s.c.geo.WBlockBytes)
+	return data, err
+}

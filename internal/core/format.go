@@ -1,0 +1,37 @@
+package core
+
+import (
+	"eleos/internal/flash"
+	"eleos/internal/wal"
+)
+
+// Format initialises a fresh device: reserves the checkpoint area, starts
+// the log, and writes the initial checkpoint so Open can always recover.
+func Format(dev *flash.Device, cfg Config) (*Controller, error) {
+	c, err := newController(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.Erase(ckptChannel, ckptEBlockA); err != nil {
+		return nil, err
+	}
+	if err := dev.Erase(ckptChannel, ckptEBlockB); err != nil {
+		return nil, err
+	}
+	if err := c.st.Reserve(ckptChannel, ckptEBlockA); err != nil {
+		return nil, err
+	}
+	if err := c.st.Reserve(ckptChannel, ckptEBlockB); err != nil {
+		return nil, err
+	}
+	c.log, err = wal.New(logSink{c}, c.geo.WBlockBytes)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

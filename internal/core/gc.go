@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eleos/internal/addr"
+	"eleos/internal/provision"
+	"eleos/internal/record"
+	"eleos/internal/summary"
+)
+
+// maybeGCLocked runs garbage collection on every channel whose free-EBLOCK
+// fraction has fallen below the configured threshold (§VI).
+func (c *Controller) maybeGCLocked() {
+	for ch := 0; ch < c.geo.Channels; ch++ {
+		if c.freeFractionLocked(ch) < c.cfg.GCFreeFraction {
+			_ = c.gcChannelLocked(ch)
+		}
+	}
+}
+
+// gcAllLocked collects on all channels regardless of thresholds (used when
+// provisioning runs out of space). It first takes a checkpoint so the log
+// truncation LSN advances and truncated log EBLOCKs become reclaimable —
+// under log-heavy workloads those are usually the bulk of the reclaimable
+// space.
+func (c *Controller) gcAllLocked() {
+	if !c.inCheckpoint {
+		_ = c.checkpointLocked()
+	}
+	for ch := 0; ch < c.geo.Channels; ch++ {
+		_ = c.gcChannelLocked(ch)
+	}
+}
+
+// GCNow forces a GC pass on one channel (tests and benchmarks).
+func (c *Controller) GCNow(ch int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	return c.gcChannelLocked(ch)
+}
+
+func (c *Controller) freeFractionLocked(ch int) float64 {
+	return float64(c.st.FreeCount(ch)) / float64(c.geo.EBlocksPerChannel)
+}
+
+func (c *Controller) gcChannelLocked(ch int) error {
+	for round := 0; round < c.cfg.GCMaxRounds; round++ {
+		if c.freeFractionLocked(ch) >= c.cfg.GCFreeFraction*1.5 && round > 0 {
+			return nil
+		}
+		eb, ok := c.selectVictimLocked(ch)
+		if !ok {
+			return nil
+		}
+		if err := c.gcEBlockLocked(ch, eb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selectVictimLocked picks a used EBLOCK to collect according to the
+// configured policy — by default the smallest minimum-cost-decline score
+// (1-E)/(E^2 * age) (§VI-A). Truncated log EBLOCKs need no data movement
+// and therefore always have the "smallest scores".
+func (c *Controller) selectVictimLocked(ch int) (int, bool) {
+	best, bestScore := -1, math.Inf(1)
+	for _, eb := range c.st.UsedEBlocks(ch) {
+		d, err := c.st.Desc(ch, eb)
+		if err != nil {
+			continue
+		}
+		if d.Stream == record.StreamLog {
+			if record.LSN(d.Timestamp) < c.lastTruncLSN {
+				return eb, true // reclaim immediately, no movement
+			}
+			continue
+		}
+		e := float64(d.Avail) / float64(c.geo.EBlockBytes)
+		if e <= 0 {
+			continue // nothing reclaimable
+		}
+		if e > 1 {
+			e = 1
+		}
+		age := float64(c.updateSeq-d.Timestamp) + 1
+		if c.updateSeq < d.Timestamp {
+			age = 1
+		}
+		var score float64
+		switch c.cfg.GCPolicy {
+		case GCGreedy:
+			score = 1 - e // most available space first
+		case GCOldest:
+			score = float64(d.Timestamp) // oldest first
+		default:
+			score = (1 - e) / (e * e * age)
+		}
+		if score < bestScore {
+			best, bestScore = eb, score
+		}
+	}
+	return best, best >= 0
+}
+
+// gcEBlockLocked collects one EBLOCK: moves its valid LPAGEs to open GC
+// EBLOCKs of similar age, then erases it (§VI).
+func (c *Controller) gcEBlockLocked(ch, eb int) error {
+	d, err := c.st.Desc(ch, eb)
+	if err != nil {
+		return err
+	}
+	if d.State != summary.Used {
+		return nil
+	}
+	c.stats.GCRounds++
+	if d.Stream == record.StreamLog {
+		return c.eraseAndFreeLocked(ch, eb)
+	}
+	entries, err := c.readMetaLocked(ch, eb, d)
+	if err != nil {
+		// Metadata unreadable: the EBLOCK was erased after a committed GC
+		// pre-crash (nothing reachable lives here) — reclaim it.
+		c.stats.GCMetaUnreadable++
+		return c.eraseAndFreeLocked(ch, eb)
+	}
+	srcTS := d.Timestamp
+	if c.cfg.GCPolicy == GCOldest {
+		// Circular-log cleaning (LLAMA) re-appends survivors at the tail:
+		// give relocations the current time, or the moved cold data would
+		// immediately be "oldest" again and the cleaner would livelock
+		// reshuffling it.
+		srcTS = c.updateSeq
+	}
+	if err := c.relocateLocked(ch, eb, entries, srcTS, record.ActionGC); err != nil {
+		return err
+	}
+	if err := c.crashIf("gc.before-erase"); err != nil {
+		return err
+	}
+	return c.eraseAndFreeLocked(ch, eb)
+}
+
+// readMetaLocked reads and decodes an EBLOCK's flushed metadata block.
+func (c *Controller) readMetaLocked(ch, eb int, d summary.Descriptor) ([]summary.MetaEntry, error) {
+	if d.MetaWBlocks == 0 {
+		return nil, fmt.Errorf("core: eblock (%d,%d) has no metadata", ch, eb)
+	}
+	w := c.geo.WBlockBytes
+	raw, nR, err := c.dev.ReadExtent(ch, eb, int(d.DataWBlocks)*w, int(d.MetaWBlocks)*w)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.ReadRBlocks += int64(nR)
+	return summary.DecodeMetaBlock(raw)
+}
+
+// currentAddrLocked returns the authoritative current address for a TAG,
+// dispatching on the page type (user data, mapping page, small-table page,
+// summary page, session snapshot).
+func (c *Controller) currentAddrLocked(e summary.MetaEntry) (addr.PhysAddr, error) {
+	switch e.Type {
+	case addr.PageUser:
+		return c.mt.Get(e.LPID)
+	case addr.PageMap:
+		return c.mt.PageAddr(int(e.LPID.TableIndex())), nil
+	case addr.PageSmallMap:
+		return c.mt.SmallPageAddr(int(e.LPID.TableIndex())), nil
+	case addr.PageSummary:
+		loc := c.st.Locator()
+		idx := int(e.LPID.TableIndex())
+		if idx < 0 || idx >= len(loc) {
+			return 0, nil
+		}
+		return loc[idx], nil
+	case addr.PageSession:
+		return c.sessSnapAddr, nil
+	default:
+		return 0, nil
+	}
+}
+
+// installRelocationLocked conditionally installs a relocation old->new for
+// the TAG's page type (§VI-C). It reports whether the install happened.
+func (c *Controller) installRelocationLocked(e summary.MetaEntry, old, new addr.PhysAddr, lsn record.LSN) (bool, error) {
+	switch e.Type {
+	case addr.PageUser:
+		return c.mt.SetIf(e.LPID, old, new, lsn)
+	case addr.PageMap:
+		return c.mt.SetPageAddrIf(int(e.LPID.TableIndex()), old, new, lsn), nil
+	case addr.PageSmallMap:
+		return c.mt.SmallPageAddrIf(int(e.LPID.TableIndex()), old, new), nil
+	case addr.PageSummary:
+		return c.st.PageAddrIf(int(e.LPID.TableIndex()), old, new), nil
+	case addr.PageSession:
+		if c.sessSnapAddr != old {
+			return false, nil
+		}
+		c.sessSnapAddr = new
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// relocateLocked moves every still-valid LPAGE out of (ch, eb) with a
+// GC/migration system action. Validity uses the paper's monotonic scan:
+// processing TAGs newest to oldest, valid pages' addresses strictly
+// decrease; an entry whose mapped address is not below the previous valid
+// one is an obsolete duplicate (§VI-C, Fig. 6).
+func (c *Controller) relocateLocked(ch, eb int, entries []summary.MetaEntry, srcTS uint64, kind record.ActionKind) error {
+	type victim struct {
+		e   summary.MetaEntry
+		old addr.PhysAddr
+	}
+	var valid []victim
+	prevOff := c.geo.EBlockBytes + 1
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		cur, err := c.currentAddrLocked(e)
+		if err != nil {
+			return err
+		}
+		want, err := addr.Pack(ch, eb, e.Offset, e.Length)
+		if err != nil {
+			continue
+		}
+		if cur == want && e.Offset < prevOff {
+			valid = append(valid, victim{e: e, old: want})
+			prevOff = e.Offset
+		}
+	}
+	if len(valid) == 0 {
+		return nil
+	}
+	// Restore oldest-first (ascending offset) order for contiguous packing.
+	for i, j := 0, len(valid)-1; i < j; i, j = i+1, j-1 {
+		valid[i], valid[j] = valid[j], valid[i]
+	}
+
+	// Read the valid pages into a contiguous move buffer.
+	var buf []byte
+	bps := make([]provision.BatchPage, 0, len(valid))
+	olds := make([]addr.PhysAddr, 0, len(valid))
+	for _, v := range valid {
+		data, nR, err := c.dev.ReadExtent(ch, eb, v.e.Offset, v.e.Length)
+		if err != nil {
+			return err
+		}
+		c.stats.ReadRBlocks += int64(nR)
+		bps = append(bps, provision.BatchPage{LPID: v.e.LPID, Type: v.e.Type, Length: v.e.Length, BufOff: len(buf)})
+		olds = append(olds, v.old)
+		buf = append(buf, data...)
+	}
+
+	// System action: same code path as user writes (§VI-C).
+	hint := c.lsnHint()
+	plan, err := c.prov.ProvisionGC(ch, bps, srcTS, c.clock, hint)
+	if err != nil {
+		return err
+	}
+	id := c.nextAction
+	c.nextAction++
+	c.active[id] = hint
+	lsns, err := c.logPlanLocked(id, plan, olds)
+	if err != nil {
+		delete(c.active, id)
+		return err
+	}
+	failed := c.executeIOsLocked(buf, plan)
+	if len(failed) > 0 {
+		c.abortActionLocked(id, plan)
+		c.migrateFailedLocked(failed)
+		return fmt.Errorf("%w: gc action %d", ErrWriteFailed, id)
+	}
+	if err := c.logClosesLocked(plan); err != nil {
+		return err
+	}
+	if _, err := c.append(record.Commit{Action: id, AKind: kind}); err != nil {
+		return err
+	}
+	if err := c.forceLog(); err != nil {
+		return err
+	}
+	if err := c.crashIf("gc.after-commit"); err != nil {
+		return err
+	}
+
+	// Conditional installs; abandoned relocations become garbage at their
+	// new location (old addresses were already logged in GCUpdate records).
+	var abandoned []record.AddrPair
+	for i, pg := range plan.Pages {
+		ok, err := c.installRelocationLocked(valid[i].e, olds[i], pg.Addr, lsns[i])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			abandoned = append(abandoned, record.AddrPair{LPID: pg.LPID, Addr: pg.Addr})
+			if err := c.st.AddAvail(pg.Addr.Channel(), pg.Addr.EBlock(), pg.Addr.Length(), lsns[i]); err != nil {
+				return err
+			}
+		}
+		c.stats.GCPagesMoved++
+		c.stats.GCBytesMoved += int64(pg.Addr.Length())
+	}
+	if err := c.lazyGarbageLocked(id, abandoned); err != nil {
+		return err
+	}
+	delete(c.active, id)
+	return nil
+}
+
+// traceFn, when set by tests, receives internal event traces.
+var traceFn func(format string, args ...any)
+
+// SetTraceForTests installs a trace sink (tests only).
+func SetTraceForTests(fn func(format string, args ...any)) { traceFn = fn }
+
+func trace(format string, args ...any) {
+	if traceFn != nil {
+		traceFn(format, args...)
+	}
+}
+
+// eraseAndFreeLocked erases an EBLOCK and returns it to the free list,
+// logging the transition (unforced; recovery tolerates a lost free record
+// by re-collecting the EBLOCK).
+func (c *Controller) eraseAndFreeLocked(ch, eb int) error {
+	d, _ := c.st.Desc(ch, eb)
+	trace("eraseAndFree (%d,%d) state=%v stream=%v ts=%d trunc=%d hint=%d", ch, eb, d.State, d.Stream, d.Timestamp, c.lastTruncLSN, c.lsnHint())
+	if err := c.dev.Erase(ch, eb); err != nil {
+		_ = c.st.MarkBad(ch, eb, c.lsnHint())
+		return err
+	}
+	c.prov.DropOpen(ch, eb)
+	if err := c.st.FreeEBlock(ch, eb, c.lsnHint()); err != nil {
+		return err
+	}
+	if _, err := c.append(record.FreeEBlock{Channel: uint32(ch), EBlock: uint32(eb)}); err != nil {
+		return err
+	}
+	c.stats.GCEBlocksFreed++
+	return nil
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"eleos/internal/addr"
+	"eleos/internal/flash"
+	"eleos/internal/summary"
+)
+
+// TestWearLevelling verifies that free-EBLOCK selection (lowest erase
+// count first) keeps erase wear spread across EBLOCKs under heavy churn.
+func TestWearLevelling(t *testing.T) {
+	c, dev := newFormatted(t)
+	rng := rand.New(rand.NewSource(31))
+	for round := 0; round < 600; round++ {
+		var pages []LPage
+		for k := 0; k < 6; k++ {
+			lp := addr.LPID(rng.Intn(20) + 1)
+			pages = append(pages, LPage{LPID: lp, Data: pageContent(uint64(lp), uint64(round), 4000)})
+		}
+		mustWrite(t, c, pages...)
+	}
+	g := c.Geometry()
+	var min, max, erased int
+	min = 1 << 30
+	for ch := 0; ch < g.Channels; ch++ {
+		for eb := 0; eb < g.EBlocksPerChannel; eb++ {
+			if ch == ckptChannel && (eb == ckptEBlockA || eb == ckptEBlockB) {
+				continue
+			}
+			n, err := dev.EraseCount(ch, eb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n > 0 {
+				erased++
+			}
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+	}
+	if max == 0 {
+		t.Fatal("no erases at all; churn insufficient")
+	}
+	// Wear must be spread: the most-worn EBLOCK should not dominate while
+	// most blocks are untouched.
+	if erased < g.Channels*g.EBlocksPerChannel/3 {
+		t.Fatalf("only %d eblocks ever erased (max wear %d): wear levelling failed", erased, max)
+	}
+	if max > min+12 {
+		t.Fatalf("wear spread too wide: min=%d max=%d", min, max)
+	}
+}
+
+// TestLogProgramFailuresDuringOperation injects failures on upcoming log
+// slots; the forward-pointer failover must keep the log alive, and the
+// device must still recover afterwards.
+func TestLogProgramFailuresDuringOperation(t *testing.T) {
+	c, dev := newFormatted(t)
+	version := map[addr.LPID]uint64{}
+	rng := rand.New(rand.NewSource(37))
+	failures := 0
+	for round := 0; round < 120; round++ {
+		if round%17 == 5 {
+			// Fail the next log-page program wherever the cursor is.
+			ch, eb, wb := c.prov.LogCursor()
+			if eb >= 0 && wb < c.geo.WBlocksPerEBlock() {
+				if w, _ := dev.IsWritten(ch, eb, wb); !w {
+					dev.FailNextProgram(ch, eb, wb)
+					failures++
+				}
+			}
+		}
+		lp := addr.LPID(rng.Intn(15) + 1)
+		version[lp]++
+		if err := c.WriteBatch(0, 0, []LPage{{LPID: lp, Data: pageContent(uint64(lp), version[lp], 1200)}}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if failures == 0 {
+		t.Skip("no failures injected")
+	}
+	if dev.Stats().WriteFailures == 0 {
+		t.Fatal("injected failures never fired")
+	}
+	// Everything still readable, and recovery still works.
+	c.Crash()
+	c2 := reopen(t, dev)
+	for lp, v := range version {
+		checkRead(t, c2, lp, pageContent(uint64(lp), v, 1200))
+	}
+}
+
+// TestCheckpointAreaFailover verifies checkpointing survives a program
+// failure inside the reserved checkpoint area.
+func TestCheckpointAreaFailover(t *testing.T) {
+	c, dev := newFormatted(t)
+	mustWrite(t, c, LPage{LPID: 1, Data: pageContent(1, 1, 500)})
+	// Fail the next checkpoint-area program at the current cursor.
+	dev.FailNextProgram(ckptChannel, c.ckptEB, c.ckptWB)
+	if err := c.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint should fail over to the other area eblock: %v", err)
+	}
+	// Recovery must find the new record.
+	c.Crash()
+	c2 := reopen(t, dev)
+	checkRead(t, c2, 1, pageContent(1, 1, 500))
+	if err := c2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncationAdvances verifies that checkpoints advance the truncation
+// LSN even with long-open GC buckets (forced closes, §VIII-B).
+func TestTruncationAdvances(t *testing.T) {
+	c, _ := newFormatted(t)
+	rng := rand.New(rand.NewSource(41))
+	// Create GC activity so GC buckets open (they would otherwise pin the
+	// truncation LSN forever).
+	for round := 0; round < 300; round++ {
+		lp := addr.LPID(rng.Intn(10) + 1)
+		mustWrite(t, c, LPage{LPID: lp, Data: pageContent(uint64(lp), uint64(round), 4000)})
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	t1 := c.lastTruncLSN
+	for round := 0; round < 50; round++ {
+		lp := addr.LPID(rng.Intn(10) + 1)
+		mustWrite(t, c, LPage{LPID: lp, Data: pageContent(uint64(lp), uint64(round+1000), 4000)})
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if c.lastTruncLSN <= t1 {
+		t.Fatalf("truncation LSN stuck: %d -> %d", t1, c.lastTruncLSN)
+	}
+}
+
+// TestMultiSessionInterleaving runs several sessions from separate
+// goroutines, presenting WSNs in order per session; all must apply and the
+// per-session final states must reflect their own last writes.
+func TestMultiSessionInterleaving(t *testing.T) {
+	c, _ := newFormatted(t)
+	const sessions = 4
+	const writes = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	sids := make([]uint64, sessions)
+	for i := 0; i < sessions; i++ {
+		sid, err := c.OpenSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sids[i] = sid
+	}
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			base := addr.LPID(1000 * (i + 1))
+			for w := uint64(1); w <= writes; w++ {
+				err := c.WriteBatch(sids[i], w, []LPage{{LPID: base, Data: pageContent(uint64(base), w, 300)}})
+				if err != nil {
+					errs <- fmt.Errorf("session %d wsn %d: %w", i, w, err)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < sessions; i++ {
+		high, err := c.SessionHighestWSN(sids[i])
+		if err != nil || high != writes {
+			t.Fatalf("session %d highest = %d (%v)", i, high, err)
+		}
+		checkRead(t, c, addr.LPID(1000*(i+1)), pageContent(uint64(1000*(i+1)), writes, 300))
+	}
+}
+
+// TestGCPoliciesIntegrity churns under each GC policy and verifies content
+// integrity and reclamation for all of them.
+func TestGCPoliciesIntegrity(t *testing.T) {
+	for _, policy := range []GCPolicy{GCMinCostDecline, GCGreedy, GCOldest} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dev := flash.MustNewDevice(flash.SmallGeometry(), flash.Latency{})
+			cfg := testConfig()
+			cfg.GCPolicy = policy
+			cfg.GCMaxRounds = 32
+			c, err := Format(dev, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			version := map[addr.LPID]uint64{}
+			rng := rand.New(rand.NewSource(43))
+			for round := 0; round < 500; round++ {
+				lp := addr.LPID(rng.Intn(25) + 1)
+				version[lp]++
+				if err := c.WriteBatch(0, 0, []LPage{{LPID: lp, Data: pageContent(uint64(lp), version[lp], 3500)}}); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+			if c.Stats().GCEBlocksFreed == 0 {
+				t.Fatalf("%v: GC never freed", policy)
+			}
+			for lp, v := range version {
+				checkRead(t, c, lp, pageContent(uint64(lp), v, 3500))
+			}
+		})
+	}
+}
+
+// TestInvariantMappingPointsAtReadableData is a whole-device invariant
+// check after a mixed workload: every mapped LPID's physical address must
+// fall inside a used or open EBLOCK and be readable with matching length.
+func TestInvariantMappingPointsAtReadableData(t *testing.T) {
+	c, _ := newFormatted(t)
+	rng := rand.New(rand.NewSource(47))
+	lpids := map[addr.LPID]int{}
+	for round := 0; round < 300; round++ {
+		lp := addr.LPID(rng.Intn(40) + 1)
+		size := 64 * (1 + rng.Intn(60))
+		lpids[lp] = size
+		mustWrite(t, c, LPage{LPID: lp, Data: pageContent(uint64(lp), uint64(round), size)})
+	}
+	for ch := 0; ch < c.Geometry().Channels; ch++ {
+		_ = c.GCNow(ch)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for lp, size := range lpids {
+		a, err := c.mt.Get(lp)
+		if err != nil || !a.IsValid() {
+			t.Fatalf("lpid %d unmapped: %v", lp, err)
+		}
+		if a.Length() != addr.AlignUp(size) {
+			t.Fatalf("lpid %d length %d, want %d", lp, a.Length(), addr.AlignUp(size))
+		}
+		d, err := c.st.Desc(a.Channel(), a.EBlock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.State != summary.Used && d.State != summary.Open {
+			t.Fatalf("lpid %d points into %v eblock (%d,%d)", lp, d.State, a.Channel(), a.EBlock())
+		}
+		if _, err := c.Read(lp); err != nil {
+			t.Fatalf("lpid %d unreadable: %v", lp, err)
+		}
+	}
+}
+
+// TestStaleWSNAfterSessionReopenFails ensures sessions cannot be confused
+// across close boundaries.
+func TestStaleWSNAfterSessionReopenFails(t *testing.T) {
+	c, _ := newFormatted(t)
+	sid, _ := c.OpenSession()
+	if err := c.WriteBatch(sid, 1, []LPage{{LPID: 1, Data: []byte{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseSession(sid); err != nil {
+		t.Fatal(err)
+	}
+	// The SID is gone; reusing it must fail rather than silently reset.
+	err := c.WriteBatch(sid, 2, []LPage{{LPID: 2, Data: []byte{2}}})
+	if err == nil {
+		t.Fatal("write on closed session accepted")
+	}
+}
+
+// TestEraseLimitMarksBad drives an EBLOCK past its erase limit via GC and
+// verifies it is retired rather than reused.
+func TestEraseLimitMarksBad(t *testing.T) {
+	g := flash.SmallGeometry()
+	g.EraseLimit = 3
+	dev := flash.MustNewDevice(g, flash.Latency{})
+	cfg := testConfig()
+	c, err := Format(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	version := map[addr.LPID]uint64{}
+	rng := rand.New(rand.NewSource(53))
+	var wedged bool
+	for round := 0; round < 1500 && !wedged; round++ {
+		lp := addr.LPID(rng.Intn(10) + 1)
+		version[lp]++
+		err := c.WriteBatch(0, 0, []LPage{{LPID: lp, Data: pageContent(uint64(lp), version[lp], 4000)}})
+		if err != nil {
+			// The device eventually wears out entirely; that is expected
+			// with EraseLimit 3 — but data must never be silently lost.
+			if errors.Is(err, ErrWriteFailed) {
+				continue // migrations handle transient failures
+			}
+			wedged = true
+		}
+	}
+	// Some eblocks must have been retired.
+	bad := 0
+	for ch := 0; ch < g.Channels; ch++ {
+		for eb := 0; eb < g.EBlocksPerChannel; eb++ {
+			if isBad, _ := dev.IsBad(ch, eb); isBad {
+				bad++
+			}
+		}
+	}
+	if bad == 0 {
+		t.Skip("erase limit never reached")
+	}
+	// All committed data still readable.
+	for lp, v := range version {
+		got, err := c.Read(lp)
+		if err != nil {
+			t.Fatalf("lpid %d lost after bad blocks: %v", lp, err)
+		}
+		want := pageContent(uint64(lp), v, 4000)
+		if len(got) < len(want) {
+			t.Fatalf("lpid %d truncated", lp)
+		}
+	}
+}
+
+// TestLogDeathLeavesReadsWorking exhausts all three forward candidates of
+// a log page (the §VIII-A shutdown case): writes must fail cleanly while
+// reads keep working, and recovery restores a writable controller.
+func TestLogDeathLeavesReadsWorking(t *testing.T) {
+	c, dev := newFormatted(t)
+	mustWrite(t, c, LPage{LPID: 1, Data: pageContent(1, 1, 500)})
+
+	// Kill both log streams' current EBLOCKs plus whatever the failover
+	// lands on, until the log declares itself dead.
+	died := false
+	for attempt := 0; attempt < 20 && !died; attempt++ {
+		ch, eb, wb := c.prov.LogCursor()
+		if eb >= 0 && wb < c.geo.WBlocksPerEBlock() {
+			if w, _ := dev.IsWritten(ch, eb, wb); !w {
+				dev.FailNextProgram(ch, eb, wb)
+			}
+		}
+		// Also pre-fail a broad set of upcoming programs so the failover
+		// candidates die too.
+		dev.SetFailureProbability(1.0, int64(attempt))
+		err := c.WriteBatch(0, 0, []LPage{{LPID: 2, Data: pageContent(2, uint64(attempt), 200)}})
+		if err != nil && c.log.Dead() {
+			died = true
+		}
+		dev.SetFailureProbability(0, 0)
+	}
+	if !died {
+		t.Skip("log did not die under injected failures")
+	}
+	// Writes now fail...
+	if err := c.WriteBatch(0, 0, []LPage{{LPID: 3, Data: []byte{1}}}); err == nil {
+		t.Fatal("write succeeded on a dead log")
+	}
+	// ...but committed data stays readable.
+	checkRead(t, c, 1, pageContent(1, 1, 500))
+	// And recovery on the same device brings back a writable controller.
+	c.Crash()
+	c2 := reopen(t, dev)
+	checkRead(t, c2, 1, pageContent(1, 1, 500))
+	mustWrite(t, c2, LPage{LPID: 4, Data: pageContent(4, 1, 100)})
+	checkRead(t, c2, 4, pageContent(4, 1, 100))
+}

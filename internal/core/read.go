@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"eleos/internal/addr"
+)
+
+// Read returns the current content of an LPAGE (§V). The mapping table
+// yields the physical address (with exact length); the covering RBLOCKs
+// are transferred and the exact extent is returned — adjacent LPAGEs'
+// bytes are never revealed.
+func (c *Controller) Read(lpid addr.LPID) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	a, err := c.mt.Get(lpid)
+	if err != nil {
+		return nil, err
+	}
+	if !a.IsValid() {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, lpid)
+	}
+	data, nR, err := c.dev.ReadExtent(a.Channel(), a.EBlock(), a.Offset(), a.Length())
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Reads++
+	c.stats.ReadRBlocks += int64(nR)
+	return data, nil
+}
+
+// Length returns the stored (aligned) length of an LPAGE without reading
+// its data.
+func (c *Controller) Length(lpid addr.LPID) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	a, err := c.mt.Get(lpid)
+	if err != nil {
+		return 0, err
+	}
+	if !a.IsValid() {
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, lpid)
+	}
+	return a.Length(), nil
+}
+
+// Exists reports whether an LPID is currently mapped.
+func (c *Controller) Exists(lpid addr.LPID) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return false, ErrCrashed
+	}
+	a, err := c.mt.Get(lpid)
+	if err != nil {
+		return false, err
+	}
+	return a.IsValid(), nil
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"eleos/internal/addr"
+	"eleos/internal/flash"
+)
+
+func reopen(t *testing.T, dev *flash.Device) *Controller {
+	t.Helper()
+	c, err := Open(dev, testConfig())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return c
+}
+
+func TestRecoverFreshFormat(t *testing.T) {
+	_, dev := newFormatted(t)
+	c2 := reopen(t, dev)
+	// Fresh device recovers to an empty, writable state.
+	mustWrite(t, c2, LPage{LPID: 1, Data: pageContent(1, 1, 512)})
+	checkRead(t, c2, 1, pageContent(1, 1, 512))
+}
+
+func TestRecoverUncheckpointedWrites(t *testing.T) {
+	c, dev := newFormatted(t)
+	for i := 1; i <= 25; i++ {
+		mustWrite(t, c, LPage{LPID: addr.LPID(i), Data: pageContent(uint64(i), 1, 100*i)})
+	}
+	c.Crash()
+	c2 := reopen(t, dev)
+	for i := 1; i <= 25; i++ {
+		checkRead(t, c2, addr.LPID(i), pageContent(uint64(i), 1, 100*i))
+	}
+}
+
+func TestRecoverAfterCheckpoint(t *testing.T) {
+	c, dev := newFormatted(t)
+	for i := 1; i <= 10; i++ {
+		mustWrite(t, c, LPage{LPID: addr.LPID(i), Data: pageContent(uint64(i), 1, 777)})
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 11; i <= 20; i++ {
+		mustWrite(t, c, LPage{LPID: addr.LPID(i), Data: pageContent(uint64(i), 1, 777)})
+	}
+	// Overwrite some checkpointed pages post-checkpoint.
+	mustWrite(t, c, LPage{LPID: 3, Data: pageContent(3, 2, 900)})
+	c.Crash()
+	c2 := reopen(t, dev)
+	for i := 1; i <= 20; i++ {
+		if i == 3 {
+			continue
+		}
+		checkRead(t, c2, addr.LPID(i), pageContent(uint64(i), 1, 777))
+	}
+	checkRead(t, c2, 3, pageContent(3, 2, 900))
+}
+
+func TestRecoveryAtomicity(t *testing.T) {
+	// Crash points before the commit record is durable must erase every
+	// trace of the buffer; crash points after must preserve all of it.
+	beforeCommit := []string{"write.after-init", "write.after-exec", "commit.before-force"}
+	afterCommit := []string{"commit.after-force"}
+
+	for _, point := range append(append([]string{}, beforeCommit...), afterCommit...) {
+		t.Run(point, func(t *testing.T) {
+			c, dev := newFormatted(t)
+			mustWrite(t, c, LPage{LPID: 1, Data: pageContent(1, 1, 500)})
+			c.SetCrashPoint(point)
+			err := c.WriteBatch(0, 0, []LPage{
+				{LPID: 1, Data: pageContent(1, 2, 600)},
+				{LPID: 2, Data: pageContent(2, 1, 400)},
+			})
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("expected crash, got %v", err)
+			}
+			c2 := reopen(t, dev)
+			committed := false
+			for _, p := range afterCommit {
+				if p == point {
+					committed = true
+				}
+			}
+			if committed {
+				checkRead(t, c2, 1, pageContent(1, 2, 600))
+				checkRead(t, c2, 2, pageContent(2, 1, 400))
+			} else {
+				// All-or-nothing: the old version of 1 must survive and 2
+				// must not exist.
+				checkRead(t, c2, 1, pageContent(1, 1, 500))
+				if ok, _ := c2.Exists(2); ok {
+					t.Fatal("uncommitted page visible after recovery")
+				}
+			}
+			// The recovered controller accepts new writes.
+			mustWrite(t, c2, LPage{LPID: 50, Data: pageContent(50, 1, 256)})
+			checkRead(t, c2, 50, pageContent(50, 1, 256))
+		})
+	}
+}
+
+func TestRecoverySessions(t *testing.T) {
+	c, dev := newFormatted(t)
+	sid, err := c.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := uint64(1); w <= 4; w++ {
+		if err := c.WriteBatch(sid, w, []LPage{{LPID: addr.LPID(w), Data: pageContent(w, w, 200)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Crash()
+	c2 := reopen(t, dev)
+	// The session survives with its WSN high-water mark: a host redo of an
+	// already-applied WSN is acknowledged but not re-applied (§III-A2).
+	if err := c2.WriteBatch(sid, 3, []LPage{{LPID: 3, Data: pageContent(3, 99, 200)}}); err != nil {
+		t.Fatalf("stale redo after recovery: %v", err)
+	}
+	checkRead(t, c2, 3, pageContent(3, 3, 200))
+	// The next WSN continues the sequence.
+	if err := c2.WriteBatch(sid, 5, []LPage{{LPID: 5, Data: pageContent(5, 5, 200)}}); err != nil {
+		t.Fatal(err)
+	}
+	high, err := c2.SessionHighestWSN(sid)
+	if err != nil || high != 5 {
+		t.Fatalf("highest = %d %v", high, err)
+	}
+}
+
+func TestRecoveryAfterGCActivity(t *testing.T) {
+	c, dev := newFormatted(t)
+	rng := rand.New(rand.NewSource(11))
+	version := map[addr.LPID]uint64{}
+	size := map[addr.LPID]int{}
+	// Churn far beyond capacity so GC runs, with periodic checkpoints so
+	// table pages land on flash and can be moved by GC (two-pass replay).
+	for round := 0; round < 300; round++ {
+		var pages []LPage
+		for k := 0; k < 6; k++ {
+			lp := addr.LPID(rng.Intn(30) + 1)
+			version[lp]++
+			if size[lp] == 0 {
+				size[lp] = 500 + rng.Intn(6000)
+			}
+			pages = append(pages, LPage{LPID: lp, Data: pageContent(uint64(lp), version[lp], size[lp])})
+		}
+		if err := c.WriteBatch(0, 0, pages); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if round%60 == 30 {
+			if err := c.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint at %d: %v", round, err)
+			}
+		}
+	}
+	if c.Stats().GCRounds == 0 {
+		t.Fatal("test needs GC activity to be meaningful")
+	}
+	c.Crash()
+	c2 := reopen(t, dev)
+	for lp, v := range version {
+		checkRead(t, c2, lp, pageContent(uint64(lp), v, size[lp]))
+	}
+	// And the recovered instance keeps working under churn.
+	for round := 0; round < 50; round++ {
+		lp := addr.LPID(rng.Intn(30) + 1)
+		version[lp]++
+		if err := c2.WriteBatch(0, 0, []LPage{{LPID: lp, Data: pageContent(uint64(lp), version[lp], size[lp])}}); err != nil {
+			t.Fatalf("post-recovery round %d: %v", round, err)
+		}
+	}
+	for lp, v := range version {
+		checkRead(t, c2, lp, pageContent(uint64(lp), v, size[lp]))
+	}
+}
+
+func TestCrashDuringGC(t *testing.T) {
+	for _, point := range []string{"gc.after-commit", "gc.before-erase"} {
+		t.Run(point, func(t *testing.T) {
+			c, dev := newFormatted(t)
+			version := map[addr.LPID]uint64{}
+			rng := rand.New(rand.NewSource(17))
+			for round := 0; round < 150; round++ {
+				lp := addr.LPID(rng.Intn(20) + 1)
+				version[lp]++
+				if err := c.WriteBatch(0, 0, []LPage{{LPID: lp, Data: pageContent(uint64(lp), version[lp], 4000)}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.SetCrashPoint(point)
+			// Force GC until the crash point fires (GC may or may not move
+			// pages in any given round).
+			crashed := false
+			for ch := 0; ch < c.Geometry().Channels && !crashed; ch++ {
+				for i := 0; i < 10; i++ {
+					if err := c.GCNow(ch); errors.Is(err, ErrCrashed) {
+						crashed = true
+						break
+					}
+				}
+			}
+			if !crashed {
+				t.Skip("crash point not reached (no GC movement)")
+			}
+			c2 := reopen(t, dev)
+			for lp, v := range version {
+				checkRead(t, c2, lp, pageContent(uint64(lp), v, 4000))
+			}
+		})
+	}
+}
+
+func TestCrashDuringCheckpoint(t *testing.T) {
+	c, dev := newFormatted(t)
+	for i := 1; i <= 15; i++ {
+		mustWrite(t, c, LPage{LPID: addr.LPID(i), Data: pageContent(uint64(i), 1, 600)})
+	}
+	c.SetCrashPoint("ckpt.after-flush")
+	if err := c.Checkpoint(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("expected crash, got %v", err)
+	}
+	// The previous checkpoint record is intact; everything replays.
+	c2 := reopen(t, dev)
+	for i := 1; i <= 15; i++ {
+		checkRead(t, c2, addr.LPID(i), pageContent(uint64(i), 1, 600))
+	}
+	// A new checkpoint on the recovered instance succeeds.
+	if err := c2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedCrashRecoverCycles(t *testing.T) {
+	_, dev := newFormatted(t)
+	version := map[addr.LPID]uint64{}
+	rng := rand.New(rand.NewSource(23))
+	for cycle := 0; cycle < 6; cycle++ {
+		c := reopen(t, dev)
+		for round := 0; round < 40; round++ {
+			lp := addr.LPID(rng.Intn(12) + 1)
+			version[lp]++
+			if err := c.WriteBatch(0, 0, []LPage{{LPID: lp, Data: pageContent(uint64(lp), version[lp], 1500)}}); err != nil {
+				t.Fatalf("cycle %d round %d: %v", cycle, round, err)
+			}
+		}
+		if cycle%2 == 0 {
+			if err := c.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for lp, v := range version {
+			checkRead(t, c, lp, pageContent(uint64(lp), v, 1500))
+		}
+		c.Crash()
+	}
+	final := reopen(t, dev)
+	for lp, v := range version {
+		checkRead(t, final, lp, pageContent(uint64(lp), v, 1500))
+	}
+}
+
+// TestRandomCrashRecoveryProperty is the core durability property test:
+// random batches with crashes injected at random points; after every
+// recovery, each LPID shows either its last acknowledged version (required
+// if the write returned success) or, for the batch in flight at the crash,
+// atomically all-or-none of it.
+func TestRandomCrashRecoveryProperty(t *testing.T) {
+	points := []string{"write.after-init", "write.after-exec", "commit.before-force", "commit.after-force"}
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(string(rune('A'+seed)), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			_, dev := newFormatted(t)
+			acked := map[addr.LPID]uint64{}    // versions whose write returned nil
+			inflight := map[addr.LPID]uint64{} // versions in the crashed batch
+			version := map[addr.LPID]uint64{}
+			c := reopen(t, dev)
+			for op := 0; op < 120; op++ {
+				var pages []LPage
+				batch := map[addr.LPID]uint64{}
+				for k := 0; k < 1+rng.Intn(4); k++ {
+					lp := addr.LPID(rng.Intn(10) + 1)
+					version[lp]++
+					batch[lp] = version[lp]
+					pages = append(pages, LPage{LPID: lp, Data: pageContent(uint64(lp), version[lp], 300+rng.Intn(900))})
+				}
+				willCrash := rng.Intn(12) == 0
+				if willCrash {
+					c.SetCrashPoint(points[rng.Intn(len(points))])
+				}
+				err := c.WriteBatch(0, 0, pages)
+				// §VIII-C3: the controller tolerates write failures caused
+				// by EBLOCKs opened by actions whose log records were lost
+				// in a crash — the host simply retries, and migration has
+				// already cleaned the EBLOCK.
+				for retries := 0; errors.Is(err, ErrWriteFailed) && retries < 5; retries++ {
+					err = c.WriteBatch(0, 0, pages)
+				}
+				switch {
+				case err == nil:
+					for lp, v := range batch {
+						acked[lp] = v
+					}
+				case errors.Is(err, ErrCrashed):
+					inflight = batch
+					c = reopen(t, dev)
+					// Check: every acked version or newer is present.
+					for lp, v := range acked {
+						got, err := c.Read(lp)
+						if err != nil {
+							t.Fatalf("op %d: acked lpid %d unreadable: %v", op, lp, err)
+						}
+						okAcked := contentMatches(got, uint64(lp), v)
+						okInflight := inflight[lp] > v && contentMatches(got, uint64(lp), inflight[lp])
+						if !okAcked && !okInflight {
+							t.Fatalf("op %d: lpid %d has neither acked v%d nor inflight content", op, lp, v)
+						}
+					}
+					// Atomicity: the inflight batch is all-in or all-out.
+					// (All-in only possible for post-commit crash points.)
+					in, out := 0, 0
+					for lp, v := range inflight {
+						got, err := c.Read(lp)
+						if err == nil && contentMatches(got, uint64(lp), v) {
+							in++
+						} else {
+							out++
+						}
+					}
+					if in > 0 && out > 0 {
+						t.Fatalf("op %d: torn batch after recovery (%d in, %d out)", op, in, out)
+					}
+					if in > 0 {
+						for lp, v := range inflight {
+							acked[lp] = v
+						}
+					} else {
+						for lp := range inflight {
+							version[lp] = acked[lp] // roll the model back
+						}
+					}
+					inflight = nil
+				default:
+					t.Fatalf("op %d: unexpected error %v", op, err)
+				}
+				if rng.Intn(25) == 0 {
+					if err := c.Checkpoint(); err != nil && !errors.Is(err, ErrCrashed) {
+						t.Fatalf("checkpoint: %v", err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// contentMatches reports whether got equals the deterministic content for
+// (lpid, version) at got's unaligned prefix length.
+func contentMatches(got []byte, lpid, version uint64) bool {
+	// Sizes are unknown here: compare against generated content of the
+	// aligned length, ignoring the zero padding tail.
+	want := pageContent(lpid, version, len(got))
+	if bytes.Equal(got, want) {
+		return true
+	}
+	// The stored page was padded: try matching a shorter prefix.
+	for l := len(got) - 1; l > len(got)-64 && l > 0; l-- {
+		want = pageContent(lpid, version, l)
+		if bytes.Equal(got[:l], want) {
+			tail := got[l:]
+			allZero := true
+			for _, b := range tail {
+				if b != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestOpenWithoutFormatFails(t *testing.T) {
+	dev := flash.MustNewDevice(flash.SmallGeometry(), flash.Latency{})
+	if _, err := Open(dev, testConfig()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("expected ErrNoCheckpoint, got %v", err)
+	}
+}
+
+func TestManyCheckpointsCycleArea(t *testing.T) {
+	// Enough checkpoints to wrap the ping-pong checkpoint area several
+	// times; recovery must always find the latest.
+	c, dev := newFormatted(t)
+	per := c.Geometry().WBlocksPerEBlock()
+	for i := 0; i < per*3; i++ {
+		mustWrite(t, c, LPage{LPID: addr.LPID(i%7 + 1), Data: pageContent(uint64(i%7+1), uint64(i), 400)})
+		if err := c.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+	c.Crash()
+	c2 := reopen(t, dev)
+	mustWrite(t, c2, LPage{LPID: 100, Data: pageContent(100, 1, 128)})
+	checkRead(t, c2, 100, pageContent(100, 1, 128))
+}

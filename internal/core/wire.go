@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"eleos/internal/addr"
+)
+
+// The batch wire format (§IX-A2): flush_batch ships one opaque buffer and
+// the controller identifies the pages by parsing metadata *within* the
+// batch. Layout:
+//
+//	magic u32 | count u32 | { lpid u64 | len u32 | payload } ... | crc u32
+//
+// The CRC covers everything before it.
+
+const batchMagic = 0x454C4246 // "ELBF"
+
+// ErrBadBatch reports a malformed wire batch.
+var ErrBadBatch = errors.New("core: malformed batch buffer")
+
+// EncodeBatch serialises pages into the wire format a host sends with one
+// flush_batch command.
+func EncodeBatch(pages []LPage) []byte {
+	n := 8 + 4
+	for _, p := range pages {
+		n += 12 + len(p.Data)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint32(buf, batchMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pages)))
+	for _, p := range pages {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.LPID))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Data)))
+		buf = append(buf, p.Data...)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeBatch parses a wire batch back into pages.
+func DecodeBatch(wire []byte) ([]LPage, error) {
+	if len(wire) < 12 {
+		return nil, fmt.Errorf("%w: short", ErrBadBatch)
+	}
+	if binary.LittleEndian.Uint32(wire[0:]) != batchMagic {
+		return nil, fmt.Errorf("%w: magic", ErrBadBatch)
+	}
+	body, tail := wire[:len(wire)-4], wire[len(wire)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum", ErrBadBatch)
+	}
+	count := int(binary.LittleEndian.Uint32(wire[4:]))
+	pages := make([]LPage, 0, count)
+	off := 8
+	for i := 0; i < count; i++ {
+		if off+12 > len(body) {
+			return nil, fmt.Errorf("%w: truncated page header", ErrBadBatch)
+		}
+		lpid := addr.LPID(binary.LittleEndian.Uint64(body[off:]))
+		l := int(binary.LittleEndian.Uint32(body[off+8:]))
+		off += 12
+		if l < 0 || off+l > len(body) {
+			return nil, fmt.Errorf("%w: truncated page payload", ErrBadBatch)
+		}
+		pages = append(pages, LPage{LPID: lpid, Data: append([]byte(nil), body[off:off+l]...)})
+		off += l
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadBatch)
+	}
+	return pages, nil
+}
+
+// WriteBatchWire is flush_batch as it crosses the transport: the
+// controller parses the buffer's in-batch metadata, then executes the
+// write as one system action.
+func (c *Controller) WriteBatchWire(sid, wsn uint64, wire []byte) error {
+	pages, err := DecodeBatch(wire)
+	if err != nil {
+		return err
+	}
+	return c.WriteBatch(sid, wsn, pages)
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"eleos/internal/addr"
+	"eleos/internal/provision"
+	"eleos/internal/record"
+	"eleos/internal/session"
+	"eleos/internal/summary"
+)
+
+// WriteBatch durably writes a buffer of variable-size logical pages as one
+// atomic system action (§IV). Pages are applied in buffer order: a later
+// page for the same LPID overwrites an earlier one.
+//
+// sid/wsn order buffers within a session (§III-A2): pass sid = 0 for
+// unordered writes. A WSN already applied returns nil without re-applying
+// (the paper re-ACKs the highest WSN); a WSN ahead of its predecessors
+// blocks until they arrive.
+func (c *Controller) WriteBatch(sid, wsn uint64, pages []LPage) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if len(pages) == 0 {
+		return ErrEmptyBatch
+	}
+	if sid != 0 {
+		for {
+			v, _, err := c.sess.Check(sid, wsn)
+			if err != nil {
+				return err
+			}
+			if v == session.Stale {
+				c.stats.StaleWrites++
+				return nil
+			}
+			if v == session.Apply {
+				break
+			}
+			c.wsnCond.Wait()
+			if c.crashed {
+				return ErrCrashed
+			}
+		}
+	}
+	err := c.writeUserLocked(sid, wsn, pages)
+	if err == nil {
+		if sid != 0 {
+			c.wsnCond.Broadcast()
+		}
+		c.maybeGCLocked()
+		c.maybeCheckpointLocked()
+	}
+	return err
+}
+
+// buildBatch lays the pages out back to back (64-byte aligned) in the
+// internal write buffer, exactly as the batch arrives over the wire.
+func buildBatch(pages []LPage) ([]byte, []provision.BatchPage, error) {
+	total := 0
+	for _, p := range pages {
+		total += addr.AlignUp(len(p.Data))
+	}
+	buf := make([]byte, 0, total)
+	bps := make([]provision.BatchPage, 0, len(pages))
+	for _, p := range pages {
+		if len(p.Data) == 0 {
+			return nil, nil, fmt.Errorf("%w: LPID %d has no data", ErrEmptyBatch, p.LPID)
+		}
+		if !p.LPID.IsUser() {
+			return nil, nil, fmt.Errorf("%w: %d", ErrBadLPID, p.LPID)
+		}
+		n := addr.AlignUp(len(p.Data))
+		bps = append(bps, provision.BatchPage{LPID: p.LPID, Type: addr.PageUser, Length: n, BufOff: len(buf)})
+		buf = append(buf, p.Data...)
+		buf = append(buf, make([]byte, n-len(p.Data))...)
+	}
+	return buf, bps, nil
+}
+
+func (c *Controller) writeUserLocked(sid, wsn uint64, pages []LPage) error {
+	buf, bps, err := buildBatch(pages)
+	if err != nil {
+		return err
+	}
+	c.updateSeq += uint64(len(pages))
+
+	// Initialization phase (§IV-A): provision, generate I/O commands
+	// (inside the plan), and produce log records.
+	hint := c.lsnHint()
+	plan, err := c.prov.ProvisionBatch(bps, c.clock, hint)
+	if errors.Is(err, provision.ErrNoSpace) {
+		c.gcAllLocked()
+		plan, err = c.prov.ProvisionBatch(bps, c.clock, hint)
+	}
+	if err != nil {
+		return err
+	}
+	id := c.nextAction
+	c.nextAction++
+	c.active[id] = hint
+	lsns, err := c.logPlanLocked(id, plan, nil)
+	if err != nil {
+		// Log-space exhaustion mid-init aborts the action; GC plus the
+		// checkpoint it takes first free truncated log EBLOCKs, so the
+		// caller's retry can proceed.
+		c.abortActionLocked(id, plan)
+		if errors.Is(err, provision.ErrNoSpace) {
+			c.gcAllLocked()
+			return fmt.Errorf("%w: log space exhausted: %v", ErrWriteFailed, err)
+		}
+		return err
+	}
+	if err := c.crashIf("write.after-init"); err != nil {
+		return err
+	}
+
+	// Execution phase (§IV-B).
+	failed := c.executeIOsLocked(buf, plan)
+	if err := c.crashIf("write.after-exec"); err != nil {
+		return err
+	}
+	if len(failed) > 0 {
+		c.abortActionLocked(id, plan)
+		c.migrateFailedLocked(failed)
+		return fmt.Errorf("%w: action %d", ErrWriteFailed, id)
+	}
+
+	// Commit phase (§IV-C): force the commit record, then install.
+	if err := c.logClosesLocked(plan); err != nil {
+		return err
+	}
+	if err := c.crashIf("commit.before-force"); err != nil {
+		return err
+	}
+	if _, err := c.append(record.Commit{Action: id, AKind: record.ActionUser, SID: sid, WSN: wsn}); err != nil {
+		return err
+	}
+	if err := c.forceLog(); err != nil {
+		return err
+	}
+	if err := c.crashIf("commit.after-force"); err != nil {
+		return err
+	}
+
+	var garbage []record.AddrPair
+	for i, pg := range plan.Pages {
+		old, err := c.mt.Get(pg.LPID)
+		if err != nil {
+			return err
+		}
+		if err := c.mt.Set(pg.LPID, pg.Addr, lsns[i]); err != nil {
+			return err
+		}
+		if old.IsValid() {
+			garbage = append(garbage, record.AddrPair{LPID: pg.LPID, Addr: old})
+			if err := c.st.AddAvail(old.Channel(), old.EBlock(), old.Length(), lsns[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if sid != 0 {
+		if err := c.sess.Advance(sid, wsn); err != nil {
+			return err
+		}
+	}
+	if err := c.lazyGarbageLocked(id, garbage); err != nil {
+		return err
+	}
+	delete(c.active, id)
+
+	c.stats.BatchesWritten++
+	c.stats.PagesWritten += int64(len(pages))
+	for _, p := range pages {
+		c.stats.BytesAccepted += int64(len(p.Data))
+	}
+	for _, bp := range bps {
+		c.stats.BytesStored += int64(bp.Length)
+	}
+	return nil
+}
+
+// logPlanLocked produces the init-phase log records for a plan: open-EBLOCK
+// records plus one Update (or GCUpdate when olds is non-nil) per page. It
+// returns the per-page LSNs.
+func (c *Controller) logPlanLocked(id uint64, plan *provision.Plan, olds []addr.PhysAddr) ([]record.LSN, error) {
+	for _, op := range plan.Opens {
+		if op.Stream == record.StreamLog {
+			continue // the chain itself is the durable record for log EBLOCKs
+		}
+		if _, err := c.append(record.OpenEBlock{Channel: uint32(op.Channel), EBlock: uint32(op.EBlock), Stream: op.Stream}); err != nil {
+			return nil, err
+		}
+	}
+	lsns := make([]record.LSN, len(plan.Pages))
+	for i, pg := range plan.Pages {
+		var r record.Record
+		if olds != nil {
+			r = record.GCUpdate{Action: id, LPID: pg.LPID, Type: pg.Type, Old: olds[i], New: pg.Addr}
+		} else {
+			r = record.Update{Action: id, LPID: pg.LPID, Type: pg.Type, New: pg.Addr}
+		}
+		lsn, err := c.append(r)
+		if err != nil {
+			return nil, err
+		}
+		lsns[i] = lsn
+	}
+	return lsns, nil
+}
+
+// logClosesLocked logs close records for EBLOCKs whose metadata this
+// action just made durable. Logged only at commit time so a close record
+// implies readable metadata (§VIII-C).
+func (c *Controller) logClosesLocked(plan *provision.Plan) error {
+	for _, cl := range plan.Closes {
+		if _, err := c.append(record.CloseEBlock{
+			Channel: uint32(cl.Channel), EBlock: uint32(cl.EBlock),
+			Timestamp:   cl.Timestamp,
+			DataWBlocks: uint32(cl.DataWBlocks), MetaWBlocks: uint32(cl.MetaWBlocks),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// executeIOsLocked executes a plan's I/O commands, one submission queue per
+// channel in order (the flash device accounts the per-channel parallelism
+// in virtual time). It returns the EBLOCKs that suffered write failures.
+func (c *Controller) executeIOsLocked(buf []byte, plan *provision.Plan) [][2]int {
+	failed := make(map[[2]int]bool)
+	for _, io := range plan.IOs {
+		key := [2]int{io.Channel, io.EBlock}
+		if failed[key] {
+			continue // §VII: subsequent commands to a failed EBLOCK fail too
+		}
+		data := io.Inline
+		if data == nil {
+			data = buf[io.BufLo:io.BufHi]
+		}
+		if err := c.dev.Program(io.Channel, io.EBlock, io.WBlock, data); err != nil {
+			failed[key] = true
+		}
+		c.stats.IOCommands++
+	}
+	out := make([][2]int, 0, len(failed))
+	for k := range failed {
+		out = append(out, k)
+	}
+	return out
+}
+
+// abortActionLocked aborts a system action: the provisioned space is
+// treated as garbage via AVAIL (§IV-C); nothing is installed.
+func (c *Controller) abortActionLocked(id uint64, plan *provision.Plan) {
+	lsn, _ := c.append(record.Abort{Action: id})
+	for _, pg := range plan.Pages {
+		_ = c.st.AddAvail(pg.Addr.Channel(), pg.Addr.EBlock(), pg.Addr.Length(), lsn)
+	}
+	delete(c.active, id)
+	c.stats.AbortedActions++
+}
+
+// lazyGarbageLocked appends the lazy old-address records and the DONE
+// record for a committed action (§VIII-C2). They are not forced.
+func (c *Controller) lazyGarbageLocked(id uint64, pairs []record.AddrPair) error {
+	per := c.cfg.GarbagePairsPerRecord
+	for len(pairs) > 0 {
+		n := per
+		if n > len(pairs) {
+			n = len(pairs)
+		}
+		if _, err := c.append(record.Garbage{Action: id, Pairs: pairs[:n]}); err != nil {
+			return err
+		}
+		pairs = pairs[n:]
+	}
+	_, err := c.append(record.Done{Action: id})
+	return err
+}
+
+// migrateFailedLocked migrates every EBLOCK that suffered a write failure:
+// committed LPAGEs still stored there are moved to new locations with the
+// GC machinery, then the EBLOCK is erased (§VII).
+func (c *Controller) migrateFailedLocked(failed [][2]int) {
+	for _, f := range failed {
+		if err := c.migrateEBlockLocked(f[0], f[1]); err != nil {
+			// Migration failures cascade into further migrations; a hard
+			// error here leaves the EBLOCK for GC to retry.
+			continue
+		}
+	}
+}
+
+func (c *Controller) migrateEBlockLocked(ch, eb int) error {
+	if c.migrationDepth >= 8 {
+		return fmt.Errorf("core: migration depth exceeded for (%d,%d)", ch, eb)
+	}
+	c.migrationDepth++
+	defer func() { c.migrationDepth-- }()
+
+	d, err := c.st.Desc(ch, eb)
+	if err != nil {
+		return err
+	}
+	var entries []summary.MetaEntry
+	switch d.State {
+	case summary.Open:
+		entries = c.st.Meta(ch, eb)
+	case summary.Used:
+		entries, err = c.readMetaLocked(ch, eb, d)
+		if err != nil {
+			entries = nil // unreadable: nothing reachable lives here
+			c.stats.GCMetaUnreadable++
+		}
+	default:
+		return nil
+	}
+	err = c.relocateLocked(ch, eb, entries, d.Timestamp, record.ActionMigration)
+	if err != nil {
+		return err
+	}
+	c.stats.Migrations++
+	return c.eraseAndFreeLocked(ch, eb)
+}

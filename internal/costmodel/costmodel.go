@@ -1,0 +1,131 @@
+// Package costmodel reproduces the analytic cost/performance model behind
+// Fig. 1 of the paper (after Lomet, "Cost/performance in modern data
+// stores", DaMoN'18): the dollar cost of serving a key-value workload at a
+// given operation rate, with the data resident in main memory versus on an
+// SSD, and the effect of reducing the I/O execution cost.
+//
+// The model prices two resources: capacity (DRAM versus flash $/GB —
+// Fig. 1(a)) and execution (CPU seconds per operation, higher when a miss
+// must perform an I/O — Fig. 1(b)). Lowering the I/O cost — what the
+// batched interface does — rotates the SSD curve downward and moves the
+// crossover where main memory starts to win (the dotted line in
+// Fig. 1(c)).
+package costmodel
+
+import "errors"
+
+// Params prices the resources.
+type Params struct {
+	DRAMPerGB  float64 // $ per GB of DRAM
+	FlashPerGB float64 // $ per GB of flash
+	// CPUDollarsPerSecond converts sustained CPU seconds/sec into $
+	// (amortised server cost per core-second of capacity).
+	CPUDollarsPerSecond float64
+	// OpCPUSeconds is the in-memory execution cost of one operation.
+	OpCPUSeconds float64
+	// IOCPUSeconds is the additional execution cost when the operation
+	// must perform an SSD I/O (the host I/O execution path).
+	IOCPUSeconds float64
+	// CacheFraction is the fraction of the dataset kept in DRAM in the
+	// SSD configuration.
+	CacheFraction float64
+	// MissRate is the fraction of operations that perform an I/O in the
+	// SSD configuration.
+	MissRate float64
+}
+
+// DefaultParams returns plausible 2020-era prices (the shape, not the
+// absolute values, is what Fig. 1 communicates).
+func DefaultParams() Params {
+	return Params{
+		DRAMPerGB:           8.0,
+		FlashPerGB:          0.25,
+		CPUDollarsPerSecond: 2e-5,
+		OpCPUSeconds:        2e-6,
+		IOCPUSeconds:        18e-6,
+		CacheFraction:       0.1,
+		MissRate:            0.5,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.DRAMPerGB <= 0 || p.FlashPerGB <= 0 || p.CPUDollarsPerSecond <= 0 {
+		return errors.New("costmodel: prices must be positive")
+	}
+	if p.OpCPUSeconds <= 0 || p.IOCPUSeconds < 0 {
+		return errors.New("costmodel: op costs must be positive")
+	}
+	if p.CacheFraction < 0 || p.CacheFraction > 1 || p.MissRate < 0 || p.MissRate > 1 {
+		return errors.New("costmodel: fractions must be in [0,1]")
+	}
+	return nil
+}
+
+// MemoryCost returns the $ cost of serving opsPerSec over datasetGB with
+// the data entirely in DRAM: capacity at DRAM prices plus the compute
+// provisioned for the in-memory execution path.
+func (p Params) MemoryCost(datasetGB, opsPerSec float64) float64 {
+	capacity := datasetGB * p.DRAMPerGB
+	return capacity + opsPerSec*p.OpCPUSeconds*cpuDollarFactor(p)
+}
+
+// SSDCost returns the $ cost with the data on flash plus a DRAM cache,
+// where a miss pays ioCPU. ioScale scales the I/O execution cost (1.0 =
+// the conventional block path; <1 models the batched interface's cheaper
+// I/O — the paper's dotted curve).
+func (p Params) SSDCost(datasetGB, opsPerSec, ioScale float64) float64 {
+	capacity := datasetGB*p.FlashPerGB + datasetGB*p.CacheFraction*p.DRAMPerGB
+	perOp := p.OpCPUSeconds + p.MissRate*p.IOCPUSeconds*ioScale
+	return capacity + opsPerSec*perOp*cpuDollarFactor(p)
+}
+
+// cpuDollarFactor converts CPU-seconds-per-second of sustained load into
+// dollars of provisioned compute.
+func cpuDollarFactor(p Params) float64 {
+	// One fully-busy core-second per second costs CPUDollarsPerSecond
+	// amortised per second; provisioned over a 3-year amortisation the
+	// multiplier folds into CPUDollarsPerSecond. Treat it directly.
+	return p.CPUDollarsPerSecond * 1e6
+}
+
+// Crossover returns the ops/sec at which the in-memory configuration
+// becomes cheaper than the SSD configuration (with the given ioScale),
+// found by bisection over [lo, hi]. ok is false if no crossover exists in
+// the range.
+func (p Params) Crossover(datasetGB, lo, hi, ioScale float64) (float64, bool) {
+	f := func(ops float64) float64 {
+		return p.SSDCost(datasetGB, ops, ioScale) - p.MemoryCost(datasetGB, ops)
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo > 0 || fhi < 0 {
+		return 0, false
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, true
+}
+
+// Point is one sample of a cost/performance curve.
+type Point struct {
+	OpsPerSec float64
+	CostUSD   float64
+}
+
+// Series produces the three Fig. 1(c) curves over a log-ish sweep of
+// operation rates: main memory, SSD with the conventional I/O cost, and
+// SSD with the I/O cost reduced by reduceFactor.
+func (p Params) Series(datasetGB float64, rates []float64, reduceFactor float64) (mem, ssd, ssdReduced []Point) {
+	for _, r := range rates {
+		mem = append(mem, Point{OpsPerSec: r, CostUSD: p.MemoryCost(datasetGB, r)})
+		ssd = append(ssd, Point{OpsPerSec: r, CostUSD: p.SSDCost(datasetGB, r, 1)})
+		ssdReduced = append(ssdReduced, Point{OpsPerSec: r, CostUSD: p.SSDCost(datasetGB, r, 1/reduceFactor)})
+	}
+	return mem, ssd, ssdReduced
+}

@@ -1,0 +1,79 @@
+package costmodel
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.DRAMPerGB = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero DRAM price accepted")
+	}
+	bad = DefaultParams()
+	bad.CacheFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("cache fraction > 1 accepted")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	p := DefaultParams()
+	const dataset = 1000.0 // GB
+
+	// (a) Flash capacity is cheaper than DRAM.
+	if p.SSDCost(dataset, 0, 1) >= p.MemoryCost(dataset, 0) {
+		t.Fatal("at zero ops, SSD capacity should be cheaper")
+	}
+	// (b) Per-op execution is more expensive on the SSD path.
+	low := 1e3
+	memSlope := (p.MemoryCost(dataset, 2*low) - p.MemoryCost(dataset, low)) / low
+	ssdSlope := (p.SSDCost(dataset, 2*low, 1) - p.SSDCost(dataset, low, 1)) / low
+	if ssdSlope <= memSlope {
+		t.Fatal("SSD execution slope should be steeper")
+	}
+	// (c) There is a crossover where memory becomes cheaper, and reducing
+	// the I/O cost moves it to a higher operation rate.
+	x1, ok1 := p.Crossover(dataset, 1, 1e9, 1)
+	if !ok1 {
+		t.Fatal("no crossover with conventional I/O cost")
+	}
+	x2, ok2 := p.Crossover(dataset, 1, 1e9, 1.0/4.0) // I/O cost reduced 4x -> ioScale 0.25
+	if !ok2 {
+		t.Fatal("no crossover with reduced I/O cost")
+	}
+	if x2 <= x1 {
+		t.Fatalf("reducing I/O cost should push the crossover out: %.0f -> %.0f", x1, x2)
+	}
+}
+
+func TestReducedCurveBetweenMemAndSSD(t *testing.T) {
+	p := DefaultParams()
+	rates := []float64{1e3, 1e4, 1e5, 1e6}
+	mem, ssd, red := p.Series(1000, rates, 4)
+	if len(mem) != len(rates) || len(ssd) != len(rates) || len(red) != len(rates) {
+		t.Fatal("series lengths wrong")
+	}
+	for i := range rates {
+		if red[i].CostUSD >= ssd[i].CostUSD {
+			t.Fatalf("reduced-I/O curve should be below SSD at %.0f ops", rates[i])
+		}
+		if red[i].CostUSD <= 0 || mem[i].CostUSD <= 0 {
+			t.Fatal("non-positive costs")
+		}
+	}
+	// Monotone in ops.
+	for i := 1; i < len(rates); i++ {
+		if ssd[i].CostUSD <= ssd[i-1].CostUSD || mem[i].CostUSD <= mem[i-1].CostUSD {
+			t.Fatal("costs should increase with rate")
+		}
+	}
+}
+
+func TestCrossoverNotFound(t *testing.T) {
+	p := DefaultParams()
+	if _, ok := p.Crossover(1000, 1, 10, 1); ok {
+		t.Fatal("crossover should not exist in a tiny range")
+	}
+}

@@ -1,0 +1,446 @@
+// Package flash simulates the raw storage media of an Open-Channel SSD:
+// an array of channels, each holding EBLOCKs composed of WBLOCKs, which in
+// turn are composed of RBLOCKs (Table I of the paper).
+//
+// The simulator enforces NAND flash semantics that the FTL must respect:
+//
+//   - erase-before-write: a WBLOCK may be programmed only once between
+//     erases of its EBLOCK;
+//   - sequential programming: WBLOCKs within an EBLOCK must be programmed
+//     in increasing order;
+//   - bounded endurance: an EBLOCK that exceeds its erase limit goes bad;
+//   - write failures: programs can be made to fail, either at explicit
+//     addresses or with a seeded probability, after which the remainder of
+//     the EBLOCK is unwritable until erased (§VII).
+//
+// All operations account virtual time against the owning channel, so the
+// media's parallelism (channels operate independently) is modelled without
+// wall-clock sleeps: the media-side elapsed time of a workload is the
+// busiest channel's accumulated time.
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Geometry describes the shape of the simulated flash array.
+type Geometry struct {
+	Channels          int // number of independent flash channels
+	EBlocksPerChannel int // erase blocks per channel
+	EBlockBytes       int // size of an erase block (paper: 8 MB)
+	WBlockBytes       int // smallest writable unit (paper: 32 KB)
+	RBlockBytes       int // smallest readable unit (paper: 4 KB)
+	EraseLimit        int // erases before an EBLOCK goes bad; 0 = unlimited
+}
+
+// DefaultGeometry returns the paper's Table I sizes with a modest channel
+// and EBLOCK count suitable for in-memory simulation.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:          8,
+		EBlocksPerChannel: 64,
+		EBlockBytes:       8 << 20,
+		WBlockBytes:       32 << 10,
+		RBlockBytes:       4 << 10,
+		EraseLimit:        0,
+	}
+}
+
+// SmallGeometry returns a compact geometry convenient for unit tests:
+// 4 channels x 16 EBLOCKs x 256 KB with 16 KB WBLOCKs and 4 KB RBLOCKs.
+func SmallGeometry() Geometry {
+	return Geometry{
+		Channels:          4,
+		EBlocksPerChannel: 16,
+		EBlockBytes:       256 << 10,
+		WBlockBytes:       16 << 10,
+		RBlockBytes:       4 << 10,
+		EraseLimit:        0,
+	}
+}
+
+// Validate checks internal consistency of the geometry.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0:
+		return errors.New("flash: geometry needs at least one channel")
+	case g.EBlocksPerChannel <= 0:
+		return errors.New("flash: geometry needs at least one eblock per channel")
+	case g.RBlockBytes <= 0 || g.RBlockBytes%64 != 0:
+		return errors.New("flash: rblock size must be a positive multiple of 64")
+	case g.WBlockBytes <= 0 || g.WBlockBytes%g.RBlockBytes != 0:
+		return errors.New("flash: wblock size must be a multiple of rblock size")
+	case g.EBlockBytes <= 0 || g.EBlockBytes%g.WBlockBytes != 0:
+		return errors.New("flash: eblock size must be a multiple of wblock size")
+	case g.EraseLimit < 0:
+		return errors.New("flash: erase limit must be non-negative")
+	}
+	return nil
+}
+
+// WBlocksPerEBlock returns the number of WBLOCKs in one EBLOCK.
+func (g Geometry) WBlocksPerEBlock() int { return g.EBlockBytes / g.WBlockBytes }
+
+// RBlocksPerWBlock returns the number of RBLOCKs in one WBLOCK.
+func (g Geometry) RBlocksPerWBlock() int { return g.WBlockBytes / g.RBlockBytes }
+
+// RBlocksPerEBlock returns the number of RBLOCKs in one EBLOCK.
+func (g Geometry) RBlocksPerEBlock() int { return g.EBlockBytes / g.RBlockBytes }
+
+// CapacityBytes returns the raw capacity of the whole array.
+func (g Geometry) CapacityBytes() int64 {
+	return int64(g.Channels) * int64(g.EBlocksPerChannel) * int64(g.EBlockBytes)
+}
+
+// Latency models per-operation flash timing. Zero values disable timing.
+type Latency struct {
+	ReadRBlock    time.Duration // time to read one RBLOCK
+	ProgramWBlock time.Duration // time to program one WBLOCK
+	EraseEBlock   time.Duration // time to erase one EBLOCK
+}
+
+// TypicalNANDLatency returns latencies in the range of the MLC/TLC NAND the
+// paper's CNEX device uses.
+func TypicalNANDLatency() Latency {
+	return Latency{
+		ReadRBlock:    60 * time.Microsecond,
+		ProgramWBlock: 800 * time.Microsecond,
+		EraseEBlock:   5 * time.Millisecond,
+	}
+}
+
+// Stats counts media operations since the device was created (or since
+// ResetStats).
+type Stats struct {
+	RBlocksRead    int64
+	WBlocksWritten int64
+	EBlocksErased  int64
+	BytesRead      int64
+	BytesWritten   int64
+	WriteFailures  int64
+}
+
+// Errors returned by device operations.
+var (
+	ErrOutOfRange     = errors.New("flash: address out of range")
+	ErrWriteTwice     = errors.New("flash: wblock already programmed since last erase")
+	ErrWriteOrder     = errors.New("flash: wblocks must be programmed sequentially within an eblock")
+	ErrWriteFailed    = errors.New("flash: program operation failed")
+	ErrEBlockDisabled = errors.New("flash: eblock unwritable after earlier program failure; erase first")
+	ErrBadBlock       = errors.New("flash: eblock has exceeded its erase limit")
+	ErrDataTooLarge   = errors.New("flash: data larger than a wblock")
+)
+
+type eblockState struct {
+	wblocks    [][]byte // nil entry = erased/unwritten; allocated lazily
+	nextWBlock int      // next sequential program position
+	eraseCount int
+	failed     bool // a program failed; block unwritable until erase
+	bad        bool // exceeded erase limit
+}
+
+type channelState struct {
+	eblocks []eblockState
+	busy    time.Duration // accumulated virtual time
+}
+
+// Device is the simulated flash array. All methods are safe for concurrent
+// use.
+type Device struct {
+	mu       sync.Mutex
+	geo      Geometry
+	lat      Latency
+	channels []channelState
+	stats    Stats
+
+	failNext map[[3]int]bool // explicit one-shot program failures
+	failProb float64
+	rng      *rand.Rand
+}
+
+// NewDevice creates a device with the given geometry and latency model.
+func NewDevice(geo Geometry, lat Latency) (*Device, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		geo:      geo,
+		lat:      lat,
+		channels: make([]channelState, geo.Channels),
+		failNext: make(map[[3]int]bool),
+		rng:      rand.New(rand.NewSource(42)),
+	}
+	for i := range d.channels {
+		d.channels[i].eblocks = make([]eblockState, geo.EBlocksPerChannel)
+		for j := range d.channels[i].eblocks {
+			d.channels[i].eblocks[j].wblocks = make([][]byte, geo.WBlocksPerEBlock())
+		}
+	}
+	return d, nil
+}
+
+// MustNewDevice is NewDevice that panics on error; for tests and examples.
+func MustNewDevice(geo Geometry, lat Latency) *Device {
+	d, err := NewDevice(geo, lat)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+func (d *Device) checkAddr(ch, eb int) error {
+	if ch < 0 || ch >= d.geo.Channels || eb < 0 || eb >= d.geo.EBlocksPerChannel {
+		return fmt.Errorf("%w: ch=%d eb=%d", ErrOutOfRange, ch, eb)
+	}
+	return nil
+}
+
+// FailNextProgram arranges for the next program of the given WBLOCK to
+// fail. Used by tests and fault-injection benchmarks.
+func (d *Device) FailNextProgram(ch, eb, wb int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failNext[[3]int{ch, eb, wb}] = true
+}
+
+// SetFailureProbability makes every program fail independently with
+// probability p, using the device's seeded RNG (deterministic runs).
+func (d *Device) SetFailureProbability(p float64, seed int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failProb = p
+	d.rng = rand.New(rand.NewSource(seed))
+}
+
+// Program writes data into a WBLOCK. len(data) must not exceed the WBLOCK
+// size; shorter data is implicitly zero-padded on read. Programs within an
+// EBLOCK must be issued at strictly increasing WBLOCK indices.
+func (d *Device) Program(ch, eb, wb int, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkAddr(ch, eb); err != nil {
+		return err
+	}
+	if wb < 0 || wb >= d.geo.WBlocksPerEBlock() {
+		return fmt.Errorf("%w: wb=%d", ErrOutOfRange, wb)
+	}
+	if len(data) > d.geo.WBlockBytes {
+		return fmt.Errorf("%w: %d > %d", ErrDataTooLarge, len(data), d.geo.WBlockBytes)
+	}
+	ebs := &d.channels[ch].eblocks[eb]
+	if ebs.bad {
+		return fmt.Errorf("%w: ch=%d eb=%d", ErrBadBlock, ch, eb)
+	}
+	if ebs.failed {
+		return fmt.Errorf("%w: ch=%d eb=%d", ErrEBlockDisabled, ch, eb)
+	}
+	if ebs.wblocks[wb] != nil {
+		return fmt.Errorf("%w: ch=%d eb=%d wb=%d", ErrWriteTwice, ch, eb, wb)
+	}
+	if wb != ebs.nextWBlock {
+		return fmt.Errorf("%w: ch=%d eb=%d wb=%d (next=%d)", ErrWriteOrder, ch, eb, wb, ebs.nextWBlock)
+	}
+	// Programming consumes time whether or not it succeeds.
+	d.channels[ch].busy += d.lat.ProgramWBlock
+	key := [3]int{ch, eb, wb}
+	fail := d.failNext[key]
+	if fail {
+		delete(d.failNext, key)
+	} else if d.failProb > 0 && d.rng.Float64() < d.failProb {
+		fail = true
+	}
+	if fail {
+		ebs.failed = true
+		d.stats.WriteFailures++
+		return fmt.Errorf("%w: ch=%d eb=%d wb=%d", ErrWriteFailed, ch, eb, wb)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	ebs.wblocks[wb] = buf
+	ebs.nextWBlock = wb + 1
+	d.stats.WBlocksWritten++
+	d.stats.BytesWritten += int64(d.geo.WBlockBytes)
+	return nil
+}
+
+// ReadRBlocks reads n consecutive RBLOCKs starting at RBLOCK index start
+// within the EBLOCK (RBLOCK indices run across WBLOCK boundaries).
+// Unwritten regions read as zeroes.
+func (d *Device) ReadRBlocks(ch, eb, start, n int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkAddr(ch, eb); err != nil {
+		return nil, err
+	}
+	if n <= 0 || start < 0 || start+n > d.geo.RBlocksPerEBlock() {
+		return nil, fmt.Errorf("%w: rblocks [%d,%d)", ErrOutOfRange, start, start+n)
+	}
+	out := make([]byte, n*d.geo.RBlockBytes)
+	rPerW := d.geo.RBlocksPerWBlock()
+	for i := 0; i < n; i++ {
+		r := start + i
+		wb, rInW := r/rPerW, r%rPerW
+		src := d.channels[ch].eblocks[eb].wblocks[wb]
+		if src == nil {
+			continue // erased: zeroes
+		}
+		lo := rInW * d.geo.RBlockBytes
+		if lo < len(src) {
+			hi := lo + d.geo.RBlockBytes
+			if hi > len(src) {
+				hi = len(src)
+			}
+			copy(out[i*d.geo.RBlockBytes:], src[lo:hi])
+		}
+	}
+	d.channels[ch].busy += time.Duration(n) * d.lat.ReadRBlock
+	d.stats.RBlocksRead += int64(n)
+	d.stats.BytesRead += int64(n * d.geo.RBlockBytes)
+	return out, nil
+}
+
+// ReadExtent reads an arbitrary byte extent [off, off+length) within an
+// EBLOCK by reading the covering RBLOCKs and slicing out the extent —
+// exactly the paper's §V read path. It returns the extent bytes along with
+// the number of RBLOCKs transferred (for amplification accounting).
+func (d *Device) ReadExtent(ch, eb, off, length int) ([]byte, int, error) {
+	if length <= 0 || off < 0 || off+length > d.geo.EBlockBytes {
+		return nil, 0, fmt.Errorf("%w: extent [%d,%d)", ErrOutOfRange, off, off+length)
+	}
+	first := off / d.geo.RBlockBytes
+	last := (off + length - 1) / d.geo.RBlockBytes
+	n := last - first + 1
+	raw, err := d.ReadRBlocks(ch, eb, first, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	lo := off - first*d.geo.RBlockBytes
+	return raw[lo : lo+length], n, nil
+}
+
+// IsWritten reports whether a WBLOCK has been programmed since its last
+// erase. Recovery uses this to fix up open-EBLOCK write positions
+// (§VIII-C3).
+func (d *Device) IsWritten(ch, eb, wb int) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkAddr(ch, eb); err != nil {
+		return false, err
+	}
+	if wb < 0 || wb >= d.geo.WBlocksPerEBlock() {
+		return false, fmt.Errorf("%w: wb=%d", ErrOutOfRange, wb)
+	}
+	return d.channels[ch].eblocks[eb].wblocks[wb] != nil, nil
+}
+
+// Erase erases an EBLOCK, making all its WBLOCKs writable again. It fails
+// with ErrBadBlock once the erase limit is exceeded.
+func (d *Device) Erase(ch, eb int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkAddr(ch, eb); err != nil {
+		return err
+	}
+	ebs := &d.channels[ch].eblocks[eb]
+	if ebs.bad {
+		return fmt.Errorf("%w: ch=%d eb=%d", ErrBadBlock, ch, eb)
+	}
+	ebs.eraseCount++
+	if d.geo.EraseLimit > 0 && ebs.eraseCount > d.geo.EraseLimit {
+		ebs.bad = true
+		return fmt.Errorf("%w: ch=%d eb=%d after %d erases", ErrBadBlock, ch, eb, ebs.eraseCount)
+	}
+	for i := range ebs.wblocks {
+		ebs.wblocks[i] = nil
+	}
+	ebs.nextWBlock = 0
+	ebs.failed = false
+	d.channels[ch].busy += d.lat.EraseEBlock
+	d.stats.EBlocksErased++
+	return nil
+}
+
+// EraseCount returns how many times an EBLOCK has been erased.
+func (d *Device) EraseCount(ch, eb int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkAddr(ch, eb); err != nil {
+		return 0, err
+	}
+	return d.channels[ch].eblocks[eb].eraseCount, nil
+}
+
+// IsBad reports whether an EBLOCK has exceeded its erase limit.
+func (d *Device) IsBad(ch, eb int) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkAddr(ch, eb); err != nil {
+		return false, err
+	}
+	return d.channels[ch].eblocks[eb].bad, nil
+}
+
+// NextProgramPosition returns the next sequential WBLOCK index that a
+// program to the EBLOCK must target.
+func (d *Device) NextProgramPosition(ch, eb int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkAddr(ch, eb); err != nil {
+		return 0, err
+	}
+	return d.channels[ch].eblocks[eb].nextWBlock, nil
+}
+
+// Stats returns a snapshot of the operation counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the operation counters (virtual time is separate).
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// ChannelTime returns the accumulated virtual busy time of one channel.
+func (d *Device) ChannelTime(ch int) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ch < 0 || ch >= d.geo.Channels {
+		return 0
+	}
+	return d.channels[ch].busy
+}
+
+// MediaTime returns the virtual elapsed media time of the workload so far:
+// the busiest channel's accumulated time (channels run in parallel).
+func (d *Device) MediaTime() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var max time.Duration
+	for i := range d.channels {
+		if d.channels[i].busy > max {
+			max = d.channels[i].busy
+		}
+	}
+	return max
+}
+
+// ResetTime zeroes all channels' virtual busy time.
+func (d *Device) ResetTime() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.channels {
+		d.channels[i].busy = 0
+	}
+}

@@ -1,0 +1,378 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func testDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(SmallGeometry(), Latency{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGeometryValidate(t *testing.T) {
+	good := []Geometry{DefaultGeometry(), SmallGeometry()}
+	for _, g := range good {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%+v should validate: %v", g, err)
+		}
+	}
+	bad := []Geometry{
+		{},
+		{Channels: 1},
+		{Channels: 1, EBlocksPerChannel: 1, RBlockBytes: 100, WBlockBytes: 400, EBlockBytes: 800},
+		{Channels: 1, EBlocksPerChannel: 1, RBlockBytes: 4096, WBlockBytes: 4000, EBlockBytes: 8000},
+		{Channels: 1, EBlocksPerChannel: 1, RBlockBytes: 4096, WBlockBytes: 8192, EBlockBytes: 10000},
+		{Channels: 1, EBlocksPerChannel: 1, RBlockBytes: 4096, WBlockBytes: 8192, EBlockBytes: 16384, EraseLimit: -1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad geometry %d validated", i)
+		}
+	}
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := SmallGeometry()
+	if g.WBlocksPerEBlock() != 16 {
+		t.Fatalf("WBlocksPerEBlock = %d", g.WBlocksPerEBlock())
+	}
+	if g.RBlocksPerWBlock() != 4 {
+		t.Fatalf("RBlocksPerWBlock = %d", g.RBlocksPerWBlock())
+	}
+	if g.RBlocksPerEBlock() != 64 {
+		t.Fatalf("RBlocksPerEBlock = %d", g.RBlocksPerEBlock())
+	}
+	want := int64(4) * 16 * (256 << 10)
+	if g.CapacityBytes() != want {
+		t.Fatalf("CapacityBytes = %d, want %d", g.CapacityBytes(), want)
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	d := testDevice(t)
+	data := bytes.Repeat([]byte{0xAB}, d.Geometry().WBlockBytes)
+	if err := d.Program(1, 2, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadRBlocks(1, 2, 0, d.Geometry().RBlocksPerWBlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read data differs from programmed data")
+	}
+}
+
+func TestProgramShortDataZeroPadded(t *testing.T) {
+	d := testDevice(t)
+	if err := d.Program(0, 1, 0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadRBlocks(0, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 0 {
+		t.Fatalf("unexpected prefix %v", got[:4])
+	}
+	for _, b := range got[3:] {
+		if b != 0 {
+			t.Fatal("padding not zero")
+		}
+	}
+}
+
+func TestEraseBeforeWriteEnforced(t *testing.T) {
+	d := testDevice(t)
+	if err := d.Program(0, 0, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Program(0, 0, 0, []byte{2})
+	if !errors.Is(err, ErrWriteTwice) {
+		t.Fatalf("expected ErrWriteTwice, got %v", err)
+	}
+	if err := d.Erase(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(0, 0, 0, []byte{2}); err != nil {
+		t.Fatalf("program after erase: %v", err)
+	}
+}
+
+func TestSequentialProgramOrder(t *testing.T) {
+	d := testDevice(t)
+	err := d.Program(0, 0, 1, []byte{1})
+	if !errors.Is(err, ErrWriteOrder) {
+		t.Fatalf("expected ErrWriteOrder, got %v", err)
+	}
+	for wb := 0; wb < 3; wb++ {
+		if err := d.Program(0, 0, wb, []byte{byte(wb)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	np, _ := d.NextProgramPosition(0, 0)
+	if np != 3 {
+		t.Fatalf("NextProgramPosition = %d", np)
+	}
+}
+
+func TestReadSpansWBlocks(t *testing.T) {
+	d := testDevice(t)
+	g := d.Geometry()
+	a := bytes.Repeat([]byte{0x11}, g.WBlockBytes)
+	b := bytes.Repeat([]byte{0x22}, g.WBlockBytes)
+	if err := d.Program(2, 3, 0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(2, 3, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	// Read the last RBLOCK of wblock 0 and the first of wblock 1.
+	start := g.RBlocksPerWBlock() - 1
+	got, err := d.ReadRBlocks(2, 3, start, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x11 || got[g.RBlockBytes] != 0x22 {
+		t.Fatal("cross-wblock read wrong")
+	}
+}
+
+func TestReadExtent(t *testing.T) {
+	d := testDevice(t)
+	g := d.Geometry()
+	data := make([]byte, g.WBlockBytes)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if err := d.Program(0, 5, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// An extent crossing an RBLOCK boundary.
+	off, length := g.RBlockBytes-100, 300
+	got, nR, err := d.ReadExtent(0, 5, off, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[off:off+length]) {
+		t.Fatal("extent content wrong")
+	}
+	if nR != 2 {
+		t.Fatalf("expected 2 rblocks transferred, got %d", nR)
+	}
+	if _, _, err := d.ReadExtent(0, 5, g.EBlockBytes-10, 20); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestExplicitWriteFailureDisablesEBlock(t *testing.T) {
+	d := testDevice(t)
+	d.FailNextProgram(1, 1, 1)
+	if err := d.Program(1, 1, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Program(1, 1, 1, []byte{2})
+	if !errors.Is(err, ErrWriteFailed) {
+		t.Fatalf("expected ErrWriteFailed, got %v", err)
+	}
+	// Subsequent WBLOCKs of the same EBLOCK cannot be written (§VII).
+	err = d.Program(1, 1, 2, []byte{3})
+	if !errors.Is(err, ErrEBlockDisabled) {
+		t.Fatalf("expected ErrEBlockDisabled, got %v", err)
+	}
+	// Prior data remains readable.
+	got, err := d.ReadRBlocks(1, 1, 0, 1)
+	if err != nil || got[0] != 1 {
+		t.Fatalf("prior data unreadable: %v %v", got[:1], err)
+	}
+	// Erase restores writability.
+	if err := d.Erase(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(1, 1, 0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().WriteFailures != 1 {
+		t.Fatalf("WriteFailures = %d", d.Stats().WriteFailures)
+	}
+}
+
+func TestProbabilisticFailuresDeterministic(t *testing.T) {
+	run := func() int64 {
+		d := testDevice(t)
+		d.SetFailureProbability(0.3, 7)
+		for eb := 0; eb < 8; eb++ {
+			for wb := 0; wb < 4; wb++ {
+				_ = d.Program(0, eb, wb, []byte{1})
+			}
+		}
+		return d.Stats().WriteFailures
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic failures: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("expected some failures at p=0.3")
+	}
+}
+
+func TestEraseLimit(t *testing.T) {
+	g := SmallGeometry()
+	g.EraseLimit = 2
+	d := MustNewDevice(g, Latency{})
+	if err := d.Erase(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Erase(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Erase(0, 0)
+	if !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("expected ErrBadBlock, got %v", err)
+	}
+	bad, _ := d.IsBad(0, 0)
+	if !bad {
+		t.Fatal("block should be bad")
+	}
+	if err := d.Program(0, 0, 0, []byte{1}); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("program to bad block: %v", err)
+	}
+	n, _ := d.EraseCount(0, 0)
+	if n != 3 {
+		t.Fatalf("EraseCount = %d", n)
+	}
+}
+
+func TestIsWritten(t *testing.T) {
+	d := testDevice(t)
+	w, err := d.IsWritten(0, 0, 0)
+	if err != nil || w {
+		t.Fatal("fresh wblock should be unwritten")
+	}
+	if err := d.Program(0, 0, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	w, _ = d.IsWritten(0, 0, 0)
+	if !w {
+		t.Fatal("wblock should be written")
+	}
+	if err := d.Erase(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	w, _ = d.IsWritten(0, 0, 0)
+	if w {
+		t.Fatal("erased wblock should be unwritten")
+	}
+}
+
+func TestVirtualTimeAccounting(t *testing.T) {
+	lat := Latency{
+		ReadRBlock:    10 * time.Microsecond,
+		ProgramWBlock: 100 * time.Microsecond,
+		EraseEBlock:   time.Millisecond,
+	}
+	d := MustNewDevice(SmallGeometry(), lat)
+	if err := d.Program(0, 0, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(1, 0, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadRBlocks(0, 0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Erase(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ChannelTime(0); got != 130*time.Microsecond {
+		t.Fatalf("channel 0 time = %v", got)
+	}
+	if got := d.ChannelTime(1); got != 100*time.Microsecond {
+		t.Fatalf("channel 1 time = %v", got)
+	}
+	if got := d.MediaTime(); got != time.Millisecond {
+		t.Fatalf("media time = %v (erase channel should dominate)", got)
+	}
+	d.ResetTime()
+	if d.MediaTime() != 0 {
+		t.Fatal("ResetTime did not zero")
+	}
+}
+
+func TestFailedProgramStillConsumesTime(t *testing.T) {
+	lat := Latency{ProgramWBlock: 50 * time.Microsecond}
+	d := MustNewDevice(SmallGeometry(), lat)
+	d.FailNextProgram(0, 0, 0)
+	if err := d.Program(0, 0, 0, []byte{1}); !errors.Is(err, ErrWriteFailed) {
+		t.Fatal("expected failure")
+	}
+	if d.ChannelTime(0) != 50*time.Microsecond {
+		t.Fatal("failed program should consume program time")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := testDevice(t)
+	g := d.Geometry()
+	_ = d.Program(0, 0, 0, make([]byte, 100))
+	_, _ = d.ReadRBlocks(0, 0, 0, 2)
+	_ = d.Erase(3, 3)
+	s := d.Stats()
+	if s.WBlocksWritten != 1 || s.RBlocksRead != 2 || s.EBlocksErased != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.BytesWritten != int64(g.WBlockBytes) || s.BytesRead != int64(2*g.RBlockBytes) {
+		t.Fatalf("byte stats: %+v", s)
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not zero")
+	}
+}
+
+func TestOutOfRangeErrors(t *testing.T) {
+	d := testDevice(t)
+	g := d.Geometry()
+	if err := d.Program(g.Channels, 0, 0, nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("channel range not enforced")
+	}
+	if err := d.Program(0, g.EBlocksPerChannel, 0, nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("eblock range not enforced")
+	}
+	if err := d.Program(0, 0, g.WBlocksPerEBlock(), nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("wblock range not enforced")
+	}
+	if err := d.Program(0, 0, 0, make([]byte, g.WBlockBytes+1)); !errors.Is(err, ErrDataTooLarge) {
+		t.Fatal("oversized data not rejected")
+	}
+	if _, err := d.ReadRBlocks(0, 0, 0, g.RBlocksPerEBlock()+1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("read range not enforced")
+	}
+	if _, err := d.ReadRBlocks(0, 0, 0, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("zero-length read not rejected")
+	}
+	if err := d.Erase(-1, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("erase range not enforced")
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	d := testDevice(t)
+	got, err := d.ReadRBlocks(3, 7, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten flash should read zero")
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package flash
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Device images let tools persist a simulated device across process runs
+// (cmd/eleosctl). The format stores the geometry, per-EBLOCK wear state,
+// and only the programmed WBLOCKs (sparse).
+
+const (
+	imageMagic   = 0x464C4153 // "FLAS"
+	imageVersion = 1
+)
+
+// ErrBadImage reports a corrupt or incompatible device image.
+var ErrBadImage = errors.New("flash: bad device image")
+
+// WriteTo serialises the device state.
+func (d *Device) WriteTo(w io.Writer) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v uint64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		m, err := bw.Write(b[:])
+		n += int64(m)
+		return err
+	}
+	hdr := []uint64{
+		imageMagic, imageVersion,
+		uint64(d.geo.Channels), uint64(d.geo.EBlocksPerChannel),
+		uint64(d.geo.EBlockBytes), uint64(d.geo.WBlockBytes),
+		uint64(d.geo.RBlockBytes), uint64(d.geo.EraseLimit),
+	}
+	for _, v := range hdr {
+		if err := put(v); err != nil {
+			return n, err
+		}
+	}
+	for ch := range d.channels {
+		for eb := range d.channels[ch].eblocks {
+			ebs := &d.channels[ch].eblocks[eb]
+			flags := uint64(0)
+			if ebs.failed {
+				flags |= 1
+			}
+			if ebs.bad {
+				flags |= 2
+			}
+			meta := []uint64{uint64(ebs.eraseCount), uint64(ebs.nextWBlock), flags}
+			for _, v := range meta {
+				if err := put(v); err != nil {
+					return n, err
+				}
+			}
+			written := uint64(0)
+			for wb, data := range ebs.wblocks {
+				if data != nil {
+					written |= 1 << uint(wb)
+				}
+			}
+			if d.geo.WBlocksPerEBlock() > 64 {
+				return n, fmt.Errorf("flash: image format supports at most 64 wblocks per eblock")
+			}
+			if err := put(written); err != nil {
+				return n, err
+			}
+			for _, data := range ebs.wblocks {
+				if data == nil {
+					continue
+				}
+				if err := put(uint64(len(data))); err != nil {
+					return n, err
+				}
+				m, err := bw.Write(data)
+				n += int64(m)
+				if err != nil {
+					return n, err
+				}
+				if err := put(uint64(crc32.ChecksumIEEE(data))); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadDevice deserialises a device image written by WriteTo.
+func ReadDevice(r io.Reader, lat Latency) (*Device, error) {
+	br := bufio.NewReader(r)
+	get := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadImage, err)
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	hdr := make([]uint64, 8)
+	for i := range hdr {
+		v, err := get()
+		if err != nil {
+			return nil, err
+		}
+		hdr[i] = v
+	}
+	if hdr[0] != imageMagic || hdr[1] != imageVersion {
+		return nil, fmt.Errorf("%w: magic/version", ErrBadImage)
+	}
+	geo := Geometry{
+		Channels:          int(hdr[2]),
+		EBlocksPerChannel: int(hdr[3]),
+		EBlockBytes:       int(hdr[4]),
+		WBlockBytes:       int(hdr[5]),
+		RBlockBytes:       int(hdr[6]),
+		EraseLimit:        int(hdr[7]),
+	}
+	d, err := NewDevice(geo, lat)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	for ch := range d.channels {
+		for eb := range d.channels[ch].eblocks {
+			ebs := &d.channels[ch].eblocks[eb]
+			ec, err := get()
+			if err != nil {
+				return nil, err
+			}
+			next, err := get()
+			if err != nil {
+				return nil, err
+			}
+			flags, err := get()
+			if err != nil {
+				return nil, err
+			}
+			ebs.eraseCount = int(ec)
+			ebs.nextWBlock = int(next)
+			ebs.failed = flags&1 != 0
+			ebs.bad = flags&2 != 0
+			written, err := get()
+			if err != nil {
+				return nil, err
+			}
+			for wb := 0; wb < geo.WBlocksPerEBlock(); wb++ {
+				if written&(1<<uint(wb)) == 0 {
+					continue
+				}
+				length, err := get()
+				if err != nil {
+					return nil, err
+				}
+				if length > uint64(geo.WBlockBytes) {
+					return nil, fmt.Errorf("%w: wblock length %d", ErrBadImage, length)
+				}
+				data := make([]byte, length)
+				if _, err := io.ReadFull(br, data); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+				}
+				crc, err := get()
+				if err != nil {
+					return nil, err
+				}
+				if crc32.ChecksumIEEE(data) != uint32(crc) {
+					return nil, fmt.Errorf("%w: wblock checksum", ErrBadImage)
+				}
+				ebs.wblocks[wb] = data
+			}
+		}
+	}
+	return d, nil
+}
+
+// SaveFile writes the device image to path.
+func (d *Device) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := d.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a device image from path.
+func LoadFile(path string, lat Latency) (*Device, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDevice(f, lat)
+}

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"eleos/internal/core"
+)
+
+func TestGCAblationRuns(t *testing.T) {
+	results := map[core.GCPolicy]*GCAblationResult{}
+	for _, p := range []core.GCPolicy{core.GCMinCostDecline, core.GCGreedy, core.GCOldest} {
+		res, err := RunGCAblation(GCAblationOptions{Policy: p, GCBuckets: 3, Batches: 900, Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.WriteAmp < 1 {
+			t.Fatalf("%v: write amp %.2f below 1", p, res.WriteAmp)
+		}
+		if res.EBlocksFreed == 0 {
+			t.Fatalf("%v: GC never freed anything", p)
+		}
+		results[p] = res
+	}
+	// The paper's argument (§VI-A): min-cost-decline should not move more
+	// data than oldest-first on a skewed workload.
+	mcd, old := results[core.GCMinCostDecline], results[core.GCOldest]
+	if mcd.GCBytesMoved > old.GCBytesMoved*3/2 {
+		t.Fatalf("min-cost-decline moved %d bytes, oldest %d — policy not paying off",
+			mcd.GCBytesMoved, old.GCBytesMoved)
+	}
+	var buf bytes.Buffer
+	if err := PrintGCAblation(&buf, 900, 5); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty ablation output")
+	}
+}

@@ -1,0 +1,288 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"eleos/internal/costmodel"
+	"eleos/internal/flash"
+	"eleos/internal/nvme"
+	"eleos/internal/tpcc"
+)
+
+// Scale sizes the experiments. The paper ran server-scale (100 GB trace,
+// 10 M records); the default here is laptop-scale with the same shape.
+type Scale struct {
+	TPCCTransactions int
+	YCSBRecords      uint64
+	YCSBOps          int
+	BufferSizes      []int // Fig. 9 x-axis
+	CachePcts        []int // Fig. 10(a) x-axis
+}
+
+// DefaultScale returns a scale that completes each experiment in seconds.
+func DefaultScale() Scale {
+	return Scale{
+		TPCCTransactions: 2000,
+		YCSBRecords:      60_000,
+		YCSBOps:          60_000,
+		BufferSizes:      []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20},
+		CachePcts:        []int{10, 25, 50, 75, 100},
+	}
+}
+
+// Fig9Row is one buffer size's three-interface comparison.
+type Fig9Row struct {
+	BufferBytes int
+	Results     map[Interface]*ReplayResult
+}
+
+// RunFig9 regenerates Fig. 9: TPC-C write throughput by write-buffer size
+// on the STT100 profile with realistic NAND latency.
+func RunFig9(tr *tpcc.Trace, bufferSizes []int) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	lat := flash.TypicalNANDLatency()
+	for _, size := range bufferSizes {
+		row := Fig9Row{BufferBytes: size, Results: map[Interface]*ReplayResult{}}
+		for _, iface := range Interfaces {
+			res, err := ReplayTPCC(ReplayOptions{
+				Trace: tr, Interface: iface, BufferBytes: size,
+				Profile: nvme.STT100(), Latency: lat,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %v/%d: %w", iface, size, err)
+			}
+			row.Results[iface] = res
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig9 renders the figure as a table.
+func PrintFig9(w io.Writer, tr *tpcc.Trace, rows []Fig9Row) {
+	fmt.Fprintf(w, "Fig. 9 — TPC-C write throughput (pages/sec), varying the batch write-buffer size\n")
+	fmt.Fprintf(w, "trace: %d page writes, avg %.0f B compressed (paper: 1.91 KB)\n\n", len(tr.Writes), tr.AvgSize())
+	fmt.Fprintf(w, "%12s %14s %14s %14s %10s %10s\n", "buffer", "Block", "Batch(FP)", "Batch(VP)", "VP/FP", "VP/Block")
+	for _, r := range rows {
+		b, fp, vp := r.Results[Block], r.Results[BatchFP], r.Results[BatchVP]
+		fmt.Fprintf(w, "%12s %14.0f %14.0f %14.0f %9.2fx %9.2fx\n",
+			fmtBytes(r.BufferBytes), b.PagesPerSec, fp.PagesPerSec, vp.PagesPerSec,
+			ratio(vp.PagesPerSec, fp.PagesPerSec), ratio(vp.PagesPerSec, b.PagesPerSec))
+	}
+}
+
+// Table2Result bundles the three interfaces under the high-end profile.
+type Table2Result struct {
+	Results map[Interface]*ReplayResult
+}
+
+// RunTable2 regenerates Table II: the same replay with a 1 MB buffer on
+// the high-end-CPU simulator profile (zero-latency media moves the
+// bottleneck to the CPU, as in the paper).
+func RunTable2(tr *tpcc.Trace) (*Table2Result, error) {
+	out := &Table2Result{Results: map[Interface]*ReplayResult{}}
+	for _, iface := range Interfaces {
+		res, err := ReplayTPCC(ReplayOptions{
+			Trace: tr, Interface: iface, BufferBytes: 1 << 20,
+			Profile: nvme.HighEnd(), Latency: flash.Latency{},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table2 %v: %w", iface, err)
+		}
+		out.Results[iface] = res
+	}
+	return out, nil
+}
+
+// PrintTable2 renders the table with the paper's reference numbers.
+func PrintTable2(w io.Writer, t *Table2Result) {
+	fmt.Fprintf(w, "Table II — TPC-C write throughput, programmable-SSD simulator with a high-end CPU (1 MB buffer)\n\n")
+	fmt.Fprintf(w, "%-28s %12s %14s %14s\n", "", "Block", "Batch(FP)", "Batch(VP)")
+	b, fp, vp := t.Results[Block], t.Results[BatchFP], t.Results[BatchVP]
+	fmt.Fprintf(w, "%-28s %12.2fK %13.2fK %13.2fK\n", "Write Throughput (pages/s)",
+		b.PagesPerSec/1000, fp.PagesPerSec/1000, vp.PagesPerSec/1000)
+	fmt.Fprintf(w, "%-28s %12.1f %14.1f %14.1f\n", "Write Bandwidth (MB/s)", b.MBPerSec, fp.MBPerSec, vp.MBPerSec)
+	fmt.Fprintf(w, "%-28s %12s %14s %14s\n", "Bottleneck", b.Bottleneck, fp.Bottleneck, vp.Bottleneck)
+	fmt.Fprintf(w, "\npaper reference:            %12s %14s %14s\n", "52.73K", "255.03K", "447.79K")
+	fmt.Fprintf(w, "paper bandwidth (MB/s):     %12s %14s %14s\n", "206.17", "1015.86", "992.39")
+	fmt.Fprintf(w, "measured Batch(VP)/Block pages ratio: %.1fx (paper: 8.5x)\n", ratio(vp.PagesPerSec, b.PagesPerSec))
+}
+
+// Fig10Row is one cache size's three-interface comparison.
+type Fig10Row struct {
+	CachePct int
+	Results  map[Interface]*YCSBResult
+}
+
+// RunFig10a regenerates Fig. 10(a): Bw-tree YCSB throughput by cache size,
+// GC and checkpointing quiet.
+func RunFig10a(records uint64, ops int, cachePcts []int) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, pct := range cachePcts {
+		row := Fig10Row{CachePct: pct, Results: map[Interface]*YCSBResult{}}
+		for _, iface := range Interfaces {
+			res, err := RunYCSB(YCSBOptions{
+				Interface: iface, Records: records, Ops: ops, CachePct: pct,
+				Profile: nvme.STT100(), Latency: flash.TypicalNANDLatency(), Seed: 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig10a %v/%d%%: %w", iface, pct, err)
+			}
+			row.Results[iface] = res
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig10a renders the figure.
+func PrintFig10a(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintf(w, "Fig. 10(a) — Bw-tree YCSB throughput (ops/sec) with a 1 MB write buffer, varying cache size\n\n")
+	fmt.Fprintf(w, "%8s %12s %12s %12s %12s\n", "cache", "Block", "Batch(FP)", "Batch(VP)", "Batch/Block")
+	for _, r := range rows {
+		b, fp, vp := r.Results[Block], r.Results[BatchFP], r.Results[BatchVP]
+		fmt.Fprintf(w, "%7d%% %12.0f %12.0f %12.0f %11.2fx\n",
+			r.CachePct, b.OpsPerSec, fp.OpsPerSec, vp.OpsPerSec, ratio(vp.OpsPerSec, b.OpsPerSec))
+	}
+	fmt.Fprintf(w, "\npaper: Batch outperformed Block by 1.12–1.97x; VP tracks FP ops/sec\n")
+}
+
+// PrintFig10b renders total data written from the Fig. 10(a) runs.
+func PrintFig10b(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintf(w, "Fig. 10(b) — total data written to the SSD during the runs (MB)\n\n")
+	fmt.Fprintf(w, "%8s %12s %12s %12s %14s\n", "cache", "Block", "Batch(FP)", "Batch(VP)", "VP saving vs FP")
+	for _, r := range rows {
+		b, fp, vp := r.Results[Block], r.Results[BatchFP], r.Results[BatchVP]
+		save := 0.0
+		if fp.BytesWritten > 0 {
+			save = 100 * (1 - float64(vp.BytesWritten)/float64(fp.BytesWritten))
+		}
+		fmt.Fprintf(w, "%7d%% %12.1f %12.1f %12.1f %13.1f%%\n",
+			r.CachePct, mb(b.BytesWritten), mb(fp.BytesWritten), mb(vp.BytesWritten), save)
+	}
+	fmt.Fprintf(w, "\npaper: VP reduces data written by about 30%% versus FP\n")
+}
+
+// Fig10cResult holds GC-on/off pairs at the 10%% cache point.
+type Fig10cResult struct {
+	Off map[Interface]*YCSBResult
+	On  map[Interface]*YCSBResult
+}
+
+// RunFig10c regenerates Fig. 10(c): throughput with GC enabled at 10%
+// cache, against the GC-off baseline.
+func RunFig10c(records uint64, ops int) (*Fig10cResult, error) {
+	out := &Fig10cResult{Off: map[Interface]*YCSBResult{}, On: map[Interface]*YCSBResult{}}
+	for _, iface := range Interfaces {
+		for _, gc := range []bool{false, true} {
+			res, err := RunYCSB(YCSBOptions{
+				Interface: iface, Records: records, Ops: ops, CachePct: 10,
+				Profile: nvme.STT100(), Latency: flash.TypicalNANDLatency(),
+				GCEnabled: gc, Seed: 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig10c %v gc=%v: %w", iface, gc, err)
+			}
+			if gc {
+				out.On[iface] = res
+			} else {
+				out.Off[iface] = res
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintFig10c renders the figure.
+func PrintFig10c(w io.Writer, r *Fig10cResult) {
+	fmt.Fprintf(w, "Fig. 10(c) — Bw-tree YCSB throughput with garbage collection, 10%% cache\n\n")
+	fmt.Fprintf(w, "%-12s %14s %14s %10s %12s\n", "interface", "GC off (ops/s)", "GC on (ops/s)", "decline", "GC moves")
+	for _, iface := range Interfaces {
+		off, on := r.Off[iface], r.On[iface]
+		decl := 0.0
+		if off.OpsPerSec > 0 {
+			decl = 100 * (1 - on.OpsPerSec/off.OpsPerSec)
+		}
+		fmt.Fprintf(w, "%-12s %14.0f %14.0f %9.1f%% %12d\n", iface, off.OpsPerSec, on.OpsPerSec, decl, on.GCWork)
+	}
+	fmt.Fprintf(w, "\npaper: Batch(VP) declined ~5.2%%, Block ~42.3%%\n")
+}
+
+// RunReadHeavy runs the 95%-read mix the paper omitted (footnote 2) at
+// the given cache sizes — an extension experiment. Batching only helps the
+// write path (§IX-A3), so the gap between interfaces should shrink versus
+// the write-heavy Fig. 10(a).
+func RunReadHeavy(records uint64, ops int, cachePcts []int) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, pct := range cachePcts {
+		row := Fig10Row{CachePct: pct, Results: map[Interface]*YCSBResult{}}
+		for _, iface := range Interfaces {
+			res, err := RunYCSB(YCSBOptions{
+				Interface: iface, Records: records, Ops: ops, CachePct: pct,
+				Profile: nvme.STT100(), Latency: flash.TypicalNANDLatency(),
+				ReadHeavy: true, Seed: 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("readheavy %v/%d%%: %w", iface, pct, err)
+			}
+			row.Results[iface] = res
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintReadHeavy renders the extension experiment.
+func PrintReadHeavy(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintf(w, "Extension — read-heavy YCSB (95%% reads; the mix the paper omitted, footnote 2)\n\n")
+	fmt.Fprintf(w, "%8s %12s %12s %12s %12s\n", "cache", "Block", "Batch(FP)", "Batch(VP)", "Batch/Block")
+	for _, r := range rows {
+		b, fp, vp := r.Results[Block], r.Results[BatchFP], r.Results[BatchVP]
+		fmt.Fprintf(w, "%7d%% %12.0f %12.0f %12.0f %11.2fx\n",
+			r.CachePct, b.OpsPerSec, fp.OpsPerSec, vp.OpsPerSec, ratio(vp.OpsPerSec, b.OpsPerSec))
+	}
+	fmt.Fprintf(w, "\nbatching helps only the write path, so the advantage narrows under reads\n")
+}
+
+// RunFig1 produces the three cost/performance curves of Fig. 1(c).
+func RunFig1() (mem, ssd, reduced []costmodel.Point, crossConventional, crossReduced float64) {
+	p := costmodel.DefaultParams()
+	rates := []float64{1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7}
+	mem, ssd, reduced = p.Series(1000, rates, 4)
+	crossConventional, _ = p.Crossover(1000, 1, 1e10, 1)
+	crossReduced, _ = p.Crossover(1000, 1, 1e10, 0.25)
+	return
+}
+
+// PrintFig1 renders the cost model curves.
+func PrintFig1(w io.Writer) {
+	mem, ssd, red, x1, x2 := RunFig1()
+	fmt.Fprintf(w, "Fig. 1(c) — cost vs performance for a 1 TB key-value store\n\n")
+	fmt.Fprintf(w, "%12s %14s %14s %18s\n", "ops/sec", "memory ($)", "SSD ($)", "SSD, I/O cost/4 ($)")
+	for i := range mem {
+		fmt.Fprintf(w, "%12.0f %14.0f %14.0f %18.0f\n", mem[i].OpsPerSec, mem[i].CostUSD, ssd[i].CostUSD, red[i].CostUSD)
+	}
+	fmt.Fprintf(w, "\ncrossover (memory becomes cheaper): conventional I/O at %.0f ops/s; reduced I/O at %.0f ops/s\n", x1, x2)
+	fmt.Fprintf(w, "reducing the I/O execution cost extends the range where SSD-resident data wins (the dotted curve)\n")
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func mb(n int64) float64 { return float64(n) / (1 << 20) }
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

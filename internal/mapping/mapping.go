@@ -1,0 +1,543 @@
+// Package mapping implements the three-level mapping table of §III-B.
+//
+// The bottom level maps each LPID to the packed physical address (which
+// includes the LPAGE length) of its latest version. Mapping pages are too
+// numerous to pin in memory, so a *small table* records the flash address
+// of every mapping page, and a *tiny table* records the flash addresses of
+// the small table's own pages; the tiny table is small enough to live in
+// the checkpoint record.
+//
+// Mapping pages and small-table pages are stored on flash as ordinary
+// LPAGEs (namespaced LPIDs), so garbage collection relocates them with the
+// same machinery as user data; recovery's first log pass repairs their
+// addresses before the second pass needs them (§VIII-C1).
+package mapping
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"eleos/internal/addr"
+	"eleos/internal/record"
+)
+
+// Loader reads a previously flushed table page from flash given its
+// physical address. Supplied by the controller.
+type Loader func(a addr.PhysAddr) ([]byte, error)
+
+// Config sizes the table.
+type Config struct {
+	// EntriesPerPage is the number of LPID slots per mapping page.
+	EntriesPerPage int
+	// AddrsPerSmallPage is the number of mapping-page addresses per
+	// small-table page.
+	AddrsPerSmallPage int
+	// CacheLimit caps the number of mapping pages held in memory
+	// (0 = unlimited). Dirty pages are never evicted (no-steal).
+	CacheLimit int
+}
+
+// DefaultConfig returns sizes giving ~2 KB mapping pages.
+func DefaultConfig() Config {
+	return Config{EntriesPerPage: 256, AddrsPerSmallPage: 256}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.EntriesPerPage <= 0 || c.AddrsPerSmallPage <= 0 {
+		return errors.New("mapping: page sizes must be positive")
+	}
+	if c.CacheLimit < 0 {
+		return errors.New("mapping: cache limit must be non-negative")
+	}
+	return nil
+}
+
+// Stats counts cache behaviour.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Loads     int64
+	Evictions int64
+}
+
+type page struct {
+	entries []addr.PhysAddr
+	dirty   bool
+	recLSN  record.LSN // LSN that first dirtied the page since its last flush
+}
+
+// Table is the in-memory face of the mapping table. Safe for concurrent
+// use.
+type Table struct {
+	mu     sync.Mutex
+	cfg    Config
+	loader Loader
+	pages  map[int]*page
+	lru    []int // cached page indices, least recently used first
+
+	small      []addr.PhysAddr // flash address of mapping page i (0 = never flushed)
+	smallDirty map[int]record.LSN
+	tiny       []addr.PhysAddr // flash address of small page j (checkpoint record)
+
+	stats Stats
+}
+
+// New creates an empty table.
+func New(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Table{
+		cfg:        cfg,
+		pages:      make(map[int]*page),
+		smallDirty: make(map[int]record.LSN),
+	}, nil
+}
+
+// SetLoader installs the flash reader used for cache misses.
+func (t *Table) SetLoader(l Loader) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.loader = l
+}
+
+// Config returns the table configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+// Stats returns cache statistics.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+func (t *Table) pageOf(lpid addr.LPID) (pageIdx, slot int) {
+	return int(lpid.TableIndex()) / t.cfg.EntriesPerPage, int(lpid.TableIndex()) % t.cfg.EntriesPerPage
+}
+
+// touch moves idx to the MRU end of the lru list.
+func (t *Table) touch(idx int) {
+	for i, v := range t.lru {
+		if v == idx {
+			t.lru = append(append(t.lru[:i], t.lru[i+1:]...), idx)
+			return
+		}
+	}
+	t.lru = append(t.lru, idx)
+}
+
+// evictIfNeeded evicts clean pages (LRU first) while the cache is over
+// budget. keep is the page being returned to the caller, which must not be
+// evicted even though it may still be clean.
+func (t *Table) evictIfNeeded(keep int) {
+	if t.cfg.CacheLimit <= 0 {
+		return
+	}
+	for len(t.pages) > t.cfg.CacheLimit {
+		victim := -1
+		for _, idx := range t.lru {
+			if idx == keep {
+				continue
+			}
+			if p := t.pages[idx]; p != nil && !p.dirty {
+				victim = idx
+				break
+			}
+		}
+		if victim < 0 {
+			return // everything dirty: over-budget until next checkpoint
+		}
+		delete(t.pages, victim)
+		for i, v := range t.lru {
+			if v == victim {
+				t.lru = append(t.lru[:i], t.lru[i+1:]...)
+				break
+			}
+		}
+		t.stats.Evictions++
+	}
+}
+
+// getPage returns the cached page, loading it from flash if it was flushed
+// before. A page that was never flushed and is not cached is implicitly
+// all-unmapped; create is false → nil is returned for such pages.
+func (t *Table) getPage(idx int, create bool) (*page, error) {
+	if p, ok := t.pages[idx]; ok {
+		t.stats.Hits++
+		t.touch(idx)
+		return p, nil
+	}
+	t.stats.Misses++
+	if idx < len(t.small) && t.small[idx].IsValid() {
+		if t.loader == nil {
+			return nil, errors.New("mapping: page not cached and no loader installed")
+		}
+		raw, err := t.loader(t.small[idx])
+		if err != nil {
+			return nil, fmt.Errorf("mapping: load page %d: %w", idx, err)
+		}
+		p, err := decodePage(raw, idx, t.cfg.EntriesPerPage)
+		if err != nil {
+			return nil, err
+		}
+		t.pages[idx] = p
+		t.touch(idx)
+		t.stats.Loads++
+		t.evictIfNeeded(idx)
+		return p, nil
+	}
+	if !create {
+		return nil, nil
+	}
+	p := &page{entries: make([]addr.PhysAddr, t.cfg.EntriesPerPage)}
+	t.pages[idx] = p
+	t.touch(idx)
+	t.evictIfNeeded(idx)
+	return p, nil
+}
+
+// Get returns the latest physical address of lpid (invalid if unmapped).
+func (t *Table) Get(lpid addr.LPID) (addr.PhysAddr, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, slot := t.pageOf(lpid)
+	p, err := t.getPage(idx, false)
+	if err != nil {
+		return 0, err
+	}
+	if p == nil {
+		return 0, nil
+	}
+	return p.entries[slot], nil
+}
+
+// Set unconditionally installs a new address for lpid (user writes and
+// redo). lsn is the log record LSN backing the change.
+func (t *Table) Set(lpid addr.LPID, a addr.PhysAddr, lsn record.LSN) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, slot := t.pageOf(lpid)
+	p, err := t.getPage(idx, true)
+	if err != nil {
+		return err
+	}
+	p.entries[slot] = a
+	if !p.dirty {
+		p.dirty = true
+		p.recLSN = lsn
+	}
+	return nil
+}
+
+// SetIf installs a new address only if the current address equals old —
+// the conditional install used by GC commits (§VI-C). It reports whether
+// the install happened.
+func (t *Table) SetIf(lpid addr.LPID, old, new addr.PhysAddr, lsn record.LSN) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, slot := t.pageOf(lpid)
+	p, err := t.getPage(idx, true)
+	if err != nil {
+		return false, err
+	}
+	if p.entries[slot] != old {
+		return false, nil
+	}
+	p.entries[slot] = new
+	if !p.dirty {
+		p.dirty = true
+		p.recLSN = lsn
+	}
+	return true, nil
+}
+
+// DirtyPages returns the indices of dirty mapping pages, ascending.
+func (t *Table) DirtyPages() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []int
+	for idx, p := range t.pages {
+		if p.dirty {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SerializePage returns the on-flash image of mapping page idx, 64-byte
+// aligned for storage as an LPAGE.
+func (t *Table) SerializePage(idx int) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, err := t.getPage(idx, true)
+	if err != nil {
+		return nil, err
+	}
+	return encodePage(p.entries, idx), nil
+}
+
+// MarkFlushed records that mapping page idx was durably written at a; the
+// page becomes clean and the small table (dirtying its small page) is
+// updated. lsn is the flush's log LSN.
+func (t *Table) MarkFlushed(idx int, a addr.PhysAddr, lsn record.LSN) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.pages[idx]; ok {
+		p.dirty = false
+		p.recLSN = 0
+	}
+	t.setSmallLocked(idx, a, lsn)
+}
+
+func (t *Table) setSmallLocked(idx int, a addr.PhysAddr, lsn record.LSN) {
+	for idx >= len(t.small) {
+		t.small = append(t.small, 0)
+	}
+	t.small[idx] = a
+	sp := idx / t.cfg.AddrsPerSmallPage
+	if _, ok := t.smallDirty[sp]; !ok {
+		t.smallDirty[sp] = lsn
+	}
+}
+
+// PageAddr returns the flash address of mapping page idx (invalid if the
+// page was never flushed).
+func (t *Table) PageAddr(idx int) addr.PhysAddr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < 0 || idx >= len(t.small) {
+		return 0
+	}
+	return t.small[idx]
+}
+
+// SetPageAddr installs a mapping-page address directly (recovery pass 1).
+func (t *Table) SetPageAddr(idx int, a addr.PhysAddr, lsn record.LSN) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.setSmallLocked(idx, a, lsn)
+}
+
+// SetPageAddrIf conditionally relocates mapping page idx from old to new
+// (GC of a PageMap LPAGE). Reports whether the install happened.
+func (t *Table) SetPageAddrIf(idx int, old, new addr.PhysAddr, lsn record.LSN) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < 0 || idx >= len(t.small) || t.small[idx] != old {
+		return false
+	}
+	// Drop any cached copy? Not needed: content did not change, only its
+	// home; the cache stays valid.
+	t.setSmallLocked(idx, new, lsn)
+	return true
+}
+
+// --- small table pagination ----------------------------------------------
+
+// DirtySmallPages returns the indices of dirty small-table pages.
+func (t *Table) DirtySmallPages() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, 0, len(t.smallDirty))
+	for sp := range t.smallDirty {
+		out = append(out, sp)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SerializeSmallPage returns the on-flash image of small-table page sp.
+func (t *Table) SerializeSmallPage(sp int) []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lo := sp * t.cfg.AddrsPerSmallPage
+	entries := make([]addr.PhysAddr, t.cfg.AddrsPerSmallPage)
+	for i := range entries {
+		if lo+i < len(t.small) {
+			entries[i] = t.small[lo+i]
+		}
+	}
+	return encodePage(entries, sp)
+}
+
+// MarkSmallFlushed records that small page sp was durably written at a,
+// updating the tiny table.
+func (t *Table) MarkSmallFlushed(sp int, a addr.PhysAddr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.smallDirty, sp)
+	for sp >= len(t.tiny) {
+		t.tiny = append(t.tiny, 0)
+	}
+	t.tiny[sp] = a
+}
+
+// SmallPageAddrIf conditionally relocates small page sp (GC of a
+// PageSmallMap LPAGE) in the tiny table.
+func (t *Table) SmallPageAddrIf(sp int, old, new addr.PhysAddr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sp < 0 || sp >= len(t.tiny) || t.tiny[sp] != old {
+		return false
+	}
+	t.tiny[sp] = new
+	return true
+}
+
+// SmallPageAddr returns the flash address of small-table page sp (invalid
+// if never flushed).
+func (t *Table) SmallPageAddr(sp int) addr.PhysAddr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sp < 0 || sp >= len(t.tiny) {
+		return 0
+	}
+	return t.tiny[sp]
+}
+
+// SetSmallPageAddr installs a small-page address directly (recovery).
+func (t *Table) SetSmallPageAddr(sp int, a addr.PhysAddr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for sp >= len(t.tiny) {
+		t.tiny = append(t.tiny, 0)
+	}
+	t.tiny[sp] = a
+}
+
+// TinyTable returns a copy of the tiny table for the checkpoint record.
+func (t *Table) TinyTable() []addr.PhysAddr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]addr.PhysAddr(nil), t.tiny...)
+}
+
+// LoadFromTiny rebuilds the small table at recovery: the tiny table comes
+// from the checkpoint record; each small page is read via the loader.
+// Small pages that were never flushed contribute unmapped ranges.
+func (t *Table) LoadFromTiny(tiny []addr.PhysAddr) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.loader == nil {
+		return errors.New("mapping: no loader installed")
+	}
+	t.tiny = append([]addr.PhysAddr(nil), tiny...)
+	t.small = t.small[:0]
+	for sp, a := range tiny {
+		if !a.IsValid() {
+			continue
+		}
+		raw, err := t.loader(a)
+		if err != nil {
+			return fmt.Errorf("mapping: load small page %d: %w", sp, err)
+		}
+		p, err := decodePage(raw, sp, t.cfg.AddrsPerSmallPage)
+		if err != nil {
+			return err
+		}
+		lo := sp * t.cfg.AddrsPerSmallPage
+		for i, e := range p.entries {
+			for lo+i >= len(t.small) {
+				t.small = append(t.small, 0)
+			}
+			t.small[lo+i] = e
+		}
+	}
+	return nil
+}
+
+// MinRecLSN returns the smallest LSN that dirtied any cached mapping page
+// or small page (0 if nothing is dirty). Used for the truncation LSN
+// (§VIII-B).
+func (t *Table) MinRecLSN() record.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var min record.LSN
+	consider := func(l record.LSN) {
+		if l != 0 && (min == 0 || l < min) {
+			min = l
+		}
+	}
+	for _, p := range t.pages {
+		if p.dirty {
+			consider(p.recLSN)
+		}
+	}
+	for _, l := range t.smallDirty {
+		consider(l)
+	}
+	return min
+}
+
+// DropCache discards all cached pages and volatile state (crash
+// simulation). The small/tiny tables are volatile too; recovery rebuilds
+// them.
+func (t *Table) DropCache() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pages = make(map[int]*page)
+	t.lru = nil
+	t.small = nil
+	t.smallDirty = make(map[int]record.LSN)
+	t.tiny = nil
+}
+
+// --- page images -----------------------------------------------------------
+
+const pageMagic = 0x4D415050 // "MAPP"
+
+// encodePage lays out: magic u32 | idx u32 | count u32 | entries 8B each |
+// crc u32, padded to the 64-byte LPAGE alignment.
+func encodePage(entries []addr.PhysAddr, idx int) []byte {
+	n := 12 + len(entries)*8 + 4
+	buf := make([]byte, addr.AlignUp(n))
+	binary.LittleEndian.PutUint32(buf[0:], pageMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(idx))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(entries)))
+	off := 12
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(e))
+		off += 8
+	}
+	crc := crc32.ChecksumIEEE(buf[:off])
+	binary.LittleEndian.PutUint32(buf[off:], crc)
+	return buf
+}
+
+// ErrBadPage reports a corrupt table page image.
+var ErrBadPage = errors.New("mapping: bad table page image")
+
+func decodePage(raw []byte, wantIdx, wantEntries int) (*page, error) {
+	if len(raw) < 16 {
+		return nil, fmt.Errorf("%w: short", ErrBadPage)
+	}
+	if binary.LittleEndian.Uint32(raw[0:]) != pageMagic {
+		return nil, fmt.Errorf("%w: magic", ErrBadPage)
+	}
+	idx := int(binary.LittleEndian.Uint32(raw[4:]))
+	count := int(binary.LittleEndian.Uint32(raw[8:]))
+	if idx != wantIdx {
+		return nil, fmt.Errorf("%w: index %d, want %d", ErrBadPage, idx, wantIdx)
+	}
+	if count != wantEntries {
+		return nil, fmt.Errorf("%w: %d entries, want %d", ErrBadPage, count, wantEntries)
+	}
+	need := 12 + count*8 + 4
+	if len(raw) < need {
+		return nil, fmt.Errorf("%w: truncated", ErrBadPage)
+	}
+	if crc32.ChecksumIEEE(raw[:12+count*8]) != binary.LittleEndian.Uint32(raw[12+count*8:]) {
+		return nil, fmt.Errorf("%w: checksum", ErrBadPage)
+	}
+	p := &page{entries: make([]addr.PhysAddr, count)}
+	for i := 0; i < count; i++ {
+		p.entries[i] = addr.PhysAddr(binary.LittleEndian.Uint64(raw[12+i*8:]))
+	}
+	return p, nil
+}

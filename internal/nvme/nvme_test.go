@@ -1,0 +1,146 @@
+package nvme
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPacketsMatchesPaperFootnote(t *testing.T) {
+	// The paper's footnote 5: a 1 MB buffer is split into 17 packets.
+	if got := Packets(1 << 20); got != 17 {
+		t.Fatalf("Packets(1MB) = %d, want 17", got)
+	}
+	if Packets(0) != 0 || Packets(-5) != 0 {
+		t.Fatal("non-positive sizes should need 0 packets")
+	}
+	if Packets(1) != 1 || Packets(MaxPacketBytes) != 1 || Packets(MaxPacketBytes+1) != 2 {
+		t.Fatal("packet boundary arithmetic wrong")
+	}
+}
+
+func TestBatchVsBlockContextAsymmetry(t *testing.T) {
+	// One 1 MB batch command must create 1 context; 256 block commands for
+	// the same bytes create 256 (the paper's 17x-internal-writes effect is
+	// per-packet contexts; with 4 KB blocks it is per-block).
+	batch := NewMeter(HighEnd())
+	batch.WriteCommand(1<<20, 256, 1)
+	block := NewMeter(HighEnd())
+	for i := 0; i < 256; i++ {
+		block.WriteCommand(4096, 1, 1)
+	}
+	if batch.Contexts != 1 || block.Contexts != 256 {
+		t.Fatalf("contexts: batch=%d block=%d", batch.Contexts, block.Contexts)
+	}
+	if block.Ctrl <= batch.Ctrl {
+		t.Fatalf("block controller time (%v) should exceed batch (%v)", block.Ctrl, batch.Ctrl)
+	}
+	if block.Commands != 256 || batch.Commands != 1 {
+		t.Fatal("command counts wrong")
+	}
+	if batch.Bytes != block.Bytes {
+		t.Fatal("bytes should match")
+	}
+}
+
+func TestElapsedIsBottleneck(t *testing.T) {
+	m := NewMeter(HighEnd())
+	m.Host = 5 * time.Millisecond
+	m.Ctrl = 9 * time.Millisecond
+	m.Wire = time.Millisecond
+	if m.Elapsed(0) != 9*time.Millisecond {
+		t.Fatalf("Elapsed = %v", m.Elapsed(0))
+	}
+	if m.Bottleneck(0) != "controller-cpu" {
+		t.Fatalf("Bottleneck = %s", m.Bottleneck(0))
+	}
+	if m.Elapsed(20*time.Millisecond) != 20*time.Millisecond {
+		t.Fatal("media should dominate")
+	}
+	if m.Bottleneck(20*time.Millisecond) != "flash" {
+		t.Fatalf("Bottleneck = %s", m.Bottleneck(20*time.Millisecond))
+	}
+}
+
+func TestProfilesShape(t *testing.T) {
+	// The STT100 controller must be far slower per byte than HighEnd —
+	// that is what moves the paper's Table II bottleneck to the CPU.
+	weak, fast := STT100(), HighEnd()
+	if weak.CtrlPerByte <= fast.CtrlPerByte {
+		t.Fatal("STT100 should have higher per-byte cost")
+	}
+	if weak.CtrlPerPacket <= fast.CtrlPerPacket {
+		t.Fatal("STT100 should have higher per-packet cost")
+	}
+	// Batch of 1 MB on STT100 should take on the order of 1MB/85MB/s.
+	m := NewMeter(weak)
+	m.WriteCommand(1<<20, 256, 1)
+	perSec := float64(time.Second) / float64(m.Ctrl)
+	mbps := perSec * 1.0 // 1 MB per command
+	if mbps < 50 || mbps > 150 {
+		t.Fatalf("STT100 staging rate %.1f MB/s, want ~85", mbps)
+	}
+}
+
+func TestHighEndTableIIShape(t *testing.T) {
+	// Reproduce Table II's ratios coarsely at the meter level.
+	// Block: one 4 KB command per page.
+	block := NewMeter(HighEnd())
+	block.WriteCommand(4096, 1, 1)
+	blockPagesPerSec := float64(time.Second) / float64(block.Ctrl)
+
+	// Batch FP: 1 MB buffer of 256 fixed 4 KB pages.
+	fp := NewMeter(HighEnd())
+	fp.WriteCommand(1<<20, 256, 1)
+	fpPagesPerSec := 256 * float64(time.Second) / float64(fp.Ctrl)
+
+	// Batch VP: 1 MB of ~524 avg-2KB pages.
+	vp := NewMeter(HighEnd())
+	vp.WriteCommand(1<<20, 524, 1)
+	vpPagesPerSec := 524 * float64(time.Second) / float64(vp.Ctrl)
+
+	if r := fpPagesPerSec / blockPagesPerSec; r < 3 || r > 12 {
+		t.Fatalf("FP/Block ratio %.1f outside Table II's ~4.8x ballpark", r)
+	}
+	if r := vpPagesPerSec / fpPagesPerSec; r < 1.4 || r > 2.5 {
+		t.Fatalf("VP/FP ratio %.1f outside Table II's ~1.76x ballpark", r)
+	}
+}
+
+func TestReadCommand(t *testing.T) {
+	m := NewMeter(HighEnd())
+	m.ReadCommand(4096)
+	if m.Commands != 1 || m.Packets != 1 || m.Bytes != 4096 {
+		t.Fatalf("read accounting: %+v", m)
+	}
+	if m.Host == 0 || m.Ctrl == 0 || m.Wire == 0 {
+		t.Fatal("read should charge all resources")
+	}
+}
+
+func TestComputeCharges(t *testing.T) {
+	m := NewMeter(HighEnd())
+	m.HostCompute(time.Millisecond)
+	m.CtrlCompute(2 * time.Millisecond)
+	if m.Host != time.Millisecond || m.Ctrl != 2*time.Millisecond {
+		t.Fatal("compute charges wrong")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter(STT100())
+	m.WriteCommand(1<<20, 10, 1)
+	m.Reset()
+	if m.Host != 0 || m.Ctrl != 0 || m.Wire != 0 || m.Commands != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if m.Profile().Name != "stt100" {
+		t.Fatal("Reset lost profile")
+	}
+}
+
+func TestStringHasProfile(t *testing.T) {
+	m := NewMeter(HighEnd())
+	if s := m.String(); len(s) == 0 || s[:5] != "meter" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,742 @@
+// Package provision implements ELEOS's two-tier write provisioning
+// (§IV-A1) and I/O command generation (§IV-A2).
+//
+// Global provisioning partitions a write buffer into per-channel chunks of
+// approximately equal size, respecting LPAGE boundaries so every LPAGE is
+// stored contiguously within a single channel. Channel provisioning then
+// allocates physical addresses at WBLOCK granularity from the channel's
+// open EBLOCK for the requesting write stream (user, GC, or log), closing
+// full EBLOCKs (scheduling their metadata flush as the final I/O commands)
+// and opening fresh ones from the free list.
+//
+// Provisioning is two-phase: a *plan* is computed against a read-only view
+// of the summary table, and only applied if the whole buffer fits. This
+// keeps a mid-buffer out-of-space condition from leaving provisioned
+// WBLOCK gaps that NAND's sequential-program rule could never fill.
+package provision
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"eleos/internal/addr"
+	"eleos/internal/flash"
+	"eleos/internal/record"
+	"eleos/internal/summary"
+	"eleos/internal/wal"
+)
+
+// BatchPage describes one LPAGE of a write buffer presented for
+// provisioning. BufOff is the page's byte offset in the buffer.
+type BatchPage struct {
+	LPID   addr.LPID
+	Type   addr.PageType
+	Length int
+	BufOff int
+}
+
+// PlacedPage is a provisioned LPAGE.
+type PlacedPage struct {
+	LPID   addr.LPID
+	Type   addr.PageType
+	Addr   addr.PhysAddr
+	BufOff int
+}
+
+// IO is one WBLOCK program command. Data comes either from the write
+// buffer range [BufLo, BufHi) or, for metadata flushes, from Inline.
+type IO struct {
+	Channel int
+	EBlock  int
+	WBlock  int
+	BufLo   int
+	BufHi   int
+	Inline  []byte
+}
+
+// OpenEvent records that the plan opens an EBLOCK.
+type OpenEvent struct {
+	Channel   int
+	EBlock    int
+	Stream    record.StreamKind
+	Timestamp uint64 // GC bucket timestamp (0 for user stream)
+}
+
+// CloseEvent records that the plan closes an EBLOCK (metadata scheduled).
+type CloseEvent struct {
+	Channel     int
+	EBlock      int
+	Timestamp   uint64
+	DataWBlocks int
+	MetaWBlocks int
+	TailFrag    int // unusable bytes between metadata and EBLOCK end
+	Meta        []summary.MetaEntry
+}
+
+// FragEvent records run-tail fragmentation inside a still-open EBLOCK.
+type FragEvent struct {
+	Channel int
+	EBlock  int
+	Bytes   int
+}
+
+// Plan is the outcome of provisioning one write buffer.
+type Plan struct {
+	Pages  []PlacedPage
+	IOs    []IO
+	Opens  []OpenEvent
+	Closes []CloseEvent
+	Frags  []FragEvent
+}
+
+// Config tunes the provisioner.
+type Config struct {
+	// GCBuckets is the number of open GC EBLOCKs kept per channel for
+	// cold/hot separation (§VI-B).
+	GCBuckets int
+	// GCBucketSpread is the timestamp distance beyond which GC writes get
+	// a fresh bucket (while under the GCBuckets cap) instead of the
+	// closest existing one.
+	GCBucketSpread uint64
+}
+
+// DefaultConfig returns the defaults used by the paper's description.
+func DefaultConfig() Config { return Config{GCBuckets: 3, GCBucketSpread: 1024} }
+
+// Errors.
+var (
+	ErrNoSpace      = errors.New("provision: no free eblocks available")
+	ErrPageTooLarge = errors.New("provision: lpage larger than eblock capacity")
+	ErrBadPage      = errors.New("provision: malformed batch page")
+)
+
+type gcBucket struct {
+	eb int
+	ts uint64
+}
+
+// Provisioner allocates flash space. Safe for concurrent use.
+type Provisioner struct {
+	mu  sync.Mutex
+	geo flash.Geometry
+	st  *summary.Table
+	cfg Config
+
+	userOpen []int        // per-channel open user EBLOCK (-1 = none)
+	gcOpen   [][]gcBucket // per-channel open GC EBLOCKs
+	rotate   int          // rotates chunk->channel assignment across buffers
+
+	// The log alternates between two open EBLOCKs (on different channels
+	// when possible) so that any three consecutive slots — a page's
+	// forward candidates (§VIII-A) — span at least two EBLOCKs and a
+	// single program failure cannot kill the whole candidate set.
+	logStreams [2]logStream
+	logParity  int
+}
+
+type logStream struct {
+	ch, eb, wb int // eb < 0 when unallocated
+}
+
+// DebugTrace, when set by tests, receives provisioning events.
+var DebugTrace func(format string, args ...any)
+
+func dtrace(format string, args ...any) {
+	if DebugTrace != nil {
+		DebugTrace(format, args...)
+	}
+}
+
+// New creates a provisioner over the summary table.
+func New(geo flash.Geometry, st *summary.Table, cfg Config) (*Provisioner, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.GCBuckets <= 0 {
+		return nil, errors.New("provision: GCBuckets must be positive")
+	}
+	p := &Provisioner{geo: geo, st: st, cfg: cfg}
+	p.resetCursors()
+	return p, nil
+}
+
+func (p *Provisioner) resetCursors() {
+	p.userOpen = make([]int, p.geo.Channels)
+	for i := range p.userOpen {
+		p.userOpen[i] = -1
+	}
+	p.gcOpen = make([][]gcBucket, p.geo.Channels)
+	p.logStreams = [2]logStream{{eb: -1}, {eb: -1}}
+	p.logParity = 0
+}
+
+// RebuildFromSummary re-derives the open-EBLOCK cursors from the summary
+// table after recovery. The log cursor is set separately via SetLogCursor
+// because the log chain, not the summary table, is authoritative for it.
+func (p *Provisioner) RebuildFromSummary() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.resetCursors()
+	for _, ref := range p.st.OpenEBlocks() {
+		switch ref.Stream {
+		case record.StreamUser:
+			p.userOpen[ref.Channel] = ref.EBlock
+		case record.StreamGC:
+			d, err := p.st.Desc(ref.Channel, ref.EBlock)
+			if err != nil {
+				continue
+			}
+			p.gcOpen[ref.Channel] = append(p.gcOpen[ref.Channel], gcBucket{eb: ref.EBlock, ts: d.Timestamp})
+		}
+	}
+}
+
+// SetLogCursorFromCandidates reconstructs the alternating log cursor from
+// a chain tail's three forward candidates [c0 c1 c2] (recovery): c0 and c2
+// belong to one stream, c1 to the other, and the next provisioned slot
+// follows c2 on c1's stream.
+func (p *Provisioner) SetLogCursorFromCandidates(cands []wal.Slot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.logStreams = [2]logStream{{eb: -1}, {eb: -1}}
+	p.logParity = 0
+	if len(cands) == 0 {
+		return
+	}
+	if len(cands) >= 3 {
+		c1, c2 := cands[1], cands[2]
+		p.logStreams[0] = logStream{ch: c2.Channel, eb: c2.EBlock, wb: c2.WBlock + 1}
+		p.logStreams[1] = logStream{ch: c1.Channel, eb: c1.EBlock, wb: c1.WBlock + 1}
+		p.logParity = 1 // the slot after c2 comes from c1's stream
+		return
+	}
+	// Degenerate tails (fewer than three candidates): continue after the
+	// last one on a single stream; the other allocates fresh on demand.
+	last := cands[len(cands)-1]
+	p.logStreams[0] = logStream{ch: last.Channel, eb: last.EBlock, wb: last.WBlock + 1}
+	p.logParity = 1
+}
+
+// LogCursor returns the next log slot position of the stream that will
+// serve the next provisioned slot (eb = -1 if unallocated).
+func (p *Provisioner) LogCursor() (ch, eb, wb int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.logStreams[p.logParity]
+	return st.ch, st.eb, st.wb
+}
+
+func (p *Provisioner) wblockBytes() int { return p.geo.WBlockBytes }
+
+func (p *Provisioner) metaWBlocksFor(n int) int {
+	return (summary.MetaBlockSize(n) + p.wblockBytes() - 1) / p.wblockBytes()
+}
+
+// MaxLPageBytes returns the largest LPAGE the geometry can store: a fresh
+// EBLOCK minus one metadata WBLOCK.
+func (p *Provisioner) MaxLPageBytes() int {
+	return p.geo.EBlockBytes - p.metaWBlocksFor(1)*p.wblockBytes()
+}
+
+// --- planning primitives ---------------------------------------------------
+
+// chanPlanner provisions one channel chunk against a scratch view.
+type chanPlanner struct {
+	p      *Provisioner
+	ch     int
+	stream record.StreamKind
+	bucket uint64 // GC bucket timestamp (stream == StreamGC)
+	clock  func() uint64
+	free   []int // remaining free eblocks (wear order)
+	cur    int   // current eblock (-1 none)
+	dataWB int   // provisioned data wblocks in cur
+	meta   []summary.MetaEntry
+
+	plan *Plan
+	// current run
+	runActive   bool
+	runStartWB  int
+	runStartBuf int
+	runEndBuf   int
+}
+
+func (c *chanPlanner) wbytes() int { return c.p.geo.WBlockBytes }
+
+// loadCursor initialises the planner from the provisioner's open EBLOCK for
+// the stream (if any).
+func (c *chanPlanner) loadCursor() error {
+	c.cur = -1
+	var eb int
+	switch c.stream {
+	case record.StreamUser:
+		eb = c.p.userOpen[c.ch]
+	case record.StreamGC:
+		eb = c.p.pickBucket(c.ch, c.bucket)
+	default:
+		return fmt.Errorf("provision: unsupported stream %v", c.stream)
+	}
+	if eb < 0 {
+		return nil
+	}
+	d, err := c.p.st.Desc(c.ch, eb)
+	if err != nil {
+		return err
+	}
+	c.cur = eb
+	c.dataWB = int(d.DataWBlocks)
+	c.meta = c.p.st.Meta(c.ch, eb)
+	return nil
+}
+
+// pickBucket returns the open GC EBLOCK whose timestamp is closest to ts.
+// While under the bucket cap, a timestamp farther than the configured
+// spread gets a fresh bucket instead (-1), keeping LPAGEs of similar age
+// together (§VI-B).
+func (p *Provisioner) pickBucket(ch int, ts uint64) int {
+	best, bestDist := -1, uint64(0)
+	for _, b := range p.gcOpen[ch] {
+		var dist uint64
+		if b.ts > ts {
+			dist = b.ts - ts
+		} else {
+			dist = ts - b.ts
+		}
+		if best < 0 || dist < bestDist {
+			best, bestDist = b.eb, dist
+		}
+	}
+	if best >= 0 && len(p.gcOpen[ch]) < p.cfg.GCBuckets && bestDist > p.cfg.GCBucketSpread {
+		return -1
+	}
+	return best
+}
+
+// fits reports whether an LPAGE of length at ebOff leaves room for the
+// metadata block covering one more entry.
+func (c *chanPlanner) fits(ebOff, length int) bool {
+	dataEnd := ebOff + length
+	if dataEnd > c.p.geo.EBlockBytes {
+		return false
+	}
+	dataWBEnd := (dataEnd + c.wbytes() - 1) / c.wbytes()
+	return dataWBEnd+c.p.metaWBlocksFor(len(c.meta)+1) <= c.p.geo.WBlocksPerEBlock()
+}
+
+// endRun finalises the active run: emits its data IOs, advances the data
+// cursor, and accounts run-tail fragmentation.
+func (c *chanPlanner) endRun() {
+	if !c.runActive {
+		return
+	}
+	w := c.wbytes()
+	runStartEB := c.runStartWB * w
+	runLen := c.runEndBuf - c.runStartBuf
+	runEndEB := runStartEB + runLen
+	endWB := (runEndEB + w - 1) / w
+	for wb := c.runStartWB; wb < endWB; wb++ {
+		lo := c.runStartBuf + (wb-c.runStartWB)*w
+		hi := lo + w
+		if hi > c.runEndBuf {
+			hi = c.runEndBuf // device zero-pads; the paper copies junk instead
+		}
+		c.plan.IOs = append(c.plan.IOs, IO{Channel: c.ch, EBlock: c.cur, WBlock: wb, BufLo: lo, BufHi: hi})
+	}
+	frag := endWB*w - runEndEB
+	if frag > 0 {
+		c.plan.Frags = append(c.plan.Frags, FragEvent{Channel: c.ch, EBlock: c.cur, Bytes: frag})
+	}
+	c.dataWB = endWB
+	c.runActive = false
+}
+
+// closeCur finalises and closes the current EBLOCK, scheduling its
+// metadata flush as the trailing I/O commands.
+func (c *chanPlanner) closeCur() {
+	c.endRun()
+	metaImg := summary.EncodeMetaBlock(c.meta)
+	w := c.wbytes()
+	metaWB := (len(metaImg) + w - 1) / w
+	for k := 0; k < metaWB; k++ {
+		lo := k * w
+		hi := lo + w
+		if hi > len(metaImg) {
+			hi = len(metaImg)
+		}
+		c.plan.IOs = append(c.plan.IOs, IO{Channel: c.ch, EBlock: c.cur, WBlock: c.dataWB + k, Inline: metaImg[lo:hi]})
+	}
+	ts := c.bucket
+	if c.stream == record.StreamUser {
+		ts = c.clock()
+	}
+	tail := (c.p.geo.WBlocksPerEBlock() - c.dataWB - metaWB) * w
+	c.plan.Closes = append(c.plan.Closes, CloseEvent{
+		Channel: c.ch, EBlock: c.cur, Timestamp: ts,
+		DataWBlocks: c.dataWB, MetaWBlocks: metaWB, TailFrag: tail,
+		Meta: append([]summary.MetaEntry(nil), c.meta...),
+	})
+	c.cur = -1
+	c.dataWB = 0
+	c.meta = nil
+}
+
+// openFresh takes the next free EBLOCK for the stream.
+func (c *chanPlanner) openFresh() error {
+	if len(c.free) == 0 {
+		return fmt.Errorf("%w: channel %d", ErrNoSpace, c.ch)
+	}
+	eb := c.free[0]
+	c.free = c.free[1:]
+	c.cur = eb
+	c.dataWB = 0
+	c.meta = nil
+	ev := OpenEvent{Channel: c.ch, EBlock: eb, Stream: c.stream}
+	if c.stream == record.StreamGC {
+		ev.Timestamp = c.bucket
+	}
+	c.plan.Opens = append(c.plan.Opens, ev)
+	return nil
+}
+
+// place provisions the chunk's pages in buffer order.
+func (c *chanPlanner) place(pages []BatchPage) error {
+	for _, pg := range pages {
+		if pg.Length <= 0 || !addr.IsAligned(pg.Length) || !addr.IsAligned(pg.BufOff) {
+			return fmt.Errorf("%w: lpid %d length %d off %d", ErrBadPage, pg.LPID, pg.Length, pg.BufOff)
+		}
+		if pg.Length > c.p.MaxLPageBytes() {
+			return fmt.Errorf("%w: lpid %d length %d > %d", ErrPageTooLarge, pg.LPID, pg.Length, c.p.MaxLPageBytes())
+		}
+		for {
+			if c.cur < 0 {
+				if err := c.openFresh(); err != nil {
+					return err
+				}
+			}
+			if c.runActive && pg.BufOff != c.runEndBuf {
+				// Non-contiguous buffer extents cannot share a run; end
+				// the run at a WBLOCK boundary and start fresh.
+				c.endRun()
+			}
+			if !c.runActive {
+				c.runStartWB = c.dataWB
+				c.runStartBuf = pg.BufOff
+				c.runEndBuf = pg.BufOff
+				c.runActive = true
+			}
+			ebOff := c.runStartWB*c.wbytes() + (pg.BufOff - c.runStartBuf)
+			if c.fits(ebOff, pg.Length) {
+				a, err := addr.Pack(c.ch, c.cur, ebOff, pg.Length)
+				if err != nil {
+					return err
+				}
+				c.plan.Pages = append(c.plan.Pages, PlacedPage{LPID: pg.LPID, Type: pg.Type, Addr: a, BufOff: pg.BufOff})
+				c.meta = append(c.meta, summary.MetaEntry{LPID: pg.LPID, Type: pg.Type, Offset: ebOff, Length: pg.Length})
+				c.runEndBuf = pg.BufOff + pg.Length
+				break
+			}
+			// No room: close the EBLOCK (its metadata becomes the final
+			// I/O commands) and retry in a fresh one.
+			c.closeCur()
+		}
+	}
+	c.endRun()
+	return nil
+}
+
+// --- public planning entry points -----------------------------------------
+
+// ProvisionBatch plans placement for a user write buffer across all
+// channels (global + channel tiers). clock supplies the update-sequence
+// timestamp used when EBLOCKs close. The plan is already applied to the
+// summary table when this returns.
+func (p *Provisioner) ProvisionBatch(pages []BatchPage, clock func() uint64, lsnHint record.LSN) (*Plan, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(pages) == 0 {
+		return &Plan{}, nil
+	}
+	chunks := p.partition(pages)
+	plan := &Plan{}
+	finals := make(map[int]*chanPlanner)
+	for i, chunk := range chunks {
+		if len(chunk) == 0 {
+			continue
+		}
+		ch := (p.rotate + i) % p.geo.Channels
+		c := &chanPlanner{p: p, ch: ch, stream: record.StreamUser, clock: clock, free: p.st.FreeList(ch), plan: plan}
+		if err := c.loadCursor(); err != nil {
+			return nil, err
+		}
+		if err := c.place(chunk); err != nil {
+			return nil, err
+		}
+		finals[ch] = c
+	}
+	p.rotate = (p.rotate + len(chunks)) % p.geo.Channels
+	if err := p.applyLocked(plan, finals, record.StreamUser, lsnHint); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// ProvisionGC plans placement for a GC (or migration) buffer within one
+// channel, routing the pages to the open GC EBLOCK whose timestamp is
+// closest to srcTS (§VI-B).
+func (p *Provisioner) ProvisionGC(ch int, pages []BatchPage, srcTS uint64, clock func() uint64, lsnHint record.LSN) (*Plan, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	plan := &Plan{}
+	if len(pages) == 0 {
+		return plan, nil
+	}
+	c := &chanPlanner{p: p, ch: ch, stream: record.StreamGC, bucket: srcTS, clock: clock, free: p.st.FreeList(ch), plan: plan}
+	if err := c.loadCursor(); err != nil {
+		return nil, err
+	}
+	// Respect the bucket cap: if we have no cursor and the channel is at
+	// capacity, reuse the closest bucket anyway (loadCursor already did);
+	// a fresh bucket is only opened by place() when needed.
+	if err := c.place(pages); err != nil {
+		return nil, err
+	}
+	if err := p.applyLocked(plan, map[int]*chanPlanner{ch: c}, record.StreamGC, lsnHint); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// applyLocked commits a successful plan to the summary table and cursors.
+func (p *Provisioner) applyLocked(plan *Plan, finals map[int]*chanPlanner, stream record.StreamKind, lsn record.LSN) error {
+	for _, ev := range plan.Opens {
+		dtrace("apply open (%d,%d) stream=%v", ev.Channel, ev.EBlock, ev.Stream)
+		if err := p.st.OpenEBlock(ev.Channel, ev.EBlock, ev.Stream, lsn); err != nil {
+			return err
+		}
+		if ev.Stream == record.StreamGC {
+			if err := p.st.SetTimestamp(ev.Channel, ev.EBlock, ev.Timestamp, lsn); err != nil {
+				return err
+			}
+			p.gcOpen[ev.Channel] = append(p.gcOpen[ev.Channel], gcBucket{eb: ev.EBlock, ts: ev.Timestamp})
+		}
+	}
+	for _, pg := range plan.Pages {
+		if err := p.st.AppendMeta(pg.Addr.Channel(), pg.Addr.EBlock(), summary.MetaEntry{
+			LPID: pg.LPID, Type: pg.Type, Offset: pg.Addr.Offset(), Length: pg.Addr.Length(),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, f := range plan.Frags {
+		if err := p.st.AddAvail(f.Channel, f.EBlock, f.Bytes, lsn); err != nil {
+			return err
+		}
+	}
+	for _, cl := range plan.Closes {
+		if err := p.st.SetDataWBlocks(cl.Channel, cl.EBlock, cl.DataWBlocks, lsn); err != nil {
+			return err
+		}
+		dtrace("apply close (%d,%d)", cl.Channel, cl.EBlock)
+		if err := p.st.CloseEBlock(cl.Channel, cl.EBlock, cl.Timestamp, cl.MetaWBlocks, lsn); err != nil {
+			return fmt.Errorf("provision: apply close (cursor was %v): %w", cl, err)
+		}
+		if cl.TailFrag > 0 {
+			if err := p.st.AddAvail(cl.Channel, cl.EBlock, cl.TailFrag, lsn); err != nil {
+				return err
+			}
+		}
+		p.dropCursor(cl.Channel, cl.EBlock)
+	}
+	for ch, c := range finals {
+		if c.cur >= 0 {
+			if err := p.st.SetDataWBlocks(ch, c.cur, c.dataWB, lsn); err != nil {
+				return err
+			}
+			switch stream {
+			case record.StreamUser:
+				p.userOpen[ch] = c.cur
+			case record.StreamGC:
+				// Bucket membership handled in Opens; nothing further.
+			}
+		} else if stream == record.StreamUser {
+			p.userOpen[ch] = -1
+		}
+	}
+	return nil
+}
+
+func (p *Provisioner) dropCursor(ch, eb int) {
+	if p.userOpen[ch] == eb {
+		p.userOpen[ch] = -1
+	}
+	buckets := p.gcOpen[ch][:0]
+	for _, b := range p.gcOpen[ch] {
+		if b.eb != eb {
+			buckets = append(buckets, b)
+		}
+	}
+	p.gcOpen[ch] = buckets
+}
+
+// partition splits pages into up to Channels contiguous chunks of roughly
+// equal byte size, respecting LPAGE boundaries (the global tier).
+func (p *Provisioner) partition(pages []BatchPage) [][]BatchPage {
+	total := 0
+	for _, pg := range pages {
+		total += pg.Length
+	}
+	n := p.geo.Channels
+	target := (total + n - 1) / n
+	var chunks [][]BatchPage
+	start, acc := 0, 0
+	for i, pg := range pages {
+		acc += pg.Length
+		if acc >= target && len(chunks) < n-1 {
+			chunks = append(chunks, pages[start:i+1])
+			start, acc = i+1, 0
+		}
+	}
+	if start < len(pages) {
+		chunks = append(chunks, pages[start:])
+	}
+	return chunks
+}
+
+// --- log stream -------------------------------------------------------------
+
+// openEventForLog is returned alongside log slots so the controller can
+// update bookkeeping without logging (the chain itself is the durable
+// record for log EBLOCKs).
+type LogEvent struct {
+	OpenedCh, OpenedEB int // newly opened log EBLOCK (-1 if none)
+	ClosedCh, ClosedEB int // log EBLOCK retired by this provisioning (-1 if none)
+}
+
+// ProvisionLogSlots hands out the next n log-page WBLOCK slots,
+// alternating between the two open log EBLOCK streams and opening fresh
+// EBLOCKs (rotating channels) as streams exhaust. Unlike batch
+// provisioning this mutates immediately: the WAL requests slots while
+// forcing a page, and a failed program is handled by the WAL's forward
+// candidates, not by aborting.
+func (p *Provisioner) ProvisionLogSlots(n int, lsnHint record.LSN) ([]wal.Slot, []LogEvent, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []wal.Slot
+	var events []LogEvent
+	for len(out) < n {
+		st := &p.logStreams[p.logParity]
+		if st.eb < 0 || st.wb >= p.geo.WBlocksPerEBlock() {
+			ev := LogEvent{OpenedCh: -1, OpenedEB: -1, ClosedCh: -1, ClosedEB: -1}
+			if st.eb >= 0 {
+				d, err := p.st.Desc(st.ch, st.eb)
+				if err != nil {
+					return nil, nil, err
+				}
+				// Retire only if still open: a previous provisioning may
+				// have closed this EBLOCK and then failed to allocate a
+				// successor (out of space until GC ran), leaving the
+				// cursor pointing at an already-retired EBLOCK.
+				if d.State == summary.Open && d.Stream == record.StreamLog {
+					if err := p.st.CloseEBlock(st.ch, st.eb, d.Timestamp, 0, lsnHint); err != nil {
+						return nil, nil, fmt.Errorf("provision: retire log stream %d at wb=%d: %w", p.logParity, st.wb, err)
+					}
+					ev.ClosedCh, ev.ClosedEB = st.ch, st.eb
+				}
+			}
+			ch, eb, err := p.takeLogEBlock(st.ch, p.logStreams[1-p.logParity].ch, lsnHint)
+			if err != nil {
+				return nil, nil, err
+			}
+			dtrace("log stream %d: closed (%d,%d) opened (%d,%d)", p.logParity, ev.ClosedCh, ev.ClosedEB, ch, eb)
+			st.ch, st.eb, st.wb = ch, eb, 0
+			ev.OpenedCh, ev.OpenedEB = ch, eb
+			events = append(events, ev)
+		}
+		out = append(out, wal.Slot{Channel: st.ch, EBlock: st.eb, WBlock: st.wb})
+		st.wb++
+		p.logParity = 1 - p.logParity
+	}
+	return out, events, nil
+}
+
+// takeLogEBlock allocates a free EBLOCK for a log stream, preferring a
+// channel different from both the stream's previous channel and its
+// sibling stream's channel, so a failed program (which disables a whole
+// EBLOCK) never threatens consecutive forward candidates.
+func (p *Provisioner) takeLogEBlock(prevCh, siblingCh int, lsn record.LSN) (int, int, error) {
+	start := (prevCh + 1) % p.geo.Channels
+	if prevCh < 0 {
+		start = 0
+	}
+	// First pass: avoid the sibling's channel; second pass: anything free.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < p.geo.Channels; i++ {
+			ch := (start + i) % p.geo.Channels
+			if pass == 0 && ch == siblingCh && p.geo.Channels > 1 {
+				continue
+			}
+			if eb, ok := p.st.TakeFree(ch); ok {
+				if err := p.st.OpenEBlock(ch, eb, record.StreamLog, lsn); err != nil {
+					return 0, 0, err
+				}
+				return ch, eb, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: log stream", ErrNoSpace)
+}
+
+// AbandonLogEBlock retires a log EBLOCK whose program failed, so fresh
+// slots come from a new EBLOCK. Safe to call for non-current EBLOCKs.
+func (p *Provisioner) AbandonLogEBlock(ch, eb int, lsnHint record.LSN) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dtrace("abandon log eblock (%d,%d)", ch, eb)
+	d, err := p.st.Desc(ch, eb)
+	if err != nil {
+		return err
+	}
+	if d.State == summary.Open && d.Stream == record.StreamLog {
+		// A failed program disables the rest of the EBLOCK, so no future
+		// slot writes can land here: the current hint bounds its contents.
+		ts := d.Timestamp
+		if uint64(lsnHint) > ts {
+			ts = uint64(lsnHint)
+		}
+		if err := p.st.CloseEBlock(ch, eb, ts, 0, lsnHint); err != nil {
+			return err
+		}
+	}
+	for i := range p.logStreams {
+		if p.logStreams[i].ch == ch && p.logStreams[i].eb == eb {
+			p.logStreams[i].eb = -1 // next provisioning opens fresh
+		}
+	}
+	return nil
+}
+
+// UserOpen returns the channel's open user EBLOCK (-1 if none).
+func (p *Provisioner) UserOpen(ch int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.userOpen[ch]
+}
+
+// GCOpen returns the channel's open GC EBLOCKs.
+func (p *Provisioner) GCOpen(ch int) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.gcOpen[ch]))
+	for _, b := range p.gcOpen[ch] {
+		out = append(out, b.eb)
+	}
+	return out
+}
+
+// DropOpen forgets a cursor for an EBLOCK (used when migration retires an
+// open EBLOCK after a write failure).
+func (p *Provisioner) DropOpen(ch, eb int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropCursor(ch, eb)
+}

@@ -1,0 +1,484 @@
+package provision
+
+import (
+	"errors"
+	"testing"
+
+	"eleos/internal/addr"
+	"eleos/internal/flash"
+	"eleos/internal/record"
+	"eleos/internal/summary"
+)
+
+// testEnv wires a provisioner over a small-geometry summary table.
+type testEnv struct {
+	geo flash.Geometry
+	st  *summary.Table
+	p   *Provisioner
+	seq uint64
+}
+
+func newEnv(t *testing.T) *testEnv {
+	t.Helper()
+	geo := flash.SmallGeometry() // 4 ch x 16 eb x 256KB, 16KB wblocks
+	st, err := summary.New(geo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(geo, st, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{geo: geo, st: st, p: p}
+}
+
+func (e *testEnv) clock() uint64 { e.seq++; return e.seq }
+
+// contiguousPages builds n pages of the given sizes laid out back to back.
+func contiguousPages(sizes ...int) []BatchPage {
+	out := make([]BatchPage, len(sizes))
+	off := 0
+	for i, sz := range sizes {
+		out[i] = BatchPage{LPID: addr.LPID(i + 1), Type: addr.PageUser, Length: sz, BufOff: off}
+		off += sz
+	}
+	return out
+}
+
+func TestProvisionSinglePage(t *testing.T) {
+	e := newEnv(t)
+	plan, err := e.p.ProvisionBatch(contiguousPages(1920), e.clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pages) != 1 {
+		t.Fatalf("pages = %d", len(plan.Pages))
+	}
+	pg := plan.Pages[0]
+	if pg.Addr.Length() != 1920 || pg.Addr.Offset() != 0 {
+		t.Fatalf("placed at %v", pg.Addr)
+	}
+	if len(plan.Opens) != 1 {
+		t.Fatalf("opens = %d", len(plan.Opens))
+	}
+	// One data IO covering one WBLOCK.
+	if len(plan.IOs) != 1 || plan.IOs[0].BufLo != 0 || plan.IOs[0].BufHi != 1920 {
+		t.Fatalf("ios = %+v", plan.IOs)
+	}
+	// Summary updated: eblock open with 1 data wblock and a meta entry.
+	d, _ := e.st.Desc(pg.Addr.Channel(), pg.Addr.EBlock())
+	if d.State != summary.Open || d.DataWBlocks != 1 {
+		t.Fatalf("desc = %+v", d)
+	}
+	m := e.st.Meta(pg.Addr.Channel(), pg.Addr.EBlock())
+	if len(m) != 1 || m[0].LPID != 1 || m[0].Length != 1920 {
+		t.Fatalf("meta = %+v", m)
+	}
+	// Run-tail fragmentation: 16KB wblock - 1920.
+	if len(plan.Frags) != 1 || plan.Frags[0].Bytes != e.geo.WBlockBytes-1920 {
+		t.Fatalf("frags = %+v", plan.Frags)
+	}
+}
+
+func TestGlobalPartitionSpreadsChannels(t *testing.T) {
+	e := newEnv(t)
+	// 8 pages of a full wblock each: should spread across all 4 channels.
+	sizes := make([]int, 8)
+	for i := range sizes {
+		sizes[i] = e.geo.WBlockBytes
+	}
+	plan, err := e.p.ProvisionBatch(contiguousPages(sizes...), e.clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	channels := map[int]int{}
+	for _, pg := range plan.Pages {
+		channels[pg.Addr.Channel()]++
+	}
+	if len(channels) != e.geo.Channels {
+		t.Fatalf("used %d channels, want %d (%v)", len(channels), e.geo.Channels, channels)
+	}
+}
+
+func TestVariableSizePackingNoInternalFragmentation(t *testing.T) {
+	e := newEnv(t)
+	// Three odd-sized pages pack back to back within one channel chunk
+	// (ProvisionGC targets a single channel, isolating the packing).
+	plan, err := e.p.ProvisionGC(1, contiguousPages(192, 64, 320), 10, e.clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pages) != 3 {
+		t.Fatalf("pages = %d", len(plan.Pages))
+	}
+	// All in the same channel (total 576 < target split) and contiguous.
+	p0, p1, p2 := plan.Pages[0], plan.Pages[1], plan.Pages[2]
+	if !p0.Addr.SameEBlock(p1.Addr) || !p1.Addr.SameEBlock(p2.Addr) {
+		t.Fatal("pages scattered across eblocks")
+	}
+	if p1.Addr.Offset() != p0.Addr.End() || p2.Addr.Offset() != p1.Addr.End() {
+		t.Fatalf("pages not packed: %v %v %v", p0.Addr, p1.Addr, p2.Addr)
+	}
+}
+
+func TestRunsStartAtWBlockBoundaries(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.p.ProvisionBatch(contiguousPages(100*64), e.clock, 1); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.p.ProvisionBatch(contiguousPages(64), e.clock, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := plan.Pages[0].Addr.Offset()
+	if off%e.geo.WBlockBytes != 0 {
+		t.Fatalf("second batch did not start at a wblock boundary: %d", off)
+	}
+}
+
+func TestEBlockCloseOnOverflow(t *testing.T) {
+	e := newEnv(t)
+	// Keep writing full-wblock pages into one channel until the first
+	// eblock must close. SmallGeometry eblock = 16 wblocks; meta needs 1.
+	w := e.geo.WBlockBytes
+	var closes int
+	var lastPlan *Plan
+	for i := 0; i < 100; i++ {
+		plan, err := e.p.ProvisionBatch(contiguousPages(w), e.clock, record.LSN(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		closes += len(plan.Closes)
+		lastPlan = plan
+		if closes > 0 {
+			break
+		}
+	}
+	if closes == 0 {
+		t.Fatal("no eblock ever closed")
+	}
+	cl := lastPlan.Closes[0]
+	if cl.MetaWBlocks < 1 {
+		t.Fatalf("close without metadata: %+v", cl)
+	}
+	if cl.DataWBlocks+cl.MetaWBlocks > e.geo.WBlocksPerEBlock() {
+		t.Fatalf("close overflows eblock: %+v", cl)
+	}
+	d, _ := e.st.Desc(cl.Channel, cl.EBlock)
+	if d.State != summary.Used || d.MetaWBlocks != uint32(cl.MetaWBlocks) {
+		t.Fatalf("summary after close: %+v", d)
+	}
+	// Meta IOs are the last IOs for that eblock and carry inline bytes.
+	var metaIOs int
+	for _, io := range lastPlan.IOs {
+		if io.Inline != nil {
+			metaIOs++
+			if io.EBlock != cl.EBlock || io.Channel != cl.Channel {
+				t.Fatal("meta IO targets wrong eblock")
+			}
+			if io.WBlock < cl.DataWBlocks {
+				t.Fatal("meta IO before data region")
+			}
+		}
+	}
+	if metaIOs != cl.MetaWBlocks {
+		t.Fatalf("meta IOs = %d, want %d", metaIOs, cl.MetaWBlocks)
+	}
+}
+
+func TestMetadataDescribesAllPages(t *testing.T) {
+	e := newEnv(t)
+	w := e.geo.WBlockBytes
+	var close *CloseEvent
+	total := 0
+	for i := 0; i < 40 && close == nil; i++ {
+		plan, err := e.p.ProvisionBatch(contiguousPages(w), e.clock, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pg := range plan.Pages {
+			if pg.Addr.Channel() == 0 && pg.Addr.EBlock() == plan.Pages[0].Addr.EBlock() {
+				_ = pg
+			}
+		}
+		total++
+		if len(plan.Closes) > 0 {
+			close = &plan.Closes[0]
+		}
+	}
+	if close == nil {
+		t.Skip("no close observed")
+	}
+	// The close's metadata must decode and match its data region.
+	img := summary.EncodeMetaBlock(close.Meta)
+	entries, err := summary.DecodeMetaBlock(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("close with empty metadata")
+	}
+	for _, en := range entries {
+		if en.Offset+en.Length > close.DataWBlocks*w {
+			t.Fatalf("entry extends past data region: %+v", en)
+		}
+	}
+}
+
+func TestNoSpaceDoesNotMutate(t *testing.T) {
+	geo := flash.SmallGeometry()
+	geo.EBlocksPerChannel = 1
+	st, _ := summary.New(geo, 8)
+	p, _ := New(geo, st, DefaultConfig())
+	// Fill channel 0's only eblock nearly full, then ask for more than fits
+	// anywhere: with one eblock per channel and 4 channels, a batch bigger
+	// than total capacity must fail without changing state.
+	big := make([]int, 0)
+	perEB := geo.EBlockBytes // over capacity per channel after meta reserve
+	for i := 0; i < geo.Channels+1; i++ {
+		big = append(big, perEB-geo.WBlockBytes)
+	}
+	before := make([]summary.Descriptor, geo.Channels)
+	for ch := 0; ch < geo.Channels; ch++ {
+		before[ch], _ = st.Desc(ch, 0)
+	}
+	_, err := p.ProvisionBatch(contiguousPages(big...), func() uint64 { return 1 }, 1)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("expected ErrNoSpace, got %v", err)
+	}
+	for ch := 0; ch < geo.Channels; ch++ {
+		after, _ := st.Desc(ch, 0)
+		if after != before[ch] {
+			t.Fatalf("channel %d mutated on failed provisioning: %+v -> %+v", ch, before[ch], after)
+		}
+	}
+}
+
+func TestPageTooLarge(t *testing.T) {
+	e := newEnv(t)
+	_, err := e.p.ProvisionBatch(contiguousPages(e.p.MaxLPageBytes()+64), e.clock, 1)
+	if !errors.Is(err, ErrPageTooLarge) {
+		t.Fatalf("expected ErrPageTooLarge, got %v", err)
+	}
+	// Exactly max fits.
+	if _, err := e.p.ProvisionBatch(contiguousPages(e.p.MaxLPageBytes()), e.clock, 1); err != nil {
+		t.Fatalf("max-size page rejected: %v", err)
+	}
+}
+
+func TestBadPageValidation(t *testing.T) {
+	e := newEnv(t)
+	bad := []BatchPage{{LPID: 1, Type: addr.PageUser, Length: 100, BufOff: 0}}
+	if _, err := e.p.ProvisionBatch(bad, e.clock, 1); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("unaligned length accepted: %v", err)
+	}
+	bad = []BatchPage{{LPID: 1, Type: addr.PageUser, Length: 0, BufOff: 0}}
+	if _, err := e.p.ProvisionBatch(bad, e.clock, 1); !errors.Is(err, ErrBadPage) {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestProvisionGCUsesBuckets(t *testing.T) {
+	e := newEnv(t)
+	// Two GC rounds with far-apart timestamps get separate buckets.
+	p1, err := e.p.ProvisionGC(0, contiguousPages(128), 100, e.clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.p.ProvisionGC(0, contiguousPages(128), 100000, e.clock, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb1 := p1.Pages[0].Addr.EBlock()
+	eb2 := p2.Pages[0].Addr.EBlock()
+	if eb1 == eb2 {
+		t.Fatal("far-apart timestamps shared a bucket")
+	}
+	if len(e.p.GCOpen(0)) != 2 {
+		t.Fatalf("buckets = %v", e.p.GCOpen(0))
+	}
+	// A timestamp near the first bucket reuses it.
+	p3, err := e.p.ProvisionGC(0, contiguousPages(128), 150, e.clock, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Pages[0].Addr.EBlock() != eb1 {
+		t.Fatal("nearby timestamp did not reuse bucket")
+	}
+	// GC eblocks carry the bucket timestamp.
+	d, _ := e.st.Desc(0, eb1)
+	if d.Stream != record.StreamGC || d.Timestamp != 100 {
+		t.Fatalf("gc eblock desc: %+v", d)
+	}
+}
+
+func TestGCBucketCap(t *testing.T) {
+	geo := flash.SmallGeometry()
+	st, _ := summary.New(geo, 8)
+	cfg := DefaultConfig()
+	cfg.GCBuckets = 2
+	p, _ := New(geo, st, cfg)
+	clock := func() uint64 { return 1 }
+	for i, ts := range []uint64{10, 100000, 200000, 300000} {
+		if _, err := p.ProvisionGC(1, contiguousPages(128), ts, clock, record.LSN(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(p.GCOpen(1)); got > 2 {
+		t.Fatalf("bucket cap exceeded: %d", got)
+	}
+}
+
+func TestProvisionLogSlots(t *testing.T) {
+	e := newEnv(t)
+	slots, events, err := e.p.ProvisionLogSlots(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 3 {
+		t.Fatalf("slots = %d", len(slots))
+	}
+	// Two streams open: consecutive slots alternate EBLOCKs so that any
+	// three consecutive forward candidates span two EBLOCKs.
+	if len(events) != 2 || events[0].OpenedEB < 0 || events[1].OpenedEB < 0 {
+		t.Fatalf("events = %+v", events)
+	}
+	if slots[0].Channel == slots[1].Channel && slots[0].EBlock == slots[1].EBlock {
+		t.Fatalf("candidates share an eblock: %+v", slots)
+	}
+	if slots[0].Channel != slots[2].Channel || slots[0].EBlock != slots[2].EBlock ||
+		slots[2].WBlock != slots[0].WBlock+1 {
+		t.Fatalf("stream-0 slots not sequential: %+v", slots)
+	}
+	for _, sl := range slots {
+		d, _ := e.st.Desc(sl.Channel, sl.EBlock)
+		if d.State != summary.Open || d.Stream != record.StreamLog {
+			t.Fatalf("log eblock desc: %+v", d)
+		}
+	}
+	// Exhaust both streams: new eblocks open and old ones close.
+	per := e.geo.WBlocksPerEBlock()
+	slots2, events2, err := e.p.ProvisionLogSlots(2*per, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots2) != 2*per {
+		t.Fatalf("slots2 = %d", len(slots2))
+	}
+	var opened, closed int
+	for _, ev := range events2 {
+		if ev.OpenedEB >= 0 {
+			opened++
+		}
+		if ev.ClosedEB >= 0 {
+			closed++
+			d, _ := e.st.Desc(ev.ClosedCh, ev.ClosedEB)
+			if d.State != summary.Used {
+				t.Fatalf("closed log eblock not used: %+v", d)
+			}
+		}
+	}
+	if opened != 2 || closed != 2 {
+		t.Fatalf("opened=%d closed=%d", opened, closed)
+	}
+}
+
+func TestAbandonLogEBlock(t *testing.T) {
+	e := newEnv(t)
+	slots, _, err := e.p.ProvisionLogSlots(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.p.AbandonLogEBlock(slots[0].Channel, slots[0].EBlock, 5); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := e.st.Desc(slots[0].Channel, slots[0].EBlock)
+	if d.State != summary.Used {
+		t.Fatalf("abandoned log eblock: %+v", d)
+	}
+	// Fresh slots come from a new eblock.
+	slots2, _, err := e.p.ProvisionLogSlots(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slots2[0].Channel == slots[0].Channel && slots2[0].EBlock == slots[0].EBlock {
+		t.Fatal("abandoned eblock reused")
+	}
+}
+
+func TestRebuildFromSummary(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.p.ProvisionBatch(contiguousPages(128), e.clock, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.p.ProvisionGC(2, contiguousPages(128), 50, e.clock, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh provisioner over the same summary table.
+	p2, err := New(e.geo, e.st, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.RebuildFromSummary()
+	foundUser := false
+	for ch := 0; ch < e.geo.Channels; ch++ {
+		if p2.UserOpen(ch) >= 0 {
+			foundUser = true
+		}
+	}
+	if !foundUser {
+		t.Fatal("user cursor not rebuilt")
+	}
+	if len(p2.GCOpen(2)) != 1 {
+		t.Fatalf("gc buckets not rebuilt: %v", p2.GCOpen(2))
+	}
+}
+
+func TestContinuedFillAcrossBatches(t *testing.T) {
+	// Consecutive small batches accumulate into the same open eblock, each
+	// starting at a wblock boundary (the provisioning invariant GC's
+	// monotonic scan relies on: later writes have higher offsets).
+	e := newEnv(t)
+	lastOff := -1
+	for i := 0; i < 10; i++ {
+		plan, err := e.p.ProvisionGC(3, contiguousPages(64), 10, e.clock, record.LSN(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := plan.Pages[0].Addr.Offset()
+		if off <= lastOff {
+			t.Fatalf("offsets not increasing: %d then %d", lastOff, off)
+		}
+		lastOff = off
+	}
+}
+
+func TestPartitionRespectsBoundariesAndOrder(t *testing.T) {
+	e := newEnv(t)
+	sizes := []int{64, 128, 19200, 64, 4096, 640, 64}
+	pages := contiguousPages(sizes...)
+	chunks := e.p.partition(pages)
+	if len(chunks) == 0 || len(chunks) > e.geo.Channels {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	flat := 0
+	for _, c := range chunks {
+		for _, pg := range c {
+			if pg.LPID != pages[flat].LPID {
+				t.Fatal("partition reordered pages")
+			}
+			flat++
+		}
+	}
+	if flat != len(pages) {
+		t.Fatalf("partition lost pages: %d/%d", flat, len(pages))
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	e := newEnv(t)
+	plan, err := e.p.ProvisionBatch(nil, e.clock, 1)
+	if err != nil || len(plan.Pages) != 0 || len(plan.IOs) != 0 {
+		t.Fatalf("empty batch: %+v %v", plan, err)
+	}
+}

@@ -1,0 +1,49 @@
+package record
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanicsOnRandomBytes hammers Decode with arbitrary input;
+// it must return errors, never panic or over-allocate.
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		b := make([]byte, rng.Intn(200))
+		rng.Read(b)
+		rec, n, err := Decode(b)
+		if err == nil {
+			if rec == nil || n <= 0 || n > len(b) {
+				t.Fatalf("inconsistent success: rec=%v n=%d len=%d", rec, n, len(b))
+			}
+		}
+	}
+}
+
+// TestDecodeMutatedValidFrames flips bytes of valid frames: every mutation
+// must be either detected or decode to a well-formed record.
+func TestDecodeMutatedValidFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := Append(nil, Update{Action: 5, LPID: 10, Type: 1, New: 0xABCD})
+	for i := 0; i < 5000; i++ {
+		b := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			b[rng.Intn(len(b))] ^= byte(1 + rng.Intn(255))
+		}
+		rec, n, err := Decode(b)
+		if err == nil && (rec == nil || n <= 0) {
+			t.Fatal("inconsistent success on mutated frame")
+		}
+	}
+}
+
+// TestDecodeAllRandom ensures DecodeAll terminates on arbitrary input.
+func TestDecodeAllRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(500))
+		rng.Read(b)
+		_, _ = DecodeAll(b)
+	}
+}

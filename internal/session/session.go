@@ -1,0 +1,259 @@
+// Package session implements the durable session table of §III-A2.
+//
+// A session orders write buffers: within a session each buffer carries a
+// write sequence number (WSN), starting at 1 and increasing by one. The
+// controller applies and acknowledges buffers in WSN order. A buffer whose
+// WSN is not one past the session's highest applied WSN is either stale
+// (already applied — the highest WSN is re-acknowledged so the host can
+// resolve un-ACKed redos after a crash) or early (its predecessors have
+// not arrived yet).
+//
+// Sessions survive controller crashes: the table is snapshotted in full at
+// every checkpoint and session transitions are logged.
+package session
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"eleos/internal/addr"
+)
+
+// Verdict classifies an incoming (SID, WSN) pair.
+type Verdict int
+
+const (
+	// Apply: the WSN is exactly next; process the buffer.
+	Apply Verdict = iota
+	// Stale: the WSN was already applied; re-acknowledge, do not apply.
+	Stale
+	// Early: predecessors are missing; the caller must wait.
+	Early
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Apply:
+		return "apply"
+	case Stale:
+		return "stale"
+	case Early:
+		return "early"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Errors.
+var (
+	ErrUnknownSession = errors.New("session: unknown or closed session")
+	ErrBadImage       = errors.New("session: bad snapshot image")
+)
+
+type state struct {
+	highestWSN uint64
+	open       bool
+}
+
+// Table tracks sessions. Safe for concurrent use.
+type Table struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	sessions map[uint64]*state
+}
+
+// New creates an empty session table; seed drives SID generation (the
+// paper assigns SIDs as random numbers).
+func New(seed int64) *Table {
+	return &Table{rng: rand.New(rand.NewSource(seed)), sessions: make(map[uint64]*state)}
+}
+
+// Open creates a session and returns its SID (never zero; zero denotes
+// "no session" on write buffers).
+func (t *Table) Open() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		sid := t.rng.Uint64()
+		if sid == 0 {
+			continue
+		}
+		if _, exists := t.sessions[sid]; exists {
+			continue
+		}
+		t.sessions[sid] = &state{open: true}
+		return sid
+	}
+}
+
+// Close removes a session.
+func (t *Table) Close(sid uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.sessions[sid]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSession, sid)
+	}
+	delete(t.sessions, sid)
+	return nil
+}
+
+// IsOpen reports whether sid names an open session.
+func (t *Table) IsOpen(sid uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.sessions[sid]
+	return ok
+}
+
+// Check classifies wsn for the session and returns the session's highest
+// applied WSN (the value to acknowledge for Stale verdicts).
+func (t *Table) Check(sid, wsn uint64) (Verdict, uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[sid]
+	if !ok {
+		return Stale, 0, fmt.Errorf("%w: %d", ErrUnknownSession, sid)
+	}
+	switch {
+	case wsn == s.highestWSN+1:
+		return Apply, s.highestWSN, nil
+	case wsn <= s.highestWSN:
+		return Stale, s.highestWSN, nil
+	default:
+		return Early, s.highestWSN, nil
+	}
+}
+
+// Advance records that wsn was applied. It must be exactly next.
+func (t *Table) Advance(sid, wsn uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[sid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSession, sid)
+	}
+	if wsn != s.highestWSN+1 {
+		return fmt.Errorf("session: advance %d out of order (highest %d)", wsn, s.highestWSN)
+	}
+	s.highestWSN = wsn
+	return nil
+}
+
+// HighestWSN returns the session's highest applied WSN.
+func (t *Table) HighestWSN(sid uint64) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[sid]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownSession, sid)
+	}
+	return s.highestWSN, nil
+}
+
+// --- recovery --------------------------------------------------------------
+
+// RestoreOpen recreates a session during recovery (idempotent).
+func (t *Table) RestoreOpen(sid uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.sessions[sid]; !ok {
+		t.sessions[sid] = &state{open: true}
+	}
+}
+
+// RestoreClose removes a session during recovery (idempotent).
+func (t *Table) RestoreClose(sid uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.sessions, sid)
+}
+
+// AdvanceTo raises the session's highest WSN to at least wsn (recovery
+// replay; records may be re-applied idempotently).
+func (t *Table) AdvanceTo(sid, wsn uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[sid]
+	if !ok {
+		s = &state{open: true}
+		t.sessions[sid] = s
+	}
+	if wsn > s.highestWSN {
+		s.highestWSN = wsn
+	}
+}
+
+// Count returns the number of open sessions.
+func (t *Table) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}
+
+// DropVolatile clears all sessions (crash simulation).
+func (t *Table) DropVolatile() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sessions = make(map[uint64]*state)
+}
+
+// --- snapshot (flushed in full at each checkpoint, §VIII-B) ----------------
+
+const imageMagic = 0x53455353 // "SESS"
+
+// Serialize returns the full-table snapshot image, 64-byte aligned.
+func (t *Table) Serialize() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sids := make([]uint64, 0, len(t.sessions))
+	for sid := range t.sessions {
+		sids = append(sids, sid)
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	n := 8 + len(sids)*16 + 4
+	buf := make([]byte, addr.AlignUp(n))
+	binary.LittleEndian.PutUint32(buf[0:], imageMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(sids)))
+	off := 8
+	for _, sid := range sids {
+		binary.LittleEndian.PutUint64(buf[off:], sid)
+		binary.LittleEndian.PutUint64(buf[off+8:], t.sessions[sid].highestWSN)
+		off += 16
+	}
+	crc := crc32.ChecksumIEEE(buf[:off])
+	binary.LittleEndian.PutUint32(buf[off:], crc)
+	return buf
+}
+
+// Load replaces the table contents with a snapshot image.
+func (t *Table) Load(raw []byte) error {
+	if len(raw) < 12 {
+		return fmt.Errorf("%w: short", ErrBadImage)
+	}
+	if binary.LittleEndian.Uint32(raw[0:]) != imageMagic {
+		return fmt.Errorf("%w: magic", ErrBadImage)
+	}
+	n := int(binary.LittleEndian.Uint32(raw[4:]))
+	need := 8 + n*16 + 4
+	if n < 0 || len(raw) < need {
+		return fmt.Errorf("%w: truncated", ErrBadImage)
+	}
+	if crc32.ChecksumIEEE(raw[:8+n*16]) != binary.LittleEndian.Uint32(raw[8+n*16:]) {
+		return fmt.Errorf("%w: checksum", ErrBadImage)
+	}
+	sessions := make(map[uint64]*state, n)
+	for i := 0; i < n; i++ {
+		off := 8 + i*16
+		sid := binary.LittleEndian.Uint64(raw[off:])
+		sessions[sid] = &state{highestWSN: binary.LittleEndian.Uint64(raw[off+8:]), open: true}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sessions = sessions
+	return nil
+}

@@ -1,0 +1,217 @@
+package session
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpenAssignsUniqueNonZeroSIDs(t *testing.T) {
+	tb := New(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		sid := tb.Open()
+		if sid == 0 {
+			t.Fatal("zero SID")
+		}
+		if seen[sid] {
+			t.Fatal("duplicate SID")
+		}
+		seen[sid] = true
+	}
+	if tb.Count() != 1000 {
+		t.Fatalf("Count = %d", tb.Count())
+	}
+}
+
+func TestWSNOrdering(t *testing.T) {
+	tb := New(2)
+	sid := tb.Open()
+
+	v, high, err := tb.Check(sid, 1)
+	if err != nil || v != Apply || high != 0 {
+		t.Fatalf("first wsn: %v %d %v", v, high, err)
+	}
+	// Early: wsn 3 before 1 and 2 applied.
+	v, _, err = tb.Check(sid, 3)
+	if err != nil || v != Early {
+		t.Fatalf("early wsn: %v %v", v, err)
+	}
+	if err := tb.Advance(sid, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Stale: wsn 1 again.
+	v, high, err = tb.Check(sid, 1)
+	if err != nil || v != Stale || high != 1 {
+		t.Fatalf("stale wsn: %v %d %v", v, high, err)
+	}
+	// Out-of-order advance rejected.
+	if err := tb.Advance(sid, 3); err == nil {
+		t.Fatal("out-of-order advance accepted")
+	}
+	if err := tb.Advance(sid, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tb.HighestWSN(sid)
+	if err != nil || got != 2 {
+		t.Fatalf("HighestWSN = %d %v", got, err)
+	}
+}
+
+func TestUnknownSession(t *testing.T) {
+	tb := New(3)
+	if _, _, err := tb.Check(42, 1); !errors.Is(err, ErrUnknownSession) {
+		t.Fatal("expected ErrUnknownSession")
+	}
+	if err := tb.Advance(42, 1); !errors.Is(err, ErrUnknownSession) {
+		t.Fatal("expected ErrUnknownSession")
+	}
+	if err := tb.Close(42); !errors.Is(err, ErrUnknownSession) {
+		t.Fatal("expected ErrUnknownSession")
+	}
+	if _, err := tb.HighestWSN(42); !errors.Is(err, ErrUnknownSession) {
+		t.Fatal("expected ErrUnknownSession")
+	}
+}
+
+func TestCloseRemovesSession(t *testing.T) {
+	tb := New(4)
+	sid := tb.Open()
+	if !tb.IsOpen(sid) {
+		t.Fatal("session should be open")
+	}
+	if err := tb.Close(sid); err != nil {
+		t.Fatal(err)
+	}
+	if tb.IsOpen(sid) {
+		t.Fatal("session should be closed")
+	}
+	if _, _, err := tb.Check(sid, 1); !errors.Is(err, ErrUnknownSession) {
+		t.Fatal("closed session usable")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tb := New(5)
+	sids := make([]uint64, 5)
+	for i := range sids {
+		sids[i] = tb.Open()
+		for w := uint64(1); w <= uint64(i); w++ {
+			if err := tb.Advance(sids[i], w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	img := tb.Serialize()
+	tb2 := New(6)
+	if err := tb2.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	for i, sid := range sids {
+		got, err := tb2.HighestWSN(sid)
+		if err != nil || got != uint64(i) {
+			t.Fatalf("session %d: wsn %d %v", i, got, err)
+		}
+	}
+	if tb2.Count() != len(sids) {
+		t.Fatalf("Count = %d", tb2.Count())
+	}
+}
+
+func TestSnapshotCorruption(t *testing.T) {
+	tb := New(7)
+	tb.Open()
+	img := tb.Serialize()
+	img[9] ^= 0xFF
+	if err := New(8).Load(img); !errors.Is(err, ErrBadImage) {
+		t.Fatal("corruption not detected")
+	}
+	if err := New(8).Load(nil); !errors.Is(err, ErrBadImage) {
+		t.Fatal("nil image accepted")
+	}
+	if err := New(8).Load(make([]byte, 64)); !errors.Is(err, ErrBadImage) {
+		t.Fatal("zero image accepted")
+	}
+}
+
+func TestRecoveryHelpers(t *testing.T) {
+	tb := New(9)
+	tb.RestoreOpen(100)
+	tb.RestoreOpen(100) // idempotent
+	if tb.Count() != 1 {
+		t.Fatal("RestoreOpen not idempotent")
+	}
+	tb.AdvanceTo(100, 5)
+	tb.AdvanceTo(100, 3) // lower: no-op
+	got, _ := tb.HighestWSN(100)
+	if got != 5 {
+		t.Fatalf("AdvanceTo: %d", got)
+	}
+	// AdvanceTo on unknown session creates it (replay may see commits for
+	// sessions whose open record predates the truncation point but whose
+	// snapshot was lost — tolerated defensively).
+	tb.AdvanceTo(200, 7)
+	got, _ = tb.HighestWSN(200)
+	if got != 7 {
+		t.Fatal("AdvanceTo should create missing sessions")
+	}
+	tb.RestoreClose(200)
+	if tb.IsOpen(200) {
+		t.Fatal("RestoreClose failed")
+	}
+	tb.DropVolatile()
+	if tb.Count() != 0 {
+		t.Fatal("DropVolatile failed")
+	}
+}
+
+func TestSerializeAligned(t *testing.T) {
+	tb := New(10)
+	for i := 0; i < 7; i++ {
+		tb.Open()
+	}
+	if len(tb.Serialize())%64 != 0 {
+		t.Fatal("snapshot not 64-byte aligned")
+	}
+}
+
+// Property: for any sequence of WSNs presented in order 1..n with random
+// duplicates interleaved, exactly the fresh ones get Apply and the session
+// ends at highest = n.
+func TestWSNSequenceQuick(t *testing.T) {
+	f := func(dups []uint8) bool {
+		tb := New(11)
+		sid := tb.Open()
+		next := uint64(1)
+		for _, d := range dups {
+			// Present a stale duplicate d% of the time.
+			if next > 1 && d%3 == 0 {
+				wsn := uint64(d)%(next-1) + 1
+				v, high, err := tb.Check(sid, wsn)
+				if err != nil || v != Stale || high != next-1 {
+					return false
+				}
+				continue
+			}
+			v, _, err := tb.Check(sid, next)
+			if err != nil || v != Apply {
+				return false
+			}
+			if tb.Advance(sid, next) != nil {
+				return false
+			}
+			next++
+		}
+		high, err := tb.HighestWSN(sid)
+		return err == nil && high == next-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Apply.String() != "apply" || Stale.String() != "stale" || Early.String() != "early" {
+		t.Fatal("verdict strings wrong")
+	}
+}

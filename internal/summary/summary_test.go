@@ -1,0 +1,408 @@
+package summary
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eleos/internal/addr"
+	"eleos/internal/flash"
+	"eleos/internal/record"
+)
+
+func newTestTable(t *testing.T) *Table {
+	t.Helper()
+	tb, err := New(flash.SmallGeometry(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestLifecycleTransitions(t *testing.T) {
+	tb := newTestTable(t)
+	d, err := tb.Desc(0, 0)
+	if err != nil || d.State != Free {
+		t.Fatalf("initial state: %+v %v", d, err)
+	}
+	if err := tb.OpenEBlock(0, 0, record.StreamUser, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.OpenEBlock(0, 0, record.StreamUser, 6); !errors.Is(err, ErrNotFree) {
+		t.Fatalf("double open: %v", err)
+	}
+	d, _ = tb.Desc(0, 0)
+	if d.State != Open || d.Stream != record.StreamUser {
+		t.Fatalf("after open: %+v", d)
+	}
+	if err := tb.CloseEBlock(0, 0, 42, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	d, _ = tb.Desc(0, 0)
+	if d.State != Used || d.Timestamp != 42 || d.MetaWBlocks != 2 {
+		t.Fatalf("after close: %+v", d)
+	}
+	if err := tb.CloseEBlock(0, 0, 43, 2, 8); !errors.Is(err, ErrNotOpen) {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := tb.FreeEBlock(0, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	d, _ = tb.Desc(0, 0)
+	if d.State != Free || d.EraseCount != 1 || d.Avail != 0 || d.Timestamp != 0 {
+		t.Fatalf("after free: %+v", d)
+	}
+	if err := tb.FreeEBlock(0, 0, 10); !errors.Is(err, ErrNotUsed) {
+		t.Fatalf("freeing free block: %v", err)
+	}
+}
+
+func TestFreeOpenEBlockAfterMigration(t *testing.T) {
+	tb := newTestTable(t)
+	if err := tb.OpenEBlock(1, 1, record.StreamUser, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Migration erases open (write-failed) EBLOCKs too.
+	if err := tb.FreeEBlock(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTakeFreeWearLevelling(t *testing.T) {
+	tb := newTestTable(t)
+	// Cycle eblock 0 a few times to raise its erase count.
+	for i := 0; i < 3; i++ {
+		if err := tb.OpenEBlock(0, 0, record.StreamUser, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.CloseEBlock(0, 0, 1, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.FreeEBlock(0, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eb, ok := tb.TakeFree(0)
+	if !ok || eb == 0 {
+		t.Fatalf("TakeFree should avoid worn eblock 0, got %d %v", eb, ok)
+	}
+}
+
+func TestFreeCountAndReserve(t *testing.T) {
+	tb := newTestTable(t)
+	g := flash.SmallGeometry()
+	if tb.FreeCount(0) != g.EBlocksPerChannel {
+		t.Fatalf("FreeCount = %d", tb.FreeCount(0))
+	}
+	if err := tb.Reserve(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Reserve(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tb.FreeCount(0) != g.EBlocksPerChannel-2 {
+		t.Fatalf("FreeCount after reserve = %d", tb.FreeCount(0))
+	}
+	d, _ := tb.Desc(0, 0)
+	if d.State != Reserved {
+		t.Fatal("reserve did not stick")
+	}
+}
+
+func TestAvailAndWBlockAccounting(t *testing.T) {
+	tb := newTestTable(t)
+	_ = tb.OpenEBlock(2, 3, record.StreamGC, 1)
+	if err := tb.AdvanceDataWBlocks(2, 3, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddAvail(2, 3, 1000, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddAvail(2, 3, 24, 4); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := tb.Desc(2, 3)
+	if d.DataWBlocks != 4 || d.Avail != 1024 {
+		t.Fatalf("accounting: %+v", d)
+	}
+	if err := tb.SetDataWBlocks(2, 3, 7, 5); err != nil {
+		t.Fatal(err)
+	}
+	d, _ = tb.Desc(2, 3)
+	if d.DataWBlocks != 7 {
+		t.Fatal("SetDataWBlocks failed")
+	}
+}
+
+func TestMetaAppendOrderPreserved(t *testing.T) {
+	tb := newTestTable(t)
+	_ = tb.OpenEBlock(0, 2, record.StreamUser, 1)
+	for i := 0; i < 10; i++ {
+		e := MetaEntry{LPID: addr.LPID(i), Type: addr.PageUser, Offset: i * 64, Length: 64}
+		if err := tb.AppendMeta(0, 2, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := tb.Meta(0, 2)
+	if len(m) != 10 {
+		t.Fatalf("meta len = %d", len(m))
+	}
+	for i, e := range m {
+		if e.LPID != addr.LPID(i) || e.Offset != i*64 {
+			t.Fatalf("meta[%d] = %+v", i, e)
+		}
+	}
+	// Close drops metadata.
+	_ = tb.CloseEBlock(0, 2, 1, 1, 2)
+	if len(tb.Meta(0, 2)) != 0 {
+		t.Fatal("close should drop in-memory metadata")
+	}
+}
+
+func TestOpenEBlocksAndMinOpenLSN(t *testing.T) {
+	tb := newTestTable(t)
+	_ = tb.OpenEBlock(0, 2, record.StreamUser, 10)
+	_ = tb.OpenEBlock(1, 3, record.StreamGC, 5)
+	_ = tb.OpenEBlock(2, 4, record.StreamLog, 20)
+	refs := tb.OpenEBlocks()
+	if len(refs) != 3 {
+		t.Fatalf("open count = %d", len(refs))
+	}
+	if tb.MinOpenLSN() != 5 {
+		t.Fatalf("MinOpenLSN = %d", tb.MinOpenLSN())
+	}
+	_ = tb.CloseEBlock(1, 3, 1, 0, 30)
+	if tb.MinOpenLSN() != 10 {
+		t.Fatalf("MinOpenLSN after close = %d", tb.MinOpenLSN())
+	}
+}
+
+func TestUsedEBlocks(t *testing.T) {
+	tb := newTestTable(t)
+	_ = tb.OpenEBlock(1, 0, record.StreamUser, 1)
+	_ = tb.CloseEBlock(1, 0, 1, 0, 2)
+	_ = tb.OpenEBlock(1, 5, record.StreamUser, 3)
+	_ = tb.CloseEBlock(1, 5, 2, 0, 4)
+	used := tb.UsedEBlocks(1)
+	if len(used) != 2 || used[0] != 0 || used[1] != 5 {
+		t.Fatalf("used = %v", used)
+	}
+}
+
+func TestDirtyTrackingAndFlush(t *testing.T) {
+	tb := newTestTable(t)
+	if n := len(tb.DirtyPages()); n != 0 {
+		t.Fatalf("fresh table dirty: %d", n)
+	}
+	_ = tb.OpenEBlock(0, 0, record.StreamUser, 100) // page 0
+	_ = tb.AddAvail(3, 15, 64, 50)                  // last page
+	dirty := tb.DirtyPages()
+	if len(dirty) != 2 {
+		t.Fatalf("dirty = %v", dirty)
+	}
+	if tb.MinRecLSN() != 50 {
+		t.Fatalf("MinRecLSN = %d", tb.MinRecLSN())
+	}
+	img := tb.SerializePage(dirty[0], 200)
+	a := addr.MustPack(1, 1, 0, addr.AlignUp(len(img)))
+	tb.MarkFlushed(dirty[0], a, 200)
+	if len(tb.DirtyPages()) != 1 {
+		t.Fatal("flush did not clean page")
+	}
+	if tb.FlushLSNFor(0, 0) != 200 {
+		t.Fatalf("FlushLSNFor = %d", tb.FlushLSNFor(0, 0))
+	}
+	loc := tb.Locator()
+	if loc[dirty[0]] != a {
+		t.Fatal("locator not updated")
+	}
+}
+
+func TestSerializeLoadRoundTrip(t *testing.T) {
+	tb := newTestTable(t)
+	_ = tb.OpenEBlock(0, 3, record.StreamUser, 1)
+	_ = tb.AdvanceDataWBlocks(0, 3, 5, 2)
+	_ = tb.AddAvail(0, 3, 4096, 3)
+	_ = tb.OpenEBlock(1, 1, record.StreamGC, 4)
+	_ = tb.CloseEBlock(1, 1, 77, 1, 5)
+
+	store := map[addr.PhysAddr][]byte{}
+	next := 1
+	for _, idx := range tb.DirtyPages() {
+		img := tb.SerializePage(idx, 99)
+		a := addr.MustPack(2, next, 0, addr.AlignUp(len(img)))
+		next++
+		store[a] = img
+		tb.MarkFlushed(idx, a, 99)
+	}
+	loc := tb.Locator()
+
+	tb2 := newTestTable(t)
+	err := tb2.LoadFromLocator(loc, func(a addr.PhysAddr) ([]byte, error) {
+		b, ok := store[a]
+		if !ok {
+			return nil, errors.New("missing")
+		}
+		return b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := tb2.Desc(0, 3)
+	if d.State != Open || d.DataWBlocks != 5 || d.Avail != 4096 || d.Stream != record.StreamUser {
+		t.Fatalf("recovered (0,3): %+v", d)
+	}
+	d, _ = tb2.Desc(1, 1)
+	if d.State != Used || d.Timestamp != 77 || d.MetaWBlocks != 1 {
+		t.Fatalf("recovered (1,1): %+v", d)
+	}
+	if tb2.FlushLSNFor(0, 3) != 99 {
+		t.Fatalf("recovered flush LSN = %d", tb2.FlushLSNFor(0, 3))
+	}
+	// Untouched eblocks default to Free.
+	d, _ = tb2.Desc(3, 15)
+	if d.State != Free {
+		t.Fatalf("default state: %+v", d)
+	}
+}
+
+func TestLoadRejectsCorruptPage(t *testing.T) {
+	tb := newTestTable(t)
+	_ = tb.OpenEBlock(0, 0, record.StreamUser, 1)
+	idx := tb.DirtyPages()[0]
+	img := tb.SerializePage(idx, 1)
+	img[25] ^= 0xFF
+	tb2 := newTestTable(t)
+	loc := make([]addr.PhysAddr, tb2.NumPages())
+	loc[idx] = addr.MustPack(1, 1, 0, addr.AlignUp(len(img)))
+	err := tb2.LoadFromLocator(loc, func(addr.PhysAddr) ([]byte, error) { return img, nil })
+	if !errors.Is(err, ErrBadPage) {
+		t.Fatalf("expected ErrBadPage, got %v", err)
+	}
+}
+
+func TestPageAddrIf(t *testing.T) {
+	tb := newTestTable(t)
+	a1 := addr.MustPack(1, 1, 0, 64)
+	a2 := addr.MustPack(1, 2, 0, 64)
+	tb.MarkFlushed(0, a1, 1)
+	if !tb.PageAddrIf(0, a1, a2) {
+		t.Fatal("relocation should succeed")
+	}
+	if tb.PageAddrIf(0, a1, a2) {
+		t.Fatal("stale relocation should fail")
+	}
+	if tb.Locator()[0] != a2 {
+		t.Fatal("locator not updated")
+	}
+	if tb.PageAddrIf(1000, a1, a2) {
+		t.Fatal("out-of-range relocation should fail")
+	}
+}
+
+func TestDropVolatile(t *testing.T) {
+	tb := newTestTable(t)
+	_ = tb.OpenEBlock(0, 0, record.StreamUser, 1)
+	_ = tb.AppendMeta(0, 0, MetaEntry{LPID: 1, Type: addr.PageUser, Offset: 0, Length: 64})
+	tb.DropVolatile()
+	d, _ := tb.Desc(0, 0)
+	if d.State != Free {
+		t.Fatal("DropVolatile should reset descriptors")
+	}
+	if len(tb.Meta(0, 0)) != 0 || len(tb.DirtyPages()) != 0 {
+		t.Fatal("DropVolatile left volatile state")
+	}
+}
+
+func TestMetaBlockRoundTrip(t *testing.T) {
+	entries := []MetaEntry{
+		{LPID: 1, Type: addr.PageUser, Offset: 0, Length: 64},
+		{LPID: 999, Type: addr.PageMap, Offset: 128, Length: 1920},
+		{LPID: addr.MakeTableLPID(addr.PageSummary, 3), Type: addr.PageSummary, Offset: 32768, Length: 4096},
+	}
+	img := EncodeMetaBlock(entries)
+	if len(img)%addr.Align != 0 {
+		t.Fatal("meta block not aligned")
+	}
+	if len(img) != MetaBlockSize(len(entries)) {
+		t.Fatal("MetaBlockSize mismatch")
+	}
+	got, err := DecodeMetaBlock(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("entries = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestMetaBlockCorruption(t *testing.T) {
+	img := EncodeMetaBlock([]MetaEntry{{LPID: 1, Type: addr.PageUser, Offset: 0, Length: 64}})
+	img[13] ^= 0x01
+	if _, err := DecodeMetaBlock(img); !errors.Is(err, ErrBadMeta) {
+		t.Fatal("corruption not detected")
+	}
+	if _, err := DecodeMetaBlock(make([]byte, 64)); !errors.Is(err, ErrBadMeta) {
+		t.Fatal("zero block not rejected")
+	}
+	if _, err := DecodeMetaBlock(nil); !errors.Is(err, ErrBadMeta) {
+		t.Fatal("nil block not rejected")
+	}
+}
+
+func TestMetaBlockRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300)
+		entries := make([]MetaEntry, n)
+		for i := range entries {
+			entries[i] = MetaEntry{
+				LPID:   addr.LPID(rng.Uint64()),
+				Type:   addr.PageType(1 + rng.Intn(5)),
+				Offset: rng.Intn(1<<20) * addr.Align,
+				Length: (1 + rng.Intn(1<<10)) * addr.Align,
+			}
+		}
+		got, err := DecodeMetaBlock(EncodeMetaBlock(entries))
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	tb := newTestTable(t)
+	if _, err := tb.Desc(99, 0); err == nil {
+		t.Fatal("range not enforced")
+	}
+	if err := tb.OpenEBlock(0, 99, record.StreamUser, 1); err == nil {
+		t.Fatal("range not enforced")
+	}
+	if err := tb.AddAvail(-1, 0, 1, 1); err == nil {
+		t.Fatal("range not enforced")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{Free: "free", Open: "open", Used: "used", Bad: "bad", Reserved: "reserved"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

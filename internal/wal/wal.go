@@ -1,0 +1,461 @@
+// Package wal implements the ELEOS recovery log (§VIII-A).
+//
+// The log is a linked list of log pages, each one WBLOCK in size. Because a
+// log-page write can fail, each page carries the addresses of the *next
+// three* provisioned locations for its successor; on a write failure the
+// successor is written to the next candidate, and recovery probes the
+// candidates in order until it finds the first valid page. When a log page
+// cannot be written to any of its three candidate locations, the log shuts
+// down (the paper does the same).
+//
+// The package is independent of the rest of the controller: the owner
+// supplies a Sink that provisions WBLOCK slots in log-stream order and
+// performs the raw programs/reads.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"eleos/internal/record"
+)
+
+// Slot names a WBLOCK that holds (or will hold) a log page.
+type Slot struct {
+	Channel int
+	EBlock  int
+	WBlock  int
+}
+
+// NoSlot is the invalid slot.
+var NoSlot = Slot{-1, -1, -1}
+
+// IsValid reports whether s names a real WBLOCK.
+func (s Slot) IsValid() bool { return s.Channel >= 0 && s.EBlock >= 0 && s.WBlock >= 0 }
+
+func (s Slot) String() string {
+	if !s.IsValid() {
+		return "slot(none)"
+	}
+	return fmt.Sprintf("slot(ch=%d eb=%d wb=%d)", s.Channel, s.EBlock, s.WBlock)
+}
+
+// Sink provisions log slots and performs raw WBLOCK I/O on them. Implemented
+// by the controller (over the provisioner and flash device) and by test
+// fakes.
+type Sink interface {
+	// ProvisionSlots returns the next n WBLOCK slots in log-stream order.
+	// Slots are handed out exactly once and in a stable order.
+	ProvisionSlots(n int) ([]Slot, error)
+	// Program writes one full log page to the slot. A failed program makes
+	// the remainder of the slot's EBLOCK unwritable until erased.
+	Program(s Slot, page []byte) error
+	// Read returns the slot's WBLOCK content (zeroes if unwritten).
+	Read(s Slot) ([]byte, error)
+}
+
+// Errors.
+var (
+	ErrLogDead        = errors.New("wal: log shut down after exhausting forward candidates")
+	ErrRecordTooLarge = errors.New("wal: record larger than log page capacity")
+	ErrBadPage        = errors.New("wal: invalid log page")
+	ErrPageTooSmall   = errors.New("wal: page size too small")
+)
+
+const (
+	pageMagic   = 0x454C4F47 // "ELOG"
+	pageVersion = 1
+	headerSize  = 64
+	numForward  = 3 // provisioned successor locations per page (§VIII-A)
+)
+
+// PageIndexEntry records where a durable page lives and which LSNs it holds.
+type PageIndexEntry struct {
+	First record.LSN
+	Last  record.LSN
+	Slot  Slot
+}
+
+// Log is the append side of the recovery log. Safe for concurrent use.
+type Log struct {
+	mu        sync.Mutex
+	sink      Sink
+	pageBytes int
+
+	nextLSN    record.LSN // LSN the next appended record will receive
+	durableLSN record.LSN // all records with LSN <= durableLSN are durable
+
+	buf      []byte     // payload of the page being assembled
+	bufFirst record.LSN // LSN of first record in buf
+	bufCount int
+
+	slots []Slot // provisioned future slots; slots[0] is the current page's home
+	pages []PageIndexEntry
+	dead  bool
+}
+
+// New creates a fresh, empty log (after device format). The first page will
+// be written to the first slot the sink provisions.
+func New(sink Sink, pageBytes int) (*Log, error) {
+	if pageBytes <= headerSize+record.EncodedSize(record.Done{}) {
+		return nil, ErrPageTooSmall
+	}
+	return &Log{sink: sink, pageBytes: pageBytes, nextLSN: 1}, nil
+}
+
+// Resume creates a log that continues an existing chain after recovery.
+// nextLSN is one past the last durable LSN, candidates are the tail page's
+// unwritten forward locations (in order), and pages is the durable-page
+// index recovered from the chain walk (may be nil).
+func Resume(sink Sink, pageBytes int, nextLSN record.LSN, candidates []Slot, pages []PageIndexEntry) (*Log, error) {
+	l, err := New(sink, pageBytes)
+	if err != nil {
+		return nil, err
+	}
+	l.nextLSN = nextLSN
+	l.durableLSN = nextLSN - 1
+	for _, s := range candidates {
+		if s.IsValid() {
+			l.slots = append(l.slots, s)
+		}
+	}
+	l.pages = append(l.pages, pages...)
+	return l, nil
+}
+
+// Capacity returns the payload bytes available per log page.
+func (l *Log) Capacity() int { return l.pageBytes - headerSize }
+
+// ensureSlots extends the provisioned-slot queue to at least n entries.
+func (l *Log) ensureSlots(n int) error {
+	for len(l.slots) < n {
+		got, err := l.sink.ProvisionSlots(n - len(l.slots))
+		if err != nil {
+			return err
+		}
+		if len(got) == 0 {
+			return errors.New("wal: sink provisioned no slots")
+		}
+		l.slots = append(l.slots, got...)
+	}
+	return nil
+}
+
+// Append buffers a record into the current log page and returns its LSN.
+// The record is durable only after a successful Force whose durable LSN
+// covers it.
+func (l *Log) Append(r record.Record) (record.LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return 0, ErrLogDead
+	}
+	sz := record.EncodedSize(r)
+	if sz > l.Capacity() {
+		return 0, fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, sz, l.Capacity())
+	}
+	if len(l.buf)+sz > l.Capacity() {
+		if err := l.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if l.bufCount == 0 {
+		l.bufFirst = l.nextLSN
+	}
+	l.buf = record.Append(l.buf, r)
+	l.bufCount++
+	lsn := l.nextLSN
+	l.nextLSN++
+	return lsn, nil
+}
+
+// Force makes all appended records durable. It writes the partially-filled
+// current page (if any) to flash; subsequent appends start a new page.
+func (l *Log) Force() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return ErrLogDead
+	}
+	if l.bufCount == 0 {
+		return nil
+	}
+	return l.flushLocked()
+}
+
+// AppendForce appends records and forces the log; it returns the LSN of the
+// last appended record.
+func (l *Log) AppendForce(rs ...record.Record) (record.LSN, error) {
+	var last record.LSN
+	for _, r := range rs {
+		lsn, err := l.Append(r)
+		if err != nil {
+			return 0, err
+		}
+		last = lsn
+	}
+	if err := l.Force(); err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+
+func (l *Log) flushLocked() error {
+	// Try the current slot, then its forward candidates (§VIII-A). Each
+	// attempt needs numForward further slots for its header.
+	for attempt := 0; attempt < numForward; attempt++ {
+		if err := l.ensureSlots(attempt + 1 + numForward); err != nil {
+			return err
+		}
+		home := l.slots[attempt]
+		page := encodePage(l.pageBytes, l.bufFirst, l.bufCount, l.buf, l.slots[attempt+1:attempt+1+numForward])
+		if err := l.sink.Program(home, page); err != nil {
+			continue
+		}
+		last := l.bufFirst + record.LSN(l.bufCount) - 1
+		l.pages = append(l.pages, PageIndexEntry{First: l.bufFirst, Last: last, Slot: home})
+		l.durableLSN = last
+		l.buf = l.buf[:0]
+		l.bufCount = 0
+		l.slots = l.slots[attempt+1:]
+		return nil
+	}
+	l.dead = true
+	return ErrLogDead
+}
+
+// Dead reports whether the log has shut down after exhausting forward
+// candidates.
+func (l *Log) Dead() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dead
+}
+
+// DurableLSN returns the highest durable LSN (0 if none).
+func (l *Log) DurableLSN() record.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableLSN
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() record.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// PageFor returns the slot and first LSN of the earliest durable page whose
+// records include or follow lsn. ok is false if no durable page qualifies.
+func (l *Log) PageFor(lsn record.LSN) (s Slot, first record.LSN, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range l.pages {
+		if p.Last >= lsn {
+			return p.Slot, p.First, true
+		}
+	}
+	return NoSlot, 0, false
+}
+
+// LastPage returns the most recent durable page's slot and first LSN.
+func (l *Log) LastPage() (s Slot, first record.LSN, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pages) == 0 {
+		return NoSlot, 0, false
+	}
+	p := l.pages[len(l.pages)-1]
+	return p.Slot, p.First, true
+}
+
+// StartCandidates returns the slots where the next page may be written
+// (used by checkpoints taken while the log is empty, so recovery can find
+// the chain start). It provisions slots as needed.
+func (l *Log) StartCandidates() ([]Slot, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return nil, ErrLogDead
+	}
+	if err := l.ensureSlots(numForward); err != nil {
+		return nil, err
+	}
+	out := make([]Slot, numForward)
+	copy(out, l.slots[:numForward])
+	return out, nil
+}
+
+// Truncate discards index entries for pages entirely below lsn. The pages'
+// storage is reclaimed separately (log EBLOCK erasure via GC).
+func (l *Log) Truncate(lsn record.LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := 0
+	for i < len(l.pages) && l.pages[i].Last < lsn {
+		i++
+	}
+	l.pages = append([]PageIndexEntry(nil), l.pages[i:]...)
+}
+
+// Pages returns a copy of the durable-page index (oldest first).
+func (l *Log) Pages() []PageIndexEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]PageIndexEntry(nil), l.pages...)
+}
+
+// --- page encoding -------------------------------------------------------
+
+func encodePage(pageBytes int, first record.LSN, count int, payload []byte, next []Slot) []byte {
+	page := make([]byte, pageBytes)
+	binary.LittleEndian.PutUint32(page[0:], pageMagic)
+	page[4] = pageVersion
+	binary.LittleEndian.PutUint64(page[8:], uint64(first))
+	binary.LittleEndian.PutUint32(page[16:], uint32(count))
+	binary.LittleEndian.PutUint32(page[20:], uint32(len(payload)))
+	off := 24
+	for i := 0; i < numForward; i++ {
+		s := NoSlot
+		if i < len(next) {
+			s = next[i]
+		}
+		binary.LittleEndian.PutUint32(page[off:], uint32(int32(s.Channel)))
+		binary.LittleEndian.PutUint32(page[off+4:], uint32(int32(s.EBlock)))
+		binary.LittleEndian.PutUint32(page[off+8:], uint32(int32(s.WBlock)))
+		off += 12
+	}
+	copy(page[headerSize:], payload)
+	crc := crc32.ChecksumIEEE(page[:60])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(page[60:], crc)
+	return page
+}
+
+// ChainPage is a decoded log page.
+type ChainPage struct {
+	Slot     Slot
+	FirstLSN record.LSN
+	Records  []record.Record
+	Next     [numForward]Slot
+}
+
+// LastLSN returns the LSN of the page's final record.
+func (p *ChainPage) LastLSN() record.LSN {
+	return p.FirstLSN + record.LSN(len(p.Records)) - 1
+}
+
+// DecodePage parses and validates a raw log page.
+func DecodePage(s Slot, page []byte) (*ChainPage, error) {
+	if len(page) < headerSize {
+		return nil, fmt.Errorf("%w: short page", ErrBadPage)
+	}
+	if binary.LittleEndian.Uint32(page[0:]) != pageMagic || page[4] != pageVersion {
+		return nil, fmt.Errorf("%w: bad magic/version", ErrBadPage)
+	}
+	first := record.LSN(binary.LittleEndian.Uint64(page[8:]))
+	count := int(binary.LittleEndian.Uint32(page[16:]))
+	payloadLen := int(binary.LittleEndian.Uint32(page[20:]))
+	if payloadLen < 0 || headerSize+payloadLen > len(page) {
+		return nil, fmt.Errorf("%w: bad payload length", ErrBadPage)
+	}
+	payload := page[headerSize : headerSize+payloadLen]
+	crc := crc32.ChecksumIEEE(page[:60])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if binary.LittleEndian.Uint32(page[60:]) != crc {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadPage)
+	}
+	recs, err := record.DecodeAll(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPage, err)
+	}
+	if len(recs) != count {
+		return nil, fmt.Errorf("%w: record count mismatch", ErrBadPage)
+	}
+	cp := &ChainPage{Slot: s, FirstLSN: first, Records: recs}
+	off := 24
+	for i := 0; i < numForward; i++ {
+		cp.Next[i] = Slot{
+			Channel: int(int32(binary.LittleEndian.Uint32(page[off:]))),
+			EBlock:  int(int32(binary.LittleEndian.Uint32(page[off+4:]))),
+			WBlock:  int(int32(binary.LittleEndian.Uint32(page[off+8:]))),
+		}
+		off += 12
+	}
+	return cp, nil
+}
+
+// PageLSNRange cheaply parses a raw log page's LSN coverage without
+// decoding its records. ok is false if the buffer is not a valid-looking
+// log page header.
+func PageLSNRange(page []byte) (first, last record.LSN, ok bool) {
+	if len(page) < headerSize {
+		return 0, 0, false
+	}
+	if binary.LittleEndian.Uint32(page[0:]) != pageMagic || page[4] != pageVersion {
+		return 0, 0, false
+	}
+	first = record.LSN(binary.LittleEndian.Uint64(page[8:]))
+	count := binary.LittleEndian.Uint32(page[16:])
+	if count == 0 {
+		return first, first - 1, true
+	}
+	return first, first + record.LSN(count) - 1, true
+}
+
+// ReadPage reads and decodes the log page at s.
+func ReadPage(sink Sink, s Slot) (*ChainPage, error) {
+	raw, err := sink.Read(s)
+	if err != nil {
+		return nil, err
+	}
+	return DecodePage(s, raw)
+}
+
+// ChainTail describes where a chain traversal stopped.
+type ChainTail struct {
+	LastLSN    record.LSN // highest durable LSN seen (0 if no pages)
+	Candidates []Slot     // the unwritten forward locations where the log resumes
+	Pages      []PageIndexEntry
+}
+
+// FollowChain walks the log chain starting from the candidate slots,
+// expecting the first page to carry firstLSN == expectFirst. Each valid page
+// is passed to fn in order. It returns the tail state for resuming appends.
+func FollowChain(sink Sink, start []Slot, expectFirst record.LSN, fn func(*ChainPage) error) (*ChainTail, error) {
+	tail := &ChainTail{LastLSN: expectFirst - 1, Candidates: append([]Slot(nil), start...)}
+	candidates := start
+	expect := expectFirst
+	for {
+		var page *ChainPage
+		for _, c := range candidates {
+			if !c.IsValid() {
+				continue
+			}
+			p, err := ReadPage(sink, c)
+			if err != nil {
+				continue // unwritten, torn or stale page: probe next candidate
+			}
+			if p.FirstLSN != expect {
+				continue // stale page from an earlier generation
+			}
+			page = p
+			break
+		}
+		if page == nil {
+			return tail, nil
+		}
+		if err := fn(page); err != nil {
+			return nil, err
+		}
+		tail.LastLSN = page.LastLSN()
+		tail.Pages = append(tail.Pages, PageIndexEntry{First: page.FirstLSN, Last: page.LastLSN(), Slot: page.Slot})
+		tail.Candidates = page.Next[:]
+		candidates = page.Next[:]
+		expect = page.LastLSN() + 1
+	}
+}

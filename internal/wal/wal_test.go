@@ -1,0 +1,447 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"eleos/internal/record"
+)
+
+// fakeSink provisions slots round-robin across channels (as the real
+// provisioner does, so that forward candidates do not all share one
+// EBLOCK) and mimics flash failure semantics: a failed program disables
+// the rest of its EBLOCK.
+type fakeSink struct {
+	pageBytes  int
+	wblocksPer int
+	channels   int
+	seq        int
+	programs   map[Slot][]byte
+	fail       map[Slot]bool
+	disabled   map[[2]int]bool // {channel,eblock} disabled after failure
+	provCount  int
+}
+
+func newFakeSink(pageBytes int) *fakeSink {
+	return &fakeSink{
+		pageBytes:  pageBytes,
+		wblocksPer: 8,
+		channels:   2,
+		programs:   make(map[Slot][]byte),
+		fail:       make(map[Slot]bool),
+		disabled:   make(map[[2]int]bool),
+	}
+}
+
+func (f *fakeSink) ProvisionSlots(n int) ([]Slot, error) {
+	out := make([]Slot, 0, n)
+	for i := 0; i < n; i++ {
+		s := Slot{
+			Channel: f.seq % f.channels,
+			WBlock:  (f.seq / f.channels) % f.wblocksPer,
+			EBlock:  f.seq / (f.channels * f.wblocksPer),
+		}
+		out = append(out, s)
+		f.seq++
+	}
+	f.provCount += n
+	return out, nil
+}
+
+func (f *fakeSink) Program(s Slot, page []byte) error {
+	if f.disabled[[2]int{s.Channel, s.EBlock}] {
+		return errors.New("fake: eblock disabled")
+	}
+	if f.fail[s] {
+		delete(f.fail, s)
+		f.disabled[[2]int{s.Channel, s.EBlock}] = true
+		return errors.New("fake: program failed")
+	}
+	if _, dup := f.programs[s]; dup {
+		return errors.New("fake: write twice")
+	}
+	cp := make([]byte, len(page))
+	copy(cp, page)
+	f.programs[s] = cp
+	return nil
+}
+
+func (f *fakeSink) Read(s Slot) ([]byte, error) {
+	if p, ok := f.programs[s]; ok {
+		return append([]byte(nil), p...), nil
+	}
+	return make([]byte, f.pageBytes), nil
+}
+
+const testPageBytes = 1024
+
+func newTestLog(t *testing.T) (*Log, *fakeSink) {
+	t.Helper()
+	sink := newFakeSink(testPageBytes)
+	l, err := New(sink, testPageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, sink
+}
+
+func TestAppendAssignsDenseLSNs(t *testing.T) {
+	l, _ := newTestLog(t)
+	for i := 1; i <= 10; i++ {
+		lsn, err := l.Append(record.Done{Action: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != record.LSN(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if l.NextLSN() != 11 {
+		t.Fatalf("NextLSN = %d", l.NextLSN())
+	}
+	if l.DurableLSN() != 0 {
+		t.Fatal("nothing should be durable before Force")
+	}
+}
+
+func TestForceMakesDurable(t *testing.T) {
+	l, sink := newTestLog(t)
+	if _, err := l.AppendForce(record.Done{Action: 1}, record.Done{Action: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if l.DurableLSN() != 2 {
+		t.Fatalf("DurableLSN = %d", l.DurableLSN())
+	}
+	if len(sink.programs) != 1 {
+		t.Fatalf("expected 1 page written, got %d", len(sink.programs))
+	}
+	// Force with empty buffer is a no-op.
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.programs) != 1 {
+		t.Fatal("empty Force should not write")
+	}
+}
+
+func TestPageRollsOverWhenFull(t *testing.T) {
+	l, sink := newTestLog(t)
+	// Fill beyond one page.
+	recSize := record.EncodedSize(record.Done{Action: 1})
+	perPage := l.Capacity() / recSize
+	for i := 0; i < perPage+1; i++ {
+		if _, err := l.Append(record.Done{Action: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first page must have been flushed automatically.
+	if len(sink.programs) != 1 {
+		t.Fatalf("expected auto-flush of first page, got %d pages", len(sink.programs))
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.programs) != 2 {
+		t.Fatalf("expected 2 pages, got %d", len(sink.programs))
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	l, _ := newTestLog(t)
+	pairs := make([]record.AddrPair, testPageBytes/16+10)
+	_, err := l.Append(record.Garbage{Action: 1, Pairs: pairs})
+	if !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("expected ErrRecordTooLarge, got %v", err)
+	}
+}
+
+func TestChainTraversal(t *testing.T) {
+	l, sink := newTestLog(t)
+	start, err := l.StartCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []record.Record
+	for i := 0; i < 100; i++ {
+		r := record.Update{Action: uint64(i), LPID: 5, Type: 1, New: 77}
+		want = append(want, r)
+		if _, err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			if err := l.Force(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	var got []record.Record
+	var lsns []record.LSN
+	tail, err := FollowChain(sink, start, 1, func(p *ChainPage) error {
+		lsn := p.FirstLSN
+		for _, r := range p.Records {
+			got = append(got, r)
+			lsns = append(lsns, lsn)
+			lsn++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed %d records, want %d (or content mismatch)", len(got), len(want))
+	}
+	for i, lsn := range lsns {
+		if lsn != record.LSN(i+1) {
+			t.Fatalf("lsn[%d] = %d", i, lsn)
+		}
+	}
+	if tail.LastLSN != 100 {
+		t.Fatalf("tail.LastLSN = %d", tail.LastLSN)
+	}
+	if len(tail.Candidates) != numForward {
+		t.Fatalf("tail candidates = %d", len(tail.Candidates))
+	}
+}
+
+func TestWriteFailureFailsOverToCandidate(t *testing.T) {
+	l, sink := newTestLog(t)
+	start, _ := l.StartCandidates()
+	if _, err := l.AppendForce(record.Done{Action: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the next page's home slot; it must be written to candidate 2.
+	slot2 := Slot{Channel: 1, EBlock: 0, WBlock: 0}
+	sink.fail[slot2] = true
+	if _, err := l.AppendForce(record.Done{Action: 2}); err != nil {
+		t.Fatalf("failover should succeed: %v", err)
+	}
+	// Chain traversal must still see both records, skipping the bad slot.
+	var actions []uint64
+	tail, err := FollowChain(sink, start, 1, func(p *ChainPage) error {
+		for _, r := range p.Records {
+			actions = append(actions, r.(record.Done).Action)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(actions, []uint64{1, 2}) {
+		t.Fatalf("actions = %v", actions)
+	}
+	if tail.LastLSN != 2 {
+		t.Fatalf("tail.LastLSN = %d", tail.LastLSN)
+	}
+}
+
+func TestLogDeadAfterThreeFailures(t *testing.T) {
+	l, sink := newTestLog(t)
+	if _, err := l.AppendForce(record.Done{Action: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Provision order alternates channels: {0,0,0} {1,0,0} {0,0,1} {1,0,1}.
+	// Fail the next two candidate slots; their failures disable both
+	// channel-0 and channel-1 eblock 0, so the third candidate (also in
+	// channel 0, eblock 0) fails too — the log must die.
+	sink.fail[Slot{1, 0, 0}] = true
+	sink.fail[Slot{0, 0, 1}] = true
+	_, err := l.AppendForce(record.Done{Action: 2})
+	if !errors.Is(err, ErrLogDead) {
+		t.Fatalf("expected ErrLogDead, got %v", err)
+	}
+	if !l.Dead() {
+		t.Fatal("log should be dead")
+	}
+	if _, err := l.Append(record.Done{Action: 3}); !errors.Is(err, ErrLogDead) {
+		t.Fatal("appends after death must fail")
+	}
+}
+
+func TestResumeContinuesChain(t *testing.T) {
+	l, sink := newTestLog(t)
+	start, _ := l.StartCandidates()
+	if _, err := l.AppendForce(record.Done{Action: 1}, record.Done{Action: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate crash: follow chain, then resume and keep writing.
+	tail, err := FollowChain(sink, start, 1, func(p *ChainPage) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Resume(sink, testPageBytes, tail.LastLSN+1, tail.Candidates, tail.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l2.AppendForce(record.Done{Action: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 3 {
+		t.Fatalf("resumed lsn = %d, want 3", lsn)
+	}
+	var actions []uint64
+	if _, err := FollowChain(sink, start, 1, func(p *ChainPage) error {
+		for _, r := range p.Records {
+			actions = append(actions, r.(record.Done).Action)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(actions, []uint64{1, 2, 3}) {
+		t.Fatalf("actions = %v", actions)
+	}
+}
+
+func TestPageForAndTruncate(t *testing.T) {
+	l, _ := newTestLog(t)
+	for i := 1; i <= 3; i++ {
+		if _, err := l.AppendForce(record.Done{Action: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three pages, one record each.
+	s, first, ok := l.PageFor(2)
+	if !ok || first != 2 {
+		t.Fatalf("PageFor(2) = %v %d %v", s, first, ok)
+	}
+	if _, _, ok := l.PageFor(4); ok {
+		t.Fatal("PageFor beyond durable should fail")
+	}
+	l.Truncate(3)
+	if got := l.Pages(); len(got) != 1 || got[0].First != 3 {
+		t.Fatalf("after truncate: %+v", got)
+	}
+	// After truncation, the earliest page following LSN 1 is the survivor.
+	if _, first, ok := l.PageFor(1); !ok || first != 3 {
+		t.Fatalf("PageFor(1) after truncate: first=%d ok=%v", first, ok)
+	}
+	s2, first2, ok := l.LastPage()
+	if !ok || first2 != 3 || !s2.IsValid() {
+		t.Fatal("LastPage wrong")
+	}
+}
+
+func TestFollowChainIgnoresStalePages(t *testing.T) {
+	// A page with the right format but wrong firstLSN (stale generation)
+	// must not be treated as the successor.
+	sink := newFakeSink(testPageBytes)
+	l, _ := New(sink, testPageBytes)
+	start, _ := l.StartCandidates()
+	if _, err := l.AppendForce(record.Done{Action: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Manually place a stale page (firstLSN 99) at the next candidate.
+	stale := encodePage(testPageBytes, 99, 0, nil, nil)
+	if err := sink.Program(Slot{0, 0, 1}, stale); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	tail, err := FollowChain(sink, start, 1, func(p *ChainPage) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || tail.LastLSN != 1 {
+		t.Fatalf("stale page was followed: n=%d last=%d", n, tail.LastLSN)
+	}
+}
+
+func TestDecodePageRejectsCorruption(t *testing.T) {
+	page := encodePage(testPageBytes, 1, 1, record.Append(nil, record.Done{Action: 1}), []Slot{{0, 0, 1}})
+	if _, err := DecodePage(Slot{}, page); err != nil {
+		t.Fatalf("valid page rejected: %v", err)
+	}
+	for _, off := range []int{0, 8, 61, headerSize + 2} {
+		bad := append([]byte(nil), page...)
+		bad[off] ^= 0xFF
+		if _, err := DecodePage(Slot{}, bad); !errors.Is(err, ErrBadPage) {
+			t.Fatalf("corruption at %d not detected: %v", off, err)
+		}
+	}
+	if _, err := DecodePage(Slot{}, page[:10]); !errors.Is(err, ErrBadPage) {
+		t.Fatal("short page not rejected")
+	}
+	zero := make([]byte, testPageBytes)
+	if _, err := DecodePage(Slot{}, zero); !errors.Is(err, ErrBadPage) {
+		t.Fatal("unwritten page not rejected")
+	}
+}
+
+func TestStartCandidatesStable(t *testing.T) {
+	l, _ := newTestLog(t)
+	a, err := l.StartCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.StartCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("StartCandidates not stable: %v vs %v", a, b)
+	}
+	// First durable page must land on the first candidate.
+	if _, err := l.AppendForce(record.Done{Action: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s, _, ok := l.LastPage()
+	if !ok || s != a[0] {
+		t.Fatalf("first page at %v, want %v", s, a[0])
+	}
+}
+
+func TestNewRejectsTinyPages(t *testing.T) {
+	if _, err := New(newFakeSink(16), 16); !errors.Is(err, ErrPageTooSmall) {
+		t.Fatal("tiny page size accepted")
+	}
+}
+
+func TestSlotString(t *testing.T) {
+	if NoSlot.String() != "slot(none)" {
+		t.Fatal(NoSlot.String())
+	}
+	s := Slot{1, 2, 3}
+	if s.String() != fmt.Sprintf("slot(ch=%d eb=%d wb=%d)", 1, 2, 3) {
+		t.Fatal(s.String())
+	}
+}
+
+func TestManyPagesChainIntegrity(t *testing.T) {
+	l, sink := newTestLog(t)
+	start, _ := l.StartCandidates()
+	total := 0
+	for i := 0; i < 500; i++ {
+		if _, err := l.Append(record.Update{Action: uint64(i), LPID: 1, Type: 1, New: 2}); err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if i%13 == 0 {
+			if err := l.Force(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	tail, err := FollowChain(sink, start, 1, func(p *ChainPage) error {
+		n += len(p.Records)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != total || tail.LastLSN != record.LSN(total) {
+		t.Fatalf("chain saw %d records (last %d), want %d", n, tail.LastLSN, total)
+	}
+	if len(tail.Pages) == 0 {
+		t.Fatal("tail should report page index")
+	}
+}

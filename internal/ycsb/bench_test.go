@@ -1,0 +1,29 @@
+package ycsb
+
+import "testing"
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z, err := NewZipfian(10_000_000, 0.99, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += z.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkScrambledNext(b *testing.B) {
+	s, err := NewScrambled(10_000_000, 0.99, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Next()
+	}
+	_ = sink
+}

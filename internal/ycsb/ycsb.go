@@ -1,0 +1,174 @@
+// Package ycsb generates the YCSB workload of §IX-A3: 10 million unique
+// records of 8-byte keys and 100-byte payloads, with operations choosing
+// keys by a Zipfian distribution over existing keys and a write-heavy mix
+// of 95% updates / 5% reads interleaved as 19 updates then 1 read.
+package ycsb
+
+import (
+	"errors"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws ranks in [0, n) with the classic Gray et al. algorithm
+// (the one YCSB uses), theta-skewed toward small ranks.
+type Zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+// NewZipfian creates a generator over n items with skew theta (YCSB uses
+// 0.99).
+func NewZipfian(n uint64, theta float64, seed int64) (*Zipfian, error) {
+	if n == 0 {
+		return nil, errors.New("ycsb: need at least one item")
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, errors.New("ycsb: theta must be in (0,1)")
+	}
+	z := &Zipfian{n: n, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z, nil
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next rank in [0, n): rank 0 is the hottest.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Scrambled wraps Zipfian, hashing ranks so the hot keys are spread across
+// the key space (YCSB's "scrambled zipfian").
+type Scrambled struct {
+	z *Zipfian
+}
+
+// NewScrambled creates a scrambled Zipfian generator.
+func NewScrambled(n uint64, theta float64, seed int64) (*Scrambled, error) {
+	z, err := NewZipfian(n, theta, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Scrambled{z: z}, nil
+}
+
+// Next returns a scrambled rank in [0, n).
+func (s *Scrambled) Next() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	r := s.z.Next()
+	for i := 0; i < 8; i++ {
+		b[i] = byte(r >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64() % s.z.n
+}
+
+// OpKind is a workload operation type.
+type OpKind int
+
+const (
+	// OpUpdate rewrites a record's payload.
+	OpUpdate OpKind = iota
+	// OpRead fetches a record.
+	OpRead
+)
+
+// Op is one workload operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// Config shapes the workload (defaults follow §IX-A3).
+type Config struct {
+	Records     uint64  // unique records (paper: 10M)
+	ValueBytes  int     // payload size (paper: 100)
+	Theta       float64 // Zipfian skew (0.99)
+	UpdateEvery int     // updates per read in the interleave (paper: 19)
+	// ReadHeavy inverts the mix to 95% reads / 5% updates — the workload
+	// the paper evaluated but omitted "due to space constraints"
+	// (footnote 2).
+	ReadHeavy bool
+	Seed      int64
+}
+
+// DefaultConfig returns the paper's write-heavy workload.
+func DefaultConfig() Config {
+	return Config{Records: 10_000_000, ValueBytes: 100, Theta: 0.99, UpdateEvery: 19, Seed: 1}
+}
+
+// ReadHeavyConfig returns the omitted read-heavy mix (95% reads).
+func ReadHeavyConfig() Config {
+	c := DefaultConfig()
+	c.ReadHeavy = true
+	return c
+}
+
+// Workload produces the operation stream.
+type Workload struct {
+	cfg   Config
+	gen   *Scrambled
+	rng   *rand.Rand
+	opIdx int
+}
+
+// NewWorkload creates the generator.
+func NewWorkload(cfg Config) (*Workload, error) {
+	if cfg.Records == 0 || cfg.ValueBytes <= 0 || cfg.UpdateEvery < 0 {
+		return nil, errors.New("ycsb: bad config")
+	}
+	g, err := NewScrambled(cfg.Records, cfg.Theta, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{cfg: cfg, gen: g, rng: rand.New(rand.NewSource(cfg.Seed + 1))}, nil
+}
+
+// Next returns the next operation: UpdateEvery updates, then one read,
+// repeating (the paper's interleave) — or the inverse when ReadHeavy.
+func (w *Workload) Next() Op {
+	minority := w.cfg.UpdateEvery == 0 || w.opIdx%(w.cfg.UpdateEvery+1) == w.cfg.UpdateEvery
+	w.opIdx++
+	kind := OpUpdate
+	if minority != w.cfg.ReadHeavy {
+		kind = OpRead
+	}
+	return Op{Kind: kind, Key: w.gen.Next()}
+}
+
+// Value builds the deterministic payload for (key, version).
+func (w *Workload) Value(key uint64, version uint64) []byte {
+	b := make([]byte, w.cfg.ValueBytes)
+	state := key*6364136223846793005 + version*1442695040888963407 + 1
+	for i := range b {
+		state = state*6364136223846793005 + 1442695040888963407
+		b[i] = byte(state >> 56)
+	}
+	return b
+}
+
+// Records returns the configured record count.
+func (w *Workload) Records() uint64 { return w.cfg.Records }

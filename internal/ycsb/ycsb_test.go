@@ -1,0 +1,176 @@
+package ycsb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfianBoundsQuick(t *testing.T) {
+	z, err := NewZipfian(1000, 0.99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		if r := z.Next(); r >= 1000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z, _ := NewZipfian(10000, 0.99, 2)
+	counts := make([]int, 10000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must be far hotter than the median rank.
+	if counts[0] < 20*counts[5000]+20 {
+		t.Fatalf("insufficient skew: rank0=%d rank5000=%d", counts[0], counts[5000])
+	}
+	// Top 10% of ranks should take the majority of draws.
+	top := 0
+	for i := 0; i < 1000; i++ {
+		top += counts[i]
+	}
+	if float64(top)/draws < 0.5 {
+		t.Fatalf("top-10%% share %.2f too low for theta=0.99", float64(top)/draws)
+	}
+}
+
+func TestZipfianValidation(t *testing.T) {
+	if _, err := NewZipfian(0, 0.99, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewZipfian(10, 0, 1); err == nil {
+		t.Fatal("theta=0 accepted")
+	}
+	if _, err := NewZipfian(10, 1, 1); err == nil {
+		t.Fatal("theta=1 accepted")
+	}
+}
+
+func TestScrambledSpreadsHotKeys(t *testing.T) {
+	s, err := NewScrambled(100000, 0.99, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scrambling must not map the hottest rank to rank 0 consistently;
+	// keys should span the space.
+	seen := map[uint64]bool{}
+	var max uint64
+	for i := 0; i < 50000; i++ {
+		k := s.Next()
+		if k >= 100000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+		if k > max {
+			max = k
+		}
+	}
+	if max < 50000 {
+		t.Fatalf("scrambled keys clustered low: max=%d", max)
+	}
+	if len(seen) < 100 {
+		t.Fatalf("too few distinct keys: %d", len(seen))
+	}
+}
+
+func TestWorkloadMixMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 1000
+	w, err := NewWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, updates := 0, 0
+	for i := 0; i < 20000; i++ {
+		op := w.Next()
+		if op.Kind == OpRead {
+			reads++
+		} else {
+			updates++
+		}
+		if op.Key >= 1000 {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+	}
+	// Exactly 5% reads: 19 updates then 1 read (§IX-A3).
+	if reads != 1000 || updates != 19000 {
+		t.Fatalf("mix: %d reads, %d updates", reads, updates)
+	}
+	// The interleave is deterministic: every 20th op is a read.
+	w2, _ := NewWorkload(cfg)
+	for i := 0; i < 100; i++ {
+		op := w2.Next()
+		wantRead := i%20 == 19
+		if (op.Kind == OpRead) != wantRead {
+			t.Fatalf("op %d kind wrong", i)
+		}
+	}
+}
+
+func TestReadHeavyMix(t *testing.T) {
+	cfg := ReadHeavyConfig()
+	cfg.Records = 1000
+	w, err := NewWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, updates := 0, 0
+	for i := 0; i < 20000; i++ {
+		if w.Next().Kind == OpRead {
+			reads++
+		} else {
+			updates++
+		}
+	}
+	// Inverted: 95% reads, 5% updates (the paper's omitted mix).
+	if reads != 19000 || updates != 1000 {
+		t.Fatalf("read-heavy mix: %d reads, %d updates", reads, updates)
+	}
+}
+
+func TestValueDeterministicAndSized(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 10
+	w, _ := NewWorkload(cfg)
+	a := w.Value(5, 1)
+	b := w.Value(5, 1)
+	c := w.Value(5, 2)
+	if len(a) != 100 {
+		t.Fatalf("value size %d", len(a))
+	}
+	if string(a) != string(b) {
+		t.Fatal("value not deterministic")
+	}
+	if string(a) == string(c) {
+		t.Fatal("versions should differ")
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := NewWorkload(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestZipfianDeterministicQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		a, err1 := NewZipfian(500, 0.9, seed)
+		b, err2 := NewZipfian(500, 0.9, seed)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			if a.Next() != b.Next() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
