@@ -5,7 +5,10 @@
 //
 //	benchrunner [flags] <experiment>
 //
-// Experiments: fig1, fig9, table2, fig10a, fig10b, fig10c, all.
+// Experiments: fig1, fig9, table2, fig10a, fig10b, fig10c, readheavy,
+// durability, ablation, concurrent, all. All but concurrent replay
+// single-threaded and report virtual device time; concurrent exercises the
+// parallel write pipeline and reports wall-clock scaling.
 //
 // The experiments run at a laptop scale (seconds each) by default; raise
 // -txns / -records / -ops to approach the paper's scale. Reported
@@ -29,7 +32,7 @@ func main() {
 		ops     = flag.Int("ops", 60_000, "YCSB operations (fig10*)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -108,6 +111,12 @@ func run(exp string, scale harness.Scale) error {
 		if err := harness.PrintGCAblation(os.Stdout, 900, 1); err != nil {
 			return err
 		}
+	case "concurrent":
+		rows, err := harness.RunConcurrent([]int{1, 2, 4, 8}, 300)
+		if err != nil {
+			return err
+		}
+		harness.PrintConcurrent(os.Stdout, rows)
 	case "all":
 		harness.PrintFig1(os.Stdout)
 		fmt.Println()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"eleos/internal/addr"
@@ -122,5 +123,68 @@ func BenchmarkRecovery(b *testing.B) {
 		if _, err := Open(dev, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkConcurrentSessions measures wall-clock write throughput as the
+// writer count grows. The device emulates NAND channel occupancy in real
+// time (SetWallLatencyScale), so the numbers show what the pipelined write
+// path buys: per-channel workers overlap programs across channels and
+// concurrent committers share forced log pages (group commit), where a
+// single writer leaves every channel idle during its commit force.
+func BenchmarkConcurrentSessions(b *testing.B) {
+	const (
+		pagesPerBatch = 4 // stripes over a subset of channels, so batches overlap
+		pageBytes     = 1920
+		workingSet    = 2000
+	)
+	for _, writers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("writers%d", writers), func(b *testing.B) {
+			geo := flash.Geometry{
+				Channels: 8, EBlocksPerChannel: 64,
+				EBlockBytes: 1 << 20, WBlockBytes: 32 << 10, RBlockBytes: 4 << 10,
+			}
+			dev := flash.MustNewDevice(geo, flash.TypicalNANDLatency())
+			dev.SetWallLatencyScale(1)
+			cfg := DefaultConfig()
+			cfg.AutoCheckpointLogBytes = 16 << 20
+			c, err := Format(dev, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([]byte, pageBytes)
+			sids := make([]uint64, writers)
+			for w := range sids {
+				if sids[w], err = c.OpenSession(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				n := b.N / writers
+				if w < b.N%writers {
+					n++
+				}
+				wg.Add(1)
+				go func(w, n int) {
+					defer wg.Done()
+					base := uint64(w+1) * 1_000_000
+					batch := make([]LPage, pagesPerBatch)
+					for i := 0; i < n; i++ {
+						for j := range batch {
+							lpid := base + uint64((i*pagesPerBatch+j)%workingSet)
+							batch[j] = LPage{LPID: addr.LPID(lpid), Data: data}
+						}
+						if err := c.WriteBatch(sids[w], uint64(i+1), batch); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w, n)
+			}
+			wg.Wait()
+			b.SetBytes(int64(pagesPerBatch * pageBytes))
+		})
 	}
 }

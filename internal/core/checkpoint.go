@@ -46,6 +46,12 @@ func (c *Controller) checkpointLocked() error {
 			continue
 		}
 		if ref.OpenLSN != 0 && ref.OpenLSN < c.lastCkptLSN {
+			if c.inflight[[2]int{ref.Channel, ref.EBlock}] > 0 {
+				// A concurrent action has programs queued at this EBLOCK's
+				// tail; a direct metadata program would violate the NAND
+				// sequential-write order. Leave it for the next checkpoint.
+				continue
+			}
 			if err := c.forceCloseLocked(ref); err != nil {
 				return err
 			}
@@ -251,13 +257,19 @@ func (c *Controller) flushTablesLocked() error {
 		c.migrateFailedLocked(failed)
 		return fmt.Errorf("%w: checkpoint action %d", ErrWriteFailed, id)
 	}
+	// Commit-phase failures abort the action: the old table-page homes are
+	// still authoritative (nothing was installed), and leaving the action
+	// in c.active would pin the truncation LSN forever.
 	if err := c.logClosesLocked(plan); err != nil {
+		c.abortActionLocked(id, plan)
 		return err
 	}
 	if _, err := c.append(record.Commit{Action: id, AKind: record.ActionCheckpoint}); err != nil {
+		c.abortActionLocked(id, plan)
 		return err
 	}
 	if err := c.forceLog(); err != nil {
+		c.abortActionLocked(id, plan)
 		return err
 	}
 

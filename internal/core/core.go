@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"eleos/internal/addr"
 	"eleos/internal/flash"
@@ -181,9 +182,17 @@ const (
 )
 
 // Controller is the ELEOS FTL.
+//
+// Concurrency: c.mu protects all controller state, but the write path holds
+// it only for short critical sections — WSN admission, the
+// provision/log/submit sequence, and the install — and releases it while
+// flash programs execute on the per-channel device workers and while the
+// commit force runs (see DESIGN.md §4, "Concurrency model"). GC, migration
+// and checkpointing run entirely under c.mu.
 type Controller struct {
 	mu      sync.Mutex
-	wsnCond *sync.Cond
+	wsnCond *sync.Cond // admission waiters (WSN order, duplicate claims)
+	ioCond  *sync.Cond // waiters draining in-flight programs per EBLOCK
 
 	cfg  Config
 	dev  *flash.Device
@@ -199,7 +208,16 @@ type Controller struct {
 	active       map[uint64]record.LSN // active actions -> first LSN
 	sessSnapAddr addr.PhysAddr         // current durable session snapshot
 
-	hintLSN      record.LSN // mirrors log.NextLSN without taking the log lock
+	// inflight counts programs queued on the device workers per (channel,
+	// eblock). GC victim selection, checkpoint force-close and migration
+	// must not touch an EBLOCK while its count is non-zero.
+	inflight map[[2]int]int
+	// wsnInflight claims a (sid, wsn) admission while its batch runs with
+	// c.mu released, so a concurrent duplicate submission cannot be
+	// admitted twice.
+	wsnInflight map[[2]uint64]bool
+
+	hintLSN      atomic.Uint64 // mirrors log.NextLSN without taking the log lock
 	ckptSeq      uint64
 	ckptEB       int // current checkpoint-area EBLOCK (A or B)
 	ckptWB       int // next WBLOCK within it
@@ -240,12 +258,15 @@ func newController(dev *flash.Device, cfg Config) (*Controller, error) {
 		sess:        session.New(cfg.SessionSeed),
 		prov:        prov,
 		nextAction:  1,
-		hintLSN:     1,
 		active:      make(map[uint64]record.LSN),
+		inflight:    make(map[[2]int]int),
+		wsnInflight: make(map[[2]uint64]bool),
 		ckptEB:      ckptEBlockA,
 		crashPoints: make(map[string]bool),
 	}
+	c.hintLSN.Store(1)
 	c.wsnCond = sync.NewCond(&c.mu)
+	c.ioCond = sync.NewCond(&c.mu)
 	c.mt.SetLoader(c.loadExtent)
 	return c, nil
 }
@@ -268,21 +289,23 @@ func (c *Controller) clock() uint64 { return c.updateSeq }
 // lsnHint returns a conservative lower bound for LSNs about to be
 // assigned. It deliberately avoids log.NextLSN(): the WAL calls back into
 // the controller (slot provisioning, program failover) while holding its
-// own lock, so the hint is mirrored here instead.
+// own lock, so the hint is mirrored here instead. Atomic because the WAL
+// callbacks run without c.mu (a commit force releases it).
 func (c *Controller) lsnHint() record.LSN {
-	if c.hintLSN == 0 {
+	h := record.LSN(c.hintLSN.Load())
+	if h == 0 {
 		return 1
 	}
-	return c.hintLSN
+	return h
 }
 
-// append adds a log record, tracking statistics.
+// append adds a log record, tracking statistics. Requires c.mu.
 func (c *Controller) append(r record.Record) (record.LSN, error) {
 	lsn, err := c.log.Append(r)
 	if err != nil {
 		return 0, err
 	}
-	c.hintLSN = lsn + 1
+	c.hintLSN.Store(uint64(lsn + 1))
 	c.stats.LogRecords++
 	return lsn, nil
 }
@@ -345,6 +368,10 @@ func (c *Controller) Stats() Stats {
 	defer c.mu.Unlock()
 	return c.stats
 }
+
+// LogStats returns the write-ahead log's activity counters; group-commit
+// behaviour is visible as FreeRides and GroupCommitSize.
+func (c *Controller) LogStats() wal.Stats { return c.log.Stats() }
 
 // Device returns the underlying flash device (for media-time accounting in
 // benchmarks).

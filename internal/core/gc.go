@@ -71,6 +71,14 @@ func (c *Controller) gcChannelLocked(ch int) error {
 func (c *Controller) selectVictimLocked(ch int) (int, bool) {
 	best, bestScore := -1, math.Inf(1)
 	for _, eb := range c.st.UsedEBlocks(ch) {
+		if c.inflight[[2]int{ch, eb}] > 0 {
+			// A concurrent action still has programs queued against this
+			// EBLOCK (it fills and closes in the same plan, so it can be
+			// Used before its last program lands). Its metadata is not yet
+			// readable and erasing it would lose that action's data; skip
+			// it this round.
+			continue
+		}
 		d, err := c.st.Desc(ch, eb)
 		if err != nil {
 			continue
@@ -278,13 +286,20 @@ func (c *Controller) relocateLocked(ch, eb int, entries []summary.MetaEntry, src
 		c.migrateFailedLocked(failed)
 		return fmt.Errorf("%w: gc action %d", ErrWriteFailed, id)
 	}
+	// A commit-phase failure aborts the relocation: both copies stay valid
+	// (the source EBLOCK is only erased after a successful return), and the
+	// abort unpins the action's truncation LSN. Aborting after a failed
+	// force is safe because the unforced commit record was never written.
 	if err := c.logClosesLocked(plan); err != nil {
+		c.abortActionLocked(id, plan)
 		return err
 	}
 	if _, err := c.append(record.Commit{Action: id, AKind: kind}); err != nil {
+		c.abortActionLocked(id, plan)
 		return err
 	}
 	if err := c.forceLog(); err != nil {
+		c.abortActionLocked(id, plan)
 		return err
 	}
 	if err := c.crashIf("gc.after-commit"); err != nil {

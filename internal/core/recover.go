@@ -253,7 +253,7 @@ func Open(dev *flash.Device, cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.hintLSN = tail.LastLSN + 1
+	c.hintLSN.Store(uint64(tail.LastLSN + 1))
 	c.prov.RebuildFromSummary()
 	c.lastCkptLSN = tail.LastLSN + 1
 	return c, nil

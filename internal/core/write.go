@@ -5,11 +5,28 @@ import (
 	"fmt"
 
 	"eleos/internal/addr"
+	"eleos/internal/flash"
 	"eleos/internal/provision"
 	"eleos/internal/record"
 	"eleos/internal/session"
 	"eleos/internal/summary"
 )
+
+// action carries one batched write's state through the pipeline phases.
+// Keeping it explicit (instead of controller fields) lets many actions be
+// in flight at once: each runs its own init/execute/commit/install sequence
+// and c.mu is held only for the sections that touch shared state.
+type action struct {
+	id   uint64
+	sid  uint64
+	wsn  uint64
+	hint record.LSN // lsnHint at init; pins the truncation LSN while active
+
+	buf  []byte                // aligned page images, back to back
+	bps  []provision.BatchPage // layout handed to the provisioner
+	plan *provision.Plan
+	lsns []record.LSN // per-page Update record LSNs
+}
 
 // WriteBatch durably writes a buffer of variable-size logical pages as one
 // atomic system action (§IV). Pages are applied in buffer order: a later
@@ -19,54 +36,88 @@ import (
 // unordered writes. A WSN already applied returns nil without re-applying
 // (the paper re-ACKs the highest WSN); a WSN ahead of its predecessors
 // blocks until they arrive.
+//
+// WriteBatch is safe for concurrent use. Concurrent batches pipeline: each
+// holds c.mu only for admission, the provision/log/submit critical section,
+// and the install; flash programs execute on the per-channel device workers
+// and the commit force runs with the lock released (committers share forced
+// log pages — group commit).
 func (c *Controller) WriteBatch(sid, wsn uint64, pages []LPage) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.crashed {
+		c.mu.Unlock()
 		return ErrCrashed
 	}
 	if len(pages) == 0 {
+		c.mu.Unlock()
 		return ErrEmptyBatch
 	}
 	if sid != 0 {
-		for {
-			v, _, err := c.sess.Check(sid, wsn)
-			if err != nil {
-				return err
-			}
-			if v == session.Stale {
-				c.stats.StaleWrites++
-				return nil
-			}
-			if v == session.Apply {
-				break
-			}
-			c.wsnCond.Wait()
-			if c.crashed {
-				return ErrCrashed
-			}
+		ok, err := c.admitWSNLocked(sid, wsn)
+		if !ok {
+			c.mu.Unlock()
+			return err
 		}
 	}
-	err := c.writeUserLocked(sid, wsn, pages)
+	c.mu.Unlock()
+
+	// Build the aligned write buffer outside the lock: validating, copying
+	// and padding the batch is per-action work.
+	a := &action{sid: sid, wsn: wsn}
+	var err error
+	a.buf, a.bps, err = buildBatch(pages)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err == nil && c.crashed {
+		err = ErrCrashed
+	}
 	if err == nil {
-		if sid != 0 {
-			c.wsnCond.Broadcast()
-		}
+		err = c.writeUser(a, pages)
+	}
+	if sid != 0 {
+		delete(c.wsnInflight, [2]uint64{sid, wsn})
+		c.wsnCond.Broadcast()
+	}
+	if err == nil {
 		c.maybeGCLocked()
 		c.maybeCheckpointLocked()
 	}
 	return err
 }
 
-// buildBatch lays the pages out back to back (64-byte aligned) in the
-// internal write buffer, exactly as the batch arrives over the wire.
+// admitWSNLocked gates a batch on its session's write sequence number
+// (§III-A2) and claims (sid, wsn) so a concurrent duplicate submission of
+// the same WSN cannot be admitted while this one runs outside the lock.
+// ok=false with a nil error means the batch is stale and was re-ACKed.
+func (c *Controller) admitWSNLocked(sid, wsn uint64) (bool, error) {
+	key := [2]uint64{sid, wsn}
+	for {
+		v, _, err := c.sess.Check(sid, wsn)
+		if err != nil {
+			return false, err
+		}
+		if v == session.Stale {
+			c.stats.StaleWrites++
+			return false, nil
+		}
+		if v == session.Apply && !c.wsnInflight[key] {
+			c.wsnInflight[key] = true
+			return true, nil
+		}
+		c.wsnCond.Wait()
+		if c.crashed {
+			return false, ErrCrashed
+		}
+	}
+}
+
+// buildBatch lays the pages out back to back (64-byte aligned) in one
+// preallocated write buffer, exactly as the batch arrives over the wire.
+// The single allocation is zero-filled by the runtime, so each page's
+// alignment padding needs no per-page scratch slice.
 func buildBatch(pages []LPage) ([]byte, []provision.BatchPage, error) {
 	total := 0
-	for _, p := range pages {
-		total += addr.AlignUp(len(p.Data))
-	}
-	buf := make([]byte, 0, total)
-	bps := make([]provision.BatchPage, 0, len(pages))
 	for _, p := range pages {
 		if len(p.Data) == 0 {
 			return nil, nil, fmt.Errorf("%w: LPID %d has no data", ErrEmptyBatch, p.LPID)
@@ -74,41 +125,51 @@ func buildBatch(pages []LPage) ([]byte, []provision.BatchPage, error) {
 		if !p.LPID.IsUser() {
 			return nil, nil, fmt.Errorf("%w: %d", ErrBadLPID, p.LPID)
 		}
+		total += addr.AlignUp(len(p.Data))
+	}
+	buf := make([]byte, total)
+	bps := make([]provision.BatchPage, 0, len(pages))
+	off := 0
+	for _, p := range pages {
 		n := addr.AlignUp(len(p.Data))
-		bps = append(bps, provision.BatchPage{LPID: p.LPID, Type: addr.PageUser, Length: n, BufOff: len(buf)})
-		buf = append(buf, p.Data...)
-		buf = append(buf, make([]byte, n-len(p.Data))...)
+		bps = append(bps, provision.BatchPage{LPID: p.LPID, Type: addr.PageUser, Length: n, BufOff: off})
+		copy(buf[off:], p.Data)
+		off += n
 	}
 	return buf, bps, nil
 }
 
-func (c *Controller) writeUserLocked(sid, wsn uint64, pages []LPage) error {
-	buf, bps, err := buildBatch(pages)
-	if err != nil {
-		return err
-	}
+// writeUser runs one user system action. Called and returned with c.mu
+// held; the lock is released while flash programs execute and while the
+// commit record is forced.
+func (c *Controller) writeUser(a *action, pages []LPage) error {
 	c.updateSeq += uint64(len(pages))
 
-	// Initialization phase (§IV-A): provision, generate I/O commands
-	// (inside the plan), and produce log records.
-	hint := c.lsnHint()
-	plan, err := c.prov.ProvisionBatch(bps, c.clock, hint)
+	// Initialization phase (§IV-A). Provisioning, the init log records and
+	// the queue submission form one critical section: the provisioner
+	// assigns consecutive WBLOCK ranges, recovery's per-EBLOCK replay and
+	// the GC validity scan assume the log sees them in ascending-offset
+	// order, and the per-channel FIFO queues must receive the programs in
+	// that same order for the NAND sequential-program rule.
+	a.hint = c.lsnHint()
+	plan, err := c.prov.ProvisionBatch(a.bps, c.clock, a.hint)
 	if errors.Is(err, provision.ErrNoSpace) {
 		c.gcAllLocked()
-		plan, err = c.prov.ProvisionBatch(bps, c.clock, hint)
+		plan, err = c.prov.ProvisionBatch(a.bps, c.clock, a.hint)
 	}
 	if err != nil {
 		return err
 	}
-	id := c.nextAction
+	a.plan = plan
+	a.id = c.nextAction
 	c.nextAction++
-	c.active[id] = hint
-	lsns, err := c.logPlanLocked(id, plan, nil)
+	c.active[a.id] = a.hint
+	a.lsns, err = c.logPlanLocked(a.id, plan, nil)
 	if err != nil {
 		// Log-space exhaustion mid-init aborts the action; GC plus the
 		// checkpoint it takes first free truncated log EBLOCKs, so the
 		// caller's retry can proceed.
-		c.abortActionLocked(id, plan)
+		c.abortActionLocked(a.id, plan)
 		if errors.Is(err, provision.ErrNoSpace) {
 			c.gcAllLocked()
 			return fmt.Errorf("%w: log space exhausted: %v", ErrWriteFailed, err)
@@ -119,69 +180,121 @@ func (c *Controller) writeUserLocked(sid, wsn uint64, pages []LPage) error {
 		return err
 	}
 
-	// Execution phase (§IV-B).
-	failed := c.executeIOsLocked(buf, plan)
+	// Execution phase (§IV-B): the programs run on the per-channel device
+	// workers with c.mu released, so concurrent actions' I/O overlaps in
+	// wall-clock time.
+	batch := c.submitPlanLocked(a.buf, plan)
+	c.mu.Unlock()
+	res := batch.Wait()
+	c.mu.Lock()
+	c.finishPlanLocked(plan, res)
+	if c.crashed {
+		return ErrCrashed
+	}
 	if err := c.crashIf("write.after-exec"); err != nil {
 		return err
 	}
-	if len(failed) > 0 {
-		c.abortActionLocked(id, plan)
-		c.migrateFailedLocked(failed)
-		return fmt.Errorf("%w: action %d", ErrWriteFailed, id)
+	if len(res.FailedEBlocks) > 0 {
+		c.abortActionLocked(a.id, plan)
+		c.migrateFailedLocked(res.FailedEBlocks)
+		return fmt.Errorf("%w: action %d", ErrWriteFailed, a.id)
 	}
 
-	// Commit phase (§IV-C): force the commit record, then install.
+	// Commit phase (§IV-C): append the commit record under c.mu, force the
+	// log without it. A commit-phase error must abort the action, or its
+	// entry in c.active would pin the truncation LSN forever.
 	if err := c.logClosesLocked(plan); err != nil {
+		c.abortActionLocked(a.id, plan)
 		return err
 	}
 	if err := c.crashIf("commit.before-force"); err != nil {
 		return err
 	}
-	if _, err := c.append(record.Commit{Action: id, AKind: record.ActionUser, SID: sid, WSN: wsn}); err != nil {
+	if _, err := c.append(record.Commit{Action: a.id, AKind: record.ActionUser, SID: a.sid, WSN: a.wsn}); err != nil {
+		c.abortActionLocked(a.id, plan)
 		return err
 	}
-	if err := c.forceLog(); err != nil {
+	if err := c.forceCommitLocked(a.id); err != nil {
 		return err
 	}
 	if err := c.crashIf("commit.after-force"); err != nil {
 		return err
 	}
 
+	// Install phase: publish the new addresses, record old versions as
+	// garbage, and advance the session.
 	var garbage []record.AddrPair
-	for i, pg := range plan.Pages {
+	for i, pg := range a.plan.Pages {
 		old, err := c.mt.Get(pg.LPID)
 		if err != nil {
 			return err
 		}
-		if err := c.mt.Set(pg.LPID, pg.Addr, lsns[i]); err != nil {
+		if err := c.mt.Set(pg.LPID, pg.Addr, a.lsns[i]); err != nil {
 			return err
 		}
 		if old.IsValid() {
 			garbage = append(garbage, record.AddrPair{LPID: pg.LPID, Addr: old})
-			if err := c.st.AddAvail(old.Channel(), old.EBlock(), old.Length(), lsns[i]); err != nil {
+			if err := c.st.AddAvail(old.Channel(), old.EBlock(), old.Length(), a.lsns[i]); err != nil {
 				return err
 			}
 		}
 	}
-	if sid != 0 {
-		if err := c.sess.Advance(sid, wsn); err != nil {
+	if a.sid != 0 {
+		if err := c.sess.Advance(a.sid, a.wsn); err != nil {
 			return err
 		}
 	}
-	if err := c.lazyGarbageLocked(id, garbage); err != nil {
+	if err := c.lazyGarbageLocked(a.id, garbage); err != nil {
 		return err
 	}
-	delete(c.active, id)
+	delete(c.active, a.id)
 
 	c.stats.BatchesWritten++
 	c.stats.PagesWritten += int64(len(pages))
 	for _, p := range pages {
 		c.stats.BytesAccepted += int64(len(p.Data))
 	}
-	for _, bp := range bps {
+	for _, bp := range a.bps {
 		c.stats.BytesStored += int64(bp.Length)
 	}
 	return nil
+}
+
+// forceCommitLocked makes the appended commit record durable. c.mu is
+// released during the force, so concurrent committers batch their commit
+// records into one forced log page (group commit). If the force fails the
+// commit record's durability is unknown and the log can no longer record
+// an abort; after one rescue attempt (checkpoint + GC to free log space)
+// the controller declares itself crashed and recovery resolves the action
+// from the durable log prefix.
+func (c *Controller) forceCommitLocked(id uint64) error {
+	c.mu.Unlock()
+	err := c.log.Force()
+	c.mu.Lock()
+	if err == nil {
+		c.stats.LogForces++
+		c.logBytes += c.geo.WBlockBytes
+		return nil
+	}
+	if !c.crashed && !c.log.Dead() {
+		c.gcAllLocked()
+		c.mu.Unlock()
+		err2 := c.log.Force()
+		c.mu.Lock()
+		if err2 == nil {
+			c.stats.LogForces++
+			c.logBytes += c.geo.WBlockBytes
+			return nil
+		}
+	}
+	if c.crashed {
+		return ErrCrashed
+	}
+	c.crashed = true
+	c.wsnCond.Broadcast()
+	delete(c.active, id)
+	c.stats.AbortedActions++
+	return fmt.Errorf("%w: commit force failed: %v", ErrCrashed, err)
 }
 
 // logPlanLocked produces the init-phase log records for a plan: open-EBLOCK
@@ -229,30 +342,55 @@ func (c *Controller) logClosesLocked(plan *provision.Plan) error {
 	return nil
 }
 
-// executeIOsLocked executes a plan's I/O commands, one submission queue per
-// channel in order (the flash device accounts the per-channel parallelism
-// in virtual time). It returns the EBLOCKs that suffered write failures.
-func (c *Controller) executeIOsLocked(buf []byte, plan *provision.Plan) [][2]int {
-	failed := make(map[[2]int]bool)
+// submitPlanLocked queues a plan's I/O commands on the per-channel device
+// workers and marks their EBLOCKs in flight. Must run in the same c.mu
+// critical section as the provisioning: within a channel the FIFO queue
+// must receive WBLOCK programs in provisioning order.
+func (c *Controller) submitPlanLocked(buf []byte, plan *provision.Plan) *flash.Batch {
+	cmds := make([]flash.BatchCmd, 0, len(plan.IOs))
 	for _, io := range plan.IOs {
-		key := [2]int{io.Channel, io.EBlock}
-		if failed[key] {
-			continue // §VII: subsequent commands to a failed EBLOCK fail too
-		}
 		data := io.Inline
 		if data == nil {
 			data = buf[io.BufLo:io.BufHi]
 		}
-		if err := c.dev.Program(io.Channel, io.EBlock, io.WBlock, data); err != nil {
-			failed[key] = true
+		cmds = append(cmds, flash.BatchCmd{Channel: io.Channel, EBlock: io.EBlock, WBlock: io.WBlock, Data: data})
+		c.inflight[[2]int{io.Channel, io.EBlock}]++
+	}
+	return c.dev.SubmitBatch(cmds)
+}
+
+// finishPlanLocked retires a completed batch's in-flight bookkeeping and
+// wakes waiters (GC, checkpoint and migration drain on ioCond).
+func (c *Controller) finishPlanLocked(plan *provision.Plan, res flash.BatchResult) {
+	for _, io := range plan.IOs {
+		key := [2]int{io.Channel, io.EBlock}
+		if c.inflight[key]--; c.inflight[key] <= 0 {
+			delete(c.inflight, key)
 		}
-		c.stats.IOCommands++
 	}
-	out := make([][2]int, 0, len(failed))
-	for k := range failed {
-		out = append(out, k)
+	c.stats.IOCommands += int64(res.Attempted)
+	c.ioCond.Broadcast()
+}
+
+// waitInflightLocked blocks until no queued programs target (ch, eb). The
+// queued programs always complete (the workers depend only on device
+// locks), so the wait is bounded.
+func (c *Controller) waitInflightLocked(ch, eb int) {
+	for c.inflight[[2]int{ch, eb}] > 0 {
+		c.ioCond.Wait()
 	}
-	return out
+}
+
+// executeIOsLocked runs a plan's I/O commands to completion while holding
+// c.mu — GC, migration and checkpoint actions stay fully serialized. The
+// failed EBLOCKs come back sorted by (channel, eblock), keeping migration
+// order (and the virtual-time accounting after injected failures)
+// deterministic.
+func (c *Controller) executeIOsLocked(buf []byte, plan *provision.Plan) [][2]int {
+	batch := c.submitPlanLocked(buf, plan)
+	res := batch.Wait()
+	c.finishPlanLocked(plan, res)
+	return res.FailedEBlocks
 }
 
 // abortActionLocked aborts a system action: the provisioned space is
@@ -303,6 +441,11 @@ func (c *Controller) migrateEBlockLocked(ch, eb int) error {
 	}
 	c.migrationDepth++
 	defer func() { c.migrationDepth-- }()
+
+	// Other actions may still have programs queued against this EBLOCK;
+	// they must land (and fail, feeding those actions' own abort paths)
+	// before the migration reads metadata and erases.
+	c.waitInflightLocked(ch, eb)
 
 	d, err := c.st.Desc(ch, eb)
 	if err != nil {

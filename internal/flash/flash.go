@@ -17,13 +17,21 @@
 // media's parallelism (channels operate independently) is modelled without
 // wall-clock sleeps: the media-side elapsed time of a workload is the
 // busiest channel's accumulated time.
+//
+// Channels are independently locked, and SubmitBatch queues program
+// commands onto one worker goroutine per channel, so different channels
+// also execute concurrently in wall-clock time. Each channel's virtual
+// busy time is a sum over its own operations, so the totals do not depend
+// on wall-clock interleaving and virtual-time results stay deterministic.
 package flash
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -144,22 +152,51 @@ type eblockState struct {
 }
 
 type channelState struct {
+	mu      sync.Mutex
 	eblocks []eblockState
 	busy    time.Duration // accumulated virtual time
 }
 
 // Device is the simulated flash array. All methods are safe for concurrent
-// use.
+// use; operations on different channels do not contend.
 type Device struct {
-	mu       sync.Mutex
 	geo      Geometry
 	lat      Latency
 	channels []channelState
-	stats    Stats
 
+	statsMu sync.Mutex
+	stats   Stats
+
+	injectMu sync.Mutex
 	failNext map[[3]int]bool // explicit one-shot program failures
 	failProb float64
 	rng      *rand.Rand
+
+	workerMu sync.Mutex
+	workers  []chan batchSeg // lazily started, one per channel
+	closed   bool
+
+	// wallScale > 0 makes operations consume real wall-clock time (their
+	// virtual latency times the scale) while holding the channel lock,
+	// emulating channel occupancy for concurrency benchmarks. Stored as
+	// nanoseconds-scale*1e6 in an atomic so it can be read lock-free.
+	wallScaleMilli atomic.Int64
+}
+
+// SetWallLatencyScale makes device operations sleep scale×latency of real
+// time while occupying their channel (0 disables, the default). Virtual
+// time accounting is unaffected. Used by wall-clock concurrency benchmarks
+// to model the pipeline overlap a real NAND channel would provide.
+func (d *Device) SetWallLatencyScale(scale float64) {
+	d.wallScaleMilli.Store(int64(scale * 1000))
+}
+
+// wallWait sleeps the scaled latency if wall-time emulation is on. Called
+// with the channel lock held: the channel is busy for the duration.
+func (d *Device) wallWait(lat time.Duration) {
+	if s := d.wallScaleMilli.Load(); s > 0 {
+		time.Sleep(lat * time.Duration(s) / 1000)
+	}
 }
 
 // NewDevice creates a device with the given geometry and latency model.
@@ -205,26 +242,39 @@ func (d *Device) checkAddr(ch, eb int) error {
 // FailNextProgram arranges for the next program of the given WBLOCK to
 // fail. Used by tests and fault-injection benchmarks.
 func (d *Device) FailNextProgram(ch, eb, wb int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.injectMu.Lock()
+	defer d.injectMu.Unlock()
 	d.failNext[[3]int{ch, eb, wb}] = true
 }
 
 // SetFailureProbability makes every program fail independently with
 // probability p, using the device's seeded RNG (deterministic runs).
+// A non-zero probability also switches SubmitBatch to synchronous
+// execution: the shared RNG makes outcomes order-dependent, and the
+// fault-injection experiments rely on the single-threaded draw order.
 func (d *Device) SetFailureProbability(p float64, seed int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.injectMu.Lock()
+	defer d.injectMu.Unlock()
 	d.failProb = p
 	d.rng = rand.New(rand.NewSource(seed))
+}
+
+// shouldFail decides fault injection for one program.
+func (d *Device) shouldFail(ch, eb, wb int) bool {
+	d.injectMu.Lock()
+	defer d.injectMu.Unlock()
+	key := [3]int{ch, eb, wb}
+	if d.failNext[key] {
+		delete(d.failNext, key)
+		return true
+	}
+	return d.failProb > 0 && d.rng.Float64() < d.failProb
 }
 
 // Program writes data into a WBLOCK. len(data) must not exceed the WBLOCK
 // size; shorter data is implicitly zero-padded on read. Programs within an
 // EBLOCK must be issued at strictly increasing WBLOCK indices.
 func (d *Device) Program(ch, eb, wb int, data []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.checkAddr(ch, eb); err != nil {
 		return err
 	}
@@ -234,7 +284,10 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 	if len(data) > d.geo.WBlockBytes {
 		return fmt.Errorf("%w: %d > %d", ErrDataTooLarge, len(data), d.geo.WBlockBytes)
 	}
-	ebs := &d.channels[ch].eblocks[eb]
+	cs := &d.channels[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ebs := &cs.eblocks[eb]
 	if ebs.bad {
 		return fmt.Errorf("%w: ch=%d eb=%d", ErrBadBlock, ch, eb)
 	}
@@ -248,25 +301,23 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 		return fmt.Errorf("%w: ch=%d eb=%d wb=%d (next=%d)", ErrWriteOrder, ch, eb, wb, ebs.nextWBlock)
 	}
 	// Programming consumes time whether or not it succeeds.
-	d.channels[ch].busy += d.lat.ProgramWBlock
-	key := [3]int{ch, eb, wb}
-	fail := d.failNext[key]
-	if fail {
-		delete(d.failNext, key)
-	} else if d.failProb > 0 && d.rng.Float64() < d.failProb {
-		fail = true
-	}
-	if fail {
+	cs.busy += d.lat.ProgramWBlock
+	d.wallWait(d.lat.ProgramWBlock)
+	if d.shouldFail(ch, eb, wb) {
 		ebs.failed = true
+		d.statsMu.Lock()
 		d.stats.WriteFailures++
+		d.statsMu.Unlock()
 		return fmt.Errorf("%w: ch=%d eb=%d wb=%d", ErrWriteFailed, ch, eb, wb)
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	ebs.wblocks[wb] = buf
 	ebs.nextWBlock = wb + 1
+	d.statsMu.Lock()
 	d.stats.WBlocksWritten++
 	d.stats.BytesWritten += int64(d.geo.WBlockBytes)
+	d.statsMu.Unlock()
 	return nil
 }
 
@@ -274,20 +325,20 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 // within the EBLOCK (RBLOCK indices run across WBLOCK boundaries).
 // Unwritten regions read as zeroes.
 func (d *Device) ReadRBlocks(ch, eb, start, n int) ([]byte, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.checkAddr(ch, eb); err != nil {
 		return nil, err
 	}
 	if n <= 0 || start < 0 || start+n > d.geo.RBlocksPerEBlock() {
 		return nil, fmt.Errorf("%w: rblocks [%d,%d)", ErrOutOfRange, start, start+n)
 	}
+	cs := &d.channels[ch]
+	cs.mu.Lock()
 	out := make([]byte, n*d.geo.RBlockBytes)
 	rPerW := d.geo.RBlocksPerWBlock()
 	for i := 0; i < n; i++ {
 		r := start + i
 		wb, rInW := r/rPerW, r%rPerW
-		src := d.channels[ch].eblocks[eb].wblocks[wb]
+		src := cs.eblocks[eb].wblocks[wb]
 		if src == nil {
 			continue // erased: zeroes
 		}
@@ -300,9 +351,13 @@ func (d *Device) ReadRBlocks(ch, eb, start, n int) ([]byte, error) {
 			copy(out[i*d.geo.RBlockBytes:], src[lo:hi])
 		}
 	}
-	d.channels[ch].busy += time.Duration(n) * d.lat.ReadRBlock
+	cs.busy += time.Duration(n) * d.lat.ReadRBlock
+	d.wallWait(time.Duration(n) * d.lat.ReadRBlock)
+	cs.mu.Unlock()
+	d.statsMu.Lock()
 	d.stats.RBlocksRead += int64(n)
 	d.stats.BytesRead += int64(n * d.geo.RBlockBytes)
+	d.statsMu.Unlock()
 	return out, nil
 }
 
@@ -329,32 +384,35 @@ func (d *Device) ReadExtent(ch, eb, off, length int) ([]byte, int, error) {
 // erase. Recovery uses this to fix up open-EBLOCK write positions
 // (§VIII-C3).
 func (d *Device) IsWritten(ch, eb, wb int) (bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.checkAddr(ch, eb); err != nil {
 		return false, err
 	}
 	if wb < 0 || wb >= d.geo.WBlocksPerEBlock() {
 		return false, fmt.Errorf("%w: wb=%d", ErrOutOfRange, wb)
 	}
-	return d.channels[ch].eblocks[eb].wblocks[wb] != nil, nil
+	cs := &d.channels[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.eblocks[eb].wblocks[wb] != nil, nil
 }
 
 // Erase erases an EBLOCK, making all its WBLOCKs writable again. It fails
 // with ErrBadBlock once the erase limit is exceeded.
 func (d *Device) Erase(ch, eb int) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.checkAddr(ch, eb); err != nil {
 		return err
 	}
-	ebs := &d.channels[ch].eblocks[eb]
+	cs := &d.channels[ch]
+	cs.mu.Lock()
+	ebs := &cs.eblocks[eb]
 	if ebs.bad {
+		cs.mu.Unlock()
 		return fmt.Errorf("%w: ch=%d eb=%d", ErrBadBlock, ch, eb)
 	}
 	ebs.eraseCount++
 	if d.geo.EraseLimit > 0 && ebs.eraseCount > d.geo.EraseLimit {
 		ebs.bad = true
+		cs.mu.Unlock()
 		return fmt.Errorf("%w: ch=%d eb=%d after %d erases", ErrBadBlock, ch, eb, ebs.eraseCount)
 	}
 	for i := range ebs.wblocks {
@@ -362,85 +420,289 @@ func (d *Device) Erase(ch, eb int) error {
 	}
 	ebs.nextWBlock = 0
 	ebs.failed = false
-	d.channels[ch].busy += d.lat.EraseEBlock
+	cs.busy += d.lat.EraseEBlock
+	d.wallWait(d.lat.EraseEBlock)
+	cs.mu.Unlock()
+	d.statsMu.Lock()
 	d.stats.EBlocksErased++
+	d.statsMu.Unlock()
 	return nil
 }
 
 // EraseCount returns how many times an EBLOCK has been erased.
 func (d *Device) EraseCount(ch, eb int) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.checkAddr(ch, eb); err != nil {
 		return 0, err
 	}
-	return d.channels[ch].eblocks[eb].eraseCount, nil
+	cs := &d.channels[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.eblocks[eb].eraseCount, nil
 }
 
 // IsBad reports whether an EBLOCK has exceeded its erase limit.
 func (d *Device) IsBad(ch, eb int) (bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.checkAddr(ch, eb); err != nil {
 		return false, err
 	}
-	return d.channels[ch].eblocks[eb].bad, nil
+	cs := &d.channels[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.eblocks[eb].bad, nil
 }
 
 // NextProgramPosition returns the next sequential WBLOCK index that a
 // program to the EBLOCK must target.
 func (d *Device) NextProgramPosition(ch, eb int) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.checkAddr(ch, eb); err != nil {
 		return 0, err
 	}
-	return d.channels[ch].eblocks[eb].nextWBlock, nil
+	cs := &d.channels[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.eblocks[eb].nextWBlock, nil
 }
 
 // Stats returns a snapshot of the operation counters.
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
 	return d.stats
 }
 
 // ResetStats zeroes the operation counters (virtual time is separate).
 func (d *Device) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
 	d.stats = Stats{}
 }
 
 // ChannelTime returns the accumulated virtual busy time of one channel.
 func (d *Device) ChannelTime(ch int) time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if ch < 0 || ch >= d.geo.Channels {
 		return 0
 	}
-	return d.channels[ch].busy
+	cs := &d.channels[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.busy
 }
 
 // MediaTime returns the virtual elapsed media time of the workload so far:
 // the busiest channel's accumulated time (channels run in parallel).
 func (d *Device) MediaTime() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	var max time.Duration
 	for i := range d.channels {
+		d.channels[i].mu.Lock()
 		if d.channels[i].busy > max {
 			max = d.channels[i].busy
 		}
+		d.channels[i].mu.Unlock()
 	}
 	return max
 }
 
 // ResetTime zeroes all channels' virtual busy time.
 func (d *Device) ResetTime() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	for i := range d.channels {
+		d.channels[i].mu.Lock()
 		d.channels[i].busy = 0
+		d.channels[i].mu.Unlock()
 	}
+}
+
+// --- per-channel submission queues -----------------------------------------
+
+// BatchCmd is one WBLOCK program destined for a channel's submission queue.
+type BatchCmd struct {
+	Channel int
+	EBlock  int
+	WBlock  int
+	Data    []byte
+}
+
+// BatchResult reports the outcome of a submitted batch.
+type BatchResult struct {
+	// FailedEBlocks lists the EBLOCKs that suffered a program failure,
+	// sorted by (channel, eblock). Commands queued behind a failure in the
+	// same EBLOCK are skipped (§VII: the EBLOCK is unwritable until erased).
+	FailedEBlocks [][2]int
+	// Attempted counts the programs actually issued (failures included,
+	// skipped commands excluded).
+	Attempted int
+}
+
+// Batch tracks an in-flight SubmitBatch until every queued command has
+// completed.
+type Batch struct {
+	mu        sync.Mutex
+	done      sync.Cond
+	pending   int
+	attempted int
+	failed    map[[2]int]bool
+}
+
+type batchSeg struct {
+	b    *Batch
+	cmds []BatchCmd
+}
+
+// Wait blocks until all of the batch's commands have completed and returns
+// the merged result.
+func (b *Batch) Wait() BatchResult {
+	b.mu.Lock()
+	for b.pending > 0 {
+		b.done.Wait()
+	}
+	res := BatchResult{Attempted: b.attempted}
+	if len(b.failed) > 0 {
+		res.FailedEBlocks = make([][2]int, 0, len(b.failed))
+		for k := range b.failed {
+			res.FailedEBlocks = append(res.FailedEBlocks, k)
+		}
+		sort.Slice(res.FailedEBlocks, func(i, j int) bool {
+			a, c := res.FailedEBlocks[i], res.FailedEBlocks[j]
+			if a[0] != c[0] {
+				return a[0] < c[0]
+			}
+			return a[1] < c[1]
+		})
+	}
+	b.mu.Unlock()
+	return res
+}
+
+func (b *Batch) finish(attempted int, failed [][2]int) {
+	b.mu.Lock()
+	b.attempted += attempted
+	for _, k := range failed {
+		if b.failed == nil {
+			b.failed = make(map[[2]int]bool)
+		}
+		b.failed[k] = true
+	}
+	if b.pending--; b.pending == 0 {
+		b.done.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// runSegment executes one channel's commands in order, skipping commands to
+// EBLOCKs that failed earlier within this batch.
+func (d *Device) runSegment(cmds []BatchCmd) (attempted int, failed [][2]int) {
+	var failedSet map[[2]int]bool
+	for _, c := range cmds {
+		key := [2]int{c.Channel, c.EBlock}
+		if failedSet[key] {
+			continue
+		}
+		attempted++
+		if err := d.Program(c.Channel, c.EBlock, c.WBlock, c.Data); err != nil {
+			if failedSet == nil {
+				failedSet = make(map[[2]int]bool)
+			}
+			failedSet[key] = true
+			failed = append(failed, key)
+		}
+	}
+	return attempted, failed
+}
+
+func (d *Device) workerLoop(q chan batchSeg) {
+	for seg := range q {
+		attempted, failed := d.runSegment(seg.cmds)
+		seg.b.finish(attempted, failed)
+	}
+}
+
+// queueFor returns channel ch's submission queue, starting its worker on
+// first use. Returns nil when the device has been closed.
+func (d *Device) queueFor(ch int) chan batchSeg {
+	d.workerMu.Lock()
+	defer d.workerMu.Unlock()
+	if d.closed {
+		return nil
+	}
+	if d.workers == nil {
+		d.workers = make([]chan batchSeg, d.geo.Channels)
+	}
+	if d.workers[ch] == nil {
+		q := make(chan batchSeg, 256)
+		d.workers[ch] = q
+		go d.workerLoop(q)
+	}
+	return d.workers[ch]
+}
+
+// SubmitBatch queues program commands onto the per-channel workers and
+// returns a handle to wait on. Commands for the same channel execute in
+// slice order (FIFO per channel, preserving the NAND sequential-program
+// constraint for commands the caller ordered correctly); commands for
+// different channels execute concurrently in wall-clock time. A failed
+// program disables the rest of its EBLOCK for the remainder of the batch.
+//
+// Two situations fall back to synchronous execution in the caller's
+// goroutine, in exact slice order: a configured failure probability (the
+// shared seeded RNG makes outcomes draw-order dependent, and deterministic
+// fault-injection runs require the single-threaded order), and a closed
+// device.
+func (d *Device) SubmitBatch(cmds []BatchCmd) *Batch {
+	b := &Batch{}
+	b.done.L = &b.mu
+	if len(cmds) == 0 {
+		return b
+	}
+	d.injectMu.Lock()
+	sequential := d.failProb > 0
+	d.injectMu.Unlock()
+	if sequential {
+		attempted, failed := d.runSegment(cmds)
+		b.attempted, b.pending = attempted, 0
+		for _, k := range failed {
+			if b.failed == nil {
+				b.failed = make(map[[2]int]bool)
+			}
+			b.failed[k] = true
+		}
+		return b
+	}
+	// Split into per-channel segments, preserving order within a channel.
+	segs := make(map[int][]BatchCmd)
+	order := make([]int, 0, d.geo.Channels)
+	for _, c := range cmds {
+		if _, ok := segs[c.Channel]; !ok {
+			order = append(order, c.Channel)
+		}
+		segs[c.Channel] = append(segs[c.Channel], c)
+	}
+	b.pending = len(order)
+	for _, ch := range order {
+		q := d.queueFor(ch)
+		if q == nil {
+			// Closed device: run inline.
+			attempted, failed := d.runSegment(segs[ch])
+			b.finish(attempted, failed)
+			continue
+		}
+		q <- batchSeg{b: b, cmds: segs[ch]}
+	}
+	return b
+}
+
+// Close stops the per-channel worker goroutines. Callers must have waited
+// on all outstanding batches first. The device itself stays usable:
+// subsequent SubmitBatch calls execute synchronously.
+func (d *Device) Close() {
+	d.workerMu.Lock()
+	defer d.workerMu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for _, q := range d.workers {
+		if q != nil {
+			close(q)
+		}
+	}
+	d.workers = nil
 }

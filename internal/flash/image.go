@@ -22,10 +22,10 @@ const (
 // ErrBadImage reports a corrupt or incompatible device image.
 var ErrBadImage = errors.New("flash: bad device image")
 
-// WriteTo serialises the device state.
+// WriteTo serialises the device state. Each channel is locked while its
+// EBLOCKs are serialised; callers wanting a fully consistent image must
+// quiesce I/O first.
 func (d *Device) WriteTo(w io.Writer) (int64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	bw := bufio.NewWriter(w)
 	var n int64
 	put := func(v uint64) error {
@@ -47,49 +47,58 @@ func (d *Device) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	for ch := range d.channels {
-		for eb := range d.channels[ch].eblocks {
-			ebs := &d.channels[ch].eblocks[eb]
-			flags := uint64(0)
-			if ebs.failed {
-				flags |= 1
-			}
-			if ebs.bad {
-				flags |= 2
-			}
-			meta := []uint64{uint64(ebs.eraseCount), uint64(ebs.nextWBlock), flags}
-			for _, v := range meta {
-				if err := put(v); err != nil {
-					return n, err
+		cs := &d.channels[ch]
+		cs.mu.Lock()
+		err := func() error {
+			for eb := range cs.eblocks {
+				ebs := &cs.eblocks[eb]
+				flags := uint64(0)
+				if ebs.failed {
+					flags |= 1
+				}
+				if ebs.bad {
+					flags |= 2
+				}
+				meta := []uint64{uint64(ebs.eraseCount), uint64(ebs.nextWBlock), flags}
+				for _, v := range meta {
+					if err := put(v); err != nil {
+						return err
+					}
+				}
+				written := uint64(0)
+				for wb, data := range ebs.wblocks {
+					if data != nil {
+						written |= 1 << uint(wb)
+					}
+				}
+				if d.geo.WBlocksPerEBlock() > 64 {
+					return fmt.Errorf("flash: image format supports at most 64 wblocks per eblock")
+				}
+				if err := put(written); err != nil {
+					return err
+				}
+				for _, data := range ebs.wblocks {
+					if data == nil {
+						continue
+					}
+					if err := put(uint64(len(data))); err != nil {
+						return err
+					}
+					m, err := bw.Write(data)
+					n += int64(m)
+					if err != nil {
+						return err
+					}
+					if err := put(uint64(crc32.ChecksumIEEE(data))); err != nil {
+						return err
+					}
 				}
 			}
-			written := uint64(0)
-			for wb, data := range ebs.wblocks {
-				if data != nil {
-					written |= 1 << uint(wb)
-				}
-			}
-			if d.geo.WBlocksPerEBlock() > 64 {
-				return n, fmt.Errorf("flash: image format supports at most 64 wblocks per eblock")
-			}
-			if err := put(written); err != nil {
-				return n, err
-			}
-			for _, data := range ebs.wblocks {
-				if data == nil {
-					continue
-				}
-				if err := put(uint64(len(data))); err != nil {
-					return n, err
-				}
-				m, err := bw.Write(data)
-				n += int64(m)
-				if err != nil {
-					return n, err
-				}
-				if err := put(uint64(crc32.ChecksumIEEE(data))); err != nil {
-					return n, err
-				}
-			}
+			return nil
+		}()
+		cs.mu.Unlock()
+		if err != nil {
+			return n, err
 		}
 	}
 	return n, bw.Flush()

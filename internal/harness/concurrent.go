@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"eleos/internal/addr"
+	"eleos/internal/core"
+	"eleos/internal/flash"
+)
+
+// The concurrent experiment measures the parallel write pipeline in wall
+// clock, unlike the figure experiments, which replay single-threaded and
+// report virtual device time. The flash device emulates NAND channel
+// occupancy in real time (SetWallLatencyScale), so the scaling curve shows
+// what the pipeline buys: per-channel workers overlap programs across
+// channels, and concurrent committers share forced log pages.
+
+// ConcurrentRow is one writer count's measurement.
+type ConcurrentRow struct {
+	Writers         int
+	Batches         int           // total batches across all writers
+	Elapsed         time.Duration // wall clock
+	MBPerSec        float64
+	Speedup         float64 // vs the first row's throughput
+	ForceCalls      int64
+	FreeRidePct     float64 // Force calls satisfied by another caller's page write
+	GroupCommitSize float64 // records made durable per physical log-page write
+}
+
+const (
+	concPagesPerBatch = 4
+	concPageBytes     = 1920
+	concWorkingSet    = 2000
+)
+
+// RunConcurrent runs the multi-writer throughput experiment: each writer
+// owns a durable session and streams batchesPerWriter batches of
+// variable-size pages through the controller.
+func RunConcurrent(writerCounts []int, batchesPerWriter int) ([]ConcurrentRow, error) {
+	var rows []ConcurrentRow
+	for _, writers := range writerCounts {
+		row, err := runConcurrentOne(writers, batchesPerWriter)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) > 0 {
+			row.Speedup = row.MBPerSec / rows[0].MBPerSec
+		} else {
+			row.Speedup = 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runConcurrentOne(writers, batchesPerWriter int) (ConcurrentRow, error) {
+	geo := flash.Geometry{
+		Channels: 8, EBlocksPerChannel: 64,
+		EBlockBytes: 1 << 20, WBlockBytes: 32 << 10, RBlockBytes: 4 << 10,
+	}
+	dev := flash.MustNewDevice(geo, flash.TypicalNANDLatency())
+	dev.SetWallLatencyScale(1)
+	cfg := core.DefaultConfig()
+	cfg.AutoCheckpointLogBytes = 16 << 20
+	c, err := core.Format(dev, cfg)
+	if err != nil {
+		return ConcurrentRow{}, err
+	}
+	sids := make([]uint64, writers)
+	for w := range sids {
+		if sids[w], err = c.OpenSession(); err != nil {
+			return ConcurrentRow{}, err
+		}
+	}
+	data := make([]byte, concPageBytes)
+	errs := make(chan error, writers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w+1) * 1_000_000
+			batch := make([]core.LPage, concPagesPerBatch)
+			for i := 0; i < batchesPerWriter; i++ {
+				for j := range batch {
+					lpid := base + uint64((i*concPagesPerBatch+j)%concWorkingSet)
+					batch[j] = core.LPage{LPID: addr.LPID(lpid), Data: data}
+				}
+				if err := c.WriteBatch(sids[w], uint64(i+1), batch); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return ConcurrentRow{}, err
+	}
+	ls := c.LogStats()
+	total := writers * batchesPerWriter
+	bytes := float64(total) * concPagesPerBatch * concPageBytes
+	row := ConcurrentRow{
+		Writers:         writers,
+		Batches:         total,
+		Elapsed:         elapsed,
+		MBPerSec:        bytes / (1 << 20) / elapsed.Seconds(),
+		ForceCalls:      ls.ForceCalls,
+		GroupCommitSize: ls.GroupCommitSize(),
+	}
+	if ls.ForceCalls > 0 {
+		row.FreeRidePct = 100 * float64(ls.FreeRides) / float64(ls.ForceCalls)
+	}
+	return row, nil
+}
+
+// PrintConcurrent renders the scaling table.
+func PrintConcurrent(w io.Writer, rows []ConcurrentRow) {
+	fmt.Fprintln(w, "Concurrent write pipeline (wall clock, emulated NAND channel occupancy)")
+	fmt.Fprintf(w, "%8s %10s %10s %9s %9s %10s %11s\n",
+		"writers", "batches", "MB/s", "speedup", "forces", "free-ride", "grp-commit")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %10d %10.2f %8.2fx %9d %9.1f%% %11.1f\n",
+			r.Writers, r.Batches, r.MBPerSec, r.Speedup,
+			r.ForceCalls, r.FreeRidePct, r.GroupCommitSize)
+	}
+}

@@ -11,6 +11,11 @@
 // LPAGEs (namespaced LPIDs), so garbage collection relocates them with the
 // same machinery as user data; recovery's first log pass repairs their
 // addresses before the second pass needs them (§VIII-C1).
+//
+// The page cache is striped across shards keyed by mapping-page index, so
+// concurrent installs and lookups of different pages do not serialize on
+// one mutex. The LRU list backing CacheLimit is global (eviction pressure
+// is a whole-table property) and is only maintained when a limit is set.
 package mapping
 
 import (
@@ -20,6 +25,7 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"eleos/internal/addr"
 	"eleos/internal/record"
@@ -71,20 +77,38 @@ type page struct {
 	recLSN  record.LSN // LSN that first dirtied the page since its last flush
 }
 
-// Table is the in-memory face of the mapping table. Safe for concurrent
-// use.
-type Table struct {
-	mu     sync.Mutex
-	cfg    Config
-	loader Loader
-	pages  map[int]*page
-	lru    []int // cached page indices, least recently used first
+// numShards stripes the page cache. Must be a power of two.
+const numShards = 16
 
+type shard struct {
+	mu    sync.Mutex
+	pages map[int]*page
+}
+
+// Table is the in-memory face of the mapping table. Safe for concurrent
+// use: page operations lock only the owning shard (plus the small-table
+// mutex on a miss), so lookups and installs of different pages proceed in
+// parallel.
+//
+// Lock order: lruMu -> shard.mu -> tablesMu.
+type Table struct {
+	cfg    Config
+	shards [numShards]shard
+	cached atomic.Int64 // total cached pages across shards
+
+	lruMu sync.Mutex
+	lru   []int // cached page indices, least recently used first
+
+	tablesMu   sync.Mutex
+	loader     Loader
 	small      []addr.PhysAddr // flash address of mapping page i (0 = never flushed)
 	smallDirty map[int]record.LSN
 	tiny       []addr.PhysAddr // flash address of small page j (checkpoint record)
 
-	stats Stats
+	hits      atomic.Int64
+	misses    atomic.Int64
+	loads     atomic.Int64
+	evictions atomic.Int64
 }
 
 // New creates an empty table.
@@ -92,17 +116,17 @@ func New(cfg Config) (*Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Table{
-		cfg:        cfg,
-		pages:      make(map[int]*page),
-		smallDirty: make(map[int]record.LSN),
-	}, nil
+	t := &Table{cfg: cfg, smallDirty: make(map[int]record.LSN)}
+	for i := range t.shards {
+		t.shards[i].pages = make(map[int]*page)
+	}
+	return t, nil
 }
 
 // SetLoader installs the flash reader used for cache misses.
 func (t *Table) SetLoader(l Loader) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	t.loader = l
 }
 
@@ -111,73 +135,99 @@ func (t *Table) Config() Config { return t.cfg }
 
 // Stats returns cache statistics.
 func (t *Table) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	return Stats{
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		Loads:     t.loads.Load(),
+		Evictions: t.evictions.Load(),
+	}
 }
 
 func (t *Table) pageOf(lpid addr.LPID) (pageIdx, slot int) {
 	return int(lpid.TableIndex()) / t.cfg.EntriesPerPage, int(lpid.TableIndex()) % t.cfg.EntriesPerPage
 }
 
-// touch moves idx to the MRU end of the lru list.
-func (t *Table) touch(idx int) {
-	for i, v := range t.lru {
-		if v == idx {
-			t.lru = append(append(t.lru[:i], t.lru[i+1:]...), idx)
-			return
-		}
-	}
-	t.lru = append(t.lru, idx)
-}
+func (t *Table) shard(idx int) *shard { return &t.shards[idx&(numShards-1)] }
 
-// evictIfNeeded evicts clean pages (LRU first) while the cache is over
-// budget. keep is the page being returned to the caller, which must not be
-// evicted even though it may still be clean.
-func (t *Table) evictIfNeeded(keep int) {
+// cacheMaintain records a use of page idx and evicts clean pages (LRU
+// first) while the cache is over budget. idx doubles as the page to keep:
+// it was just returned to a caller and must not be evicted even if clean.
+// No-op when no cache limit is configured — unlimited caches skip the LRU
+// bookkeeping entirely.
+func (t *Table) cacheMaintain(idx int) {
 	if t.cfg.CacheLimit <= 0 {
 		return
 	}
-	for len(t.pages) > t.cfg.CacheLimit {
-		victim := -1
-		for _, idx := range t.lru {
-			if idx == keep {
+	t.lruMu.Lock()
+	defer t.lruMu.Unlock()
+	moved := false
+	for i, v := range t.lru {
+		if v == idx {
+			t.lru = append(append(t.lru[:i], t.lru[i+1:]...), idx)
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.lru = append(t.lru, idx)
+	}
+	for int(t.cached.Load()) > t.cfg.CacheLimit {
+		evicted := false
+		for i := 0; i < len(t.lru); {
+			v := t.lru[i]
+			if v == idx {
+				i++
 				continue
 			}
-			if p := t.pages[idx]; p != nil && !p.dirty {
-				victim = idx
-				break
+			sh := t.shard(v)
+			sh.mu.Lock()
+			p := sh.pages[v]
+			if p == nil {
+				sh.mu.Unlock()
+				t.lru = append(t.lru[:i], t.lru[i+1:]...) // stale entry
+				continue
 			}
+			if p.dirty {
+				sh.mu.Unlock()
+				i++
+				continue
+			}
+			delete(sh.pages, v)
+			sh.mu.Unlock()
+			t.cached.Add(-1)
+			t.evictions.Add(1)
+			t.lru = append(t.lru[:i], t.lru[i+1:]...)
+			evicted = true
+			break
 		}
-		if victim < 0 {
+		if !evicted {
 			return // everything dirty: over-budget until next checkpoint
 		}
-		delete(t.pages, victim)
-		for i, v := range t.lru {
-			if v == victim {
-				t.lru = append(t.lru[:i], t.lru[i+1:]...)
-				break
-			}
-		}
-		t.stats.Evictions++
 	}
 }
 
-// getPage returns the cached page, loading it from flash if it was flushed
-// before. A page that was never flushed and is not cached is implicitly
-// all-unmapped; create is false → nil is returned for such pages.
-func (t *Table) getPage(idx int, create bool) (*page, error) {
-	if p, ok := t.pages[idx]; ok {
-		t.stats.Hits++
-		t.touch(idx)
+// getPageLocked returns the page for idx in sh, loading it from flash if it
+// was flushed before. Caller holds sh.mu. A page that was never flushed and
+// is not cached is implicitly all-unmapped; create is false → nil is
+// returned for such pages.
+func (t *Table) getPageLocked(sh *shard, idx int, create bool) (*page, error) {
+	if p, ok := sh.pages[idx]; ok {
+		t.hits.Add(1)
 		return p, nil
 	}
-	t.stats.Misses++
-	if idx < len(t.small) && t.small[idx].IsValid() {
-		if t.loader == nil {
+	t.misses.Add(1)
+	t.tablesMu.Lock()
+	var home addr.PhysAddr
+	if idx < len(t.small) {
+		home = t.small[idx]
+	}
+	loader := t.loader
+	t.tablesMu.Unlock()
+	if home.IsValid() {
+		if loader == nil {
 			return nil, errors.New("mapping: page not cached and no loader installed")
 		}
-		raw, err := t.loader(t.small[idx])
+		raw, err := loader(home)
 		if err != nil {
 			return nil, fmt.Errorf("mapping: load page %d: %w", idx, err)
 		}
@@ -185,45 +235,50 @@ func (t *Table) getPage(idx int, create bool) (*page, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.pages[idx] = p
-		t.touch(idx)
-		t.stats.Loads++
-		t.evictIfNeeded(idx)
+		sh.pages[idx] = p
+		t.cached.Add(1)
+		t.loads.Add(1)
 		return p, nil
 	}
 	if !create {
 		return nil, nil
 	}
 	p := &page{entries: make([]addr.PhysAddr, t.cfg.EntriesPerPage)}
-	t.pages[idx] = p
-	t.touch(idx)
-	t.evictIfNeeded(idx)
+	sh.pages[idx] = p
+	t.cached.Add(1)
 	return p, nil
 }
 
 // Get returns the latest physical address of lpid (invalid if unmapped).
 func (t *Table) Get(lpid addr.LPID) (addr.PhysAddr, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	idx, slot := t.pageOf(lpid)
-	p, err := t.getPage(idx, false)
+	sh := t.shard(idx)
+	sh.mu.Lock()
+	p, err := t.getPageLocked(sh, idx, false)
 	if err != nil {
+		sh.mu.Unlock()
 		return 0, err
 	}
-	if p == nil {
-		return 0, nil
+	var a addr.PhysAddr
+	if p != nil {
+		a = p.entries[slot]
 	}
-	return p.entries[slot], nil
+	sh.mu.Unlock()
+	if p != nil {
+		t.cacheMaintain(idx)
+	}
+	return a, nil
 }
 
 // Set unconditionally installs a new address for lpid (user writes and
 // redo). lsn is the log record LSN backing the change.
 func (t *Table) Set(lpid addr.LPID, a addr.PhysAddr, lsn record.LSN) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	idx, slot := t.pageOf(lpid)
-	p, err := t.getPage(idx, true)
+	sh := t.shard(idx)
+	sh.mu.Lock()
+	p, err := t.getPageLocked(sh, idx, true)
 	if err != nil {
+		sh.mu.Unlock()
 		return err
 	}
 	p.entries[slot] = a
@@ -231,6 +286,8 @@ func (t *Table) Set(lpid addr.LPID, a addr.PhysAddr, lsn record.LSN) error {
 		p.dirty = true
 		p.recLSN = lsn
 	}
+	sh.mu.Unlock()
+	t.cacheMaintain(idx)
 	return nil
 }
 
@@ -238,33 +295,39 @@ func (t *Table) Set(lpid addr.LPID, a addr.PhysAddr, lsn record.LSN) error {
 // the conditional install used by GC commits (§VI-C). It reports whether
 // the install happened.
 func (t *Table) SetIf(lpid addr.LPID, old, new addr.PhysAddr, lsn record.LSN) (bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	idx, slot := t.pageOf(lpid)
-	p, err := t.getPage(idx, true)
+	sh := t.shard(idx)
+	sh.mu.Lock()
+	p, err := t.getPageLocked(sh, idx, true)
 	if err != nil {
+		sh.mu.Unlock()
 		return false, err
 	}
-	if p.entries[slot] != old {
-		return false, nil
+	ok := p.entries[slot] == old
+	if ok {
+		p.entries[slot] = new
+		if !p.dirty {
+			p.dirty = true
+			p.recLSN = lsn
+		}
 	}
-	p.entries[slot] = new
-	if !p.dirty {
-		p.dirty = true
-		p.recLSN = lsn
-	}
-	return true, nil
+	sh.mu.Unlock()
+	t.cacheMaintain(idx)
+	return ok, nil
 }
 
 // DirtyPages returns the indices of dirty mapping pages, ascending.
 func (t *Table) DirtyPages() []int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var out []int
-	for idx, p := range t.pages {
-		if p.dirty {
-			out = append(out, idx)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for idx, p := range sh.pages {
+			if p.dirty {
+				out = append(out, idx)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Ints(out)
 	return out
@@ -273,28 +336,36 @@ func (t *Table) DirtyPages() []int {
 // SerializePage returns the on-flash image of mapping page idx, 64-byte
 // aligned for storage as an LPAGE.
 func (t *Table) SerializePage(idx int) ([]byte, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	p, err := t.getPage(idx, true)
+	sh := t.shard(idx)
+	sh.mu.Lock()
+	p, err := t.getPageLocked(sh, idx, true)
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
-	return encodePage(p.entries, idx), nil
+	img := encodePage(p.entries, idx)
+	sh.mu.Unlock()
+	t.cacheMaintain(idx)
+	return img, nil
 }
 
 // MarkFlushed records that mapping page idx was durably written at a; the
 // page becomes clean and the small table (dirtying its small page) is
 // updated. lsn is the flush's log LSN.
 func (t *Table) MarkFlushed(idx int, a addr.PhysAddr, lsn record.LSN) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if p, ok := t.pages[idx]; ok {
+	sh := t.shard(idx)
+	sh.mu.Lock()
+	if p, ok := sh.pages[idx]; ok {
 		p.dirty = false
 		p.recLSN = 0
 	}
+	sh.mu.Unlock()
+	t.tablesMu.Lock()
 	t.setSmallLocked(idx, a, lsn)
+	t.tablesMu.Unlock()
 }
 
+// setSmallLocked requires tablesMu.
 func (t *Table) setSmallLocked(idx int, a addr.PhysAddr, lsn record.LSN) {
 	for idx >= len(t.small) {
 		t.small = append(t.small, 0)
@@ -309,8 +380,8 @@ func (t *Table) setSmallLocked(idx int, a addr.PhysAddr, lsn record.LSN) {
 // PageAddr returns the flash address of mapping page idx (invalid if the
 // page was never flushed).
 func (t *Table) PageAddr(idx int) addr.PhysAddr {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	if idx < 0 || idx >= len(t.small) {
 		return 0
 	}
@@ -319,21 +390,21 @@ func (t *Table) PageAddr(idx int) addr.PhysAddr {
 
 // SetPageAddr installs a mapping-page address directly (recovery pass 1).
 func (t *Table) SetPageAddr(idx int, a addr.PhysAddr, lsn record.LSN) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	t.setSmallLocked(idx, a, lsn)
 }
 
 // SetPageAddrIf conditionally relocates mapping page idx from old to new
 // (GC of a PageMap LPAGE). Reports whether the install happened.
 func (t *Table) SetPageAddrIf(idx int, old, new addr.PhysAddr, lsn record.LSN) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	if idx < 0 || idx >= len(t.small) || t.small[idx] != old {
 		return false
 	}
-	// Drop any cached copy? Not needed: content did not change, only its
-	// home; the cache stays valid.
+	// The cached copy (if any) stays valid: the content did not change,
+	// only its flash home.
 	t.setSmallLocked(idx, new, lsn)
 	return true
 }
@@ -342,8 +413,8 @@ func (t *Table) SetPageAddrIf(idx int, old, new addr.PhysAddr, lsn record.LSN) b
 
 // DirtySmallPages returns the indices of dirty small-table pages.
 func (t *Table) DirtySmallPages() []int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	out := make([]int, 0, len(t.smallDirty))
 	for sp := range t.smallDirty {
 		out = append(out, sp)
@@ -354,8 +425,8 @@ func (t *Table) DirtySmallPages() []int {
 
 // SerializeSmallPage returns the on-flash image of small-table page sp.
 func (t *Table) SerializeSmallPage(sp int) []byte {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	lo := sp * t.cfg.AddrsPerSmallPage
 	entries := make([]addr.PhysAddr, t.cfg.AddrsPerSmallPage)
 	for i := range entries {
@@ -369,8 +440,8 @@ func (t *Table) SerializeSmallPage(sp int) []byte {
 // MarkSmallFlushed records that small page sp was durably written at a,
 // updating the tiny table.
 func (t *Table) MarkSmallFlushed(sp int, a addr.PhysAddr) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	delete(t.smallDirty, sp)
 	for sp >= len(t.tiny) {
 		t.tiny = append(t.tiny, 0)
@@ -381,8 +452,8 @@ func (t *Table) MarkSmallFlushed(sp int, a addr.PhysAddr) {
 // SmallPageAddrIf conditionally relocates small page sp (GC of a
 // PageSmallMap LPAGE) in the tiny table.
 func (t *Table) SmallPageAddrIf(sp int, old, new addr.PhysAddr) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	if sp < 0 || sp >= len(t.tiny) || t.tiny[sp] != old {
 		return false
 	}
@@ -393,8 +464,8 @@ func (t *Table) SmallPageAddrIf(sp int, old, new addr.PhysAddr) bool {
 // SmallPageAddr returns the flash address of small-table page sp (invalid
 // if never flushed).
 func (t *Table) SmallPageAddr(sp int) addr.PhysAddr {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	if sp < 0 || sp >= len(t.tiny) {
 		return 0
 	}
@@ -403,8 +474,8 @@ func (t *Table) SmallPageAddr(sp int) addr.PhysAddr {
 
 // SetSmallPageAddr installs a small-page address directly (recovery).
 func (t *Table) SetSmallPageAddr(sp int, a addr.PhysAddr) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	for sp >= len(t.tiny) {
 		t.tiny = append(t.tiny, 0)
 	}
@@ -413,8 +484,8 @@ func (t *Table) SetSmallPageAddr(sp int, a addr.PhysAddr) {
 
 // TinyTable returns a copy of the tiny table for the checkpoint record.
 func (t *Table) TinyTable() []addr.PhysAddr {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	return append([]addr.PhysAddr(nil), t.tiny...)
 }
 
@@ -422,8 +493,8 @@ func (t *Table) TinyTable() []addr.PhysAddr {
 // from the checkpoint record; each small page is read via the loader.
 // Small pages that were never flushed contribute unmapped ranges.
 func (t *Table) LoadFromTiny(tiny []addr.PhysAddr) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.tablesMu.Lock()
+	defer t.tablesMu.Unlock()
 	if t.loader == nil {
 		return errors.New("mapping: no loader installed")
 	}
@@ -456,22 +527,27 @@ func (t *Table) LoadFromTiny(tiny []addr.PhysAddr) error {
 // or small page (0 if nothing is dirty). Used for the truncation LSN
 // (§VIII-B).
 func (t *Table) MinRecLSN() record.LSN {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var min record.LSN
 	consider := func(l record.LSN) {
 		if l != 0 && (min == 0 || l < min) {
 			min = l
 		}
 	}
-	for _, p := range t.pages {
-		if p.dirty {
-			consider(p.recLSN)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, p := range sh.pages {
+			if p.dirty {
+				consider(p.recLSN)
+			}
 		}
+		sh.mu.Unlock()
 	}
+	t.tablesMu.Lock()
 	for _, l := range t.smallDirty {
 		consider(l)
 	}
+	t.tablesMu.Unlock()
 	return min
 }
 
@@ -479,13 +555,21 @@ func (t *Table) MinRecLSN() record.LSN {
 // simulation). The small/tiny tables are volatile too; recovery rebuilds
 // them.
 func (t *Table) DropCache() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.pages = make(map[int]*page)
+	t.lruMu.Lock()
 	t.lru = nil
+	t.lruMu.Unlock()
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		sh.pages = make(map[int]*page)
+		sh.mu.Unlock()
+	}
+	t.cached.Store(0)
+	t.tablesMu.Lock()
 	t.small = nil
 	t.smallDirty = make(map[int]record.LSN)
 	t.tiny = nil
+	t.tablesMu.Unlock()
 }
 
 // --- page images -----------------------------------------------------------

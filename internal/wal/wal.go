@@ -79,9 +79,38 @@ type PageIndexEntry struct {
 	Slot  Slot
 }
 
+// Stats counts log activity. Group commit shows up as FreeRides: a Force
+// whose records an earlier caller's page write already made durable pays no
+// page write of its own.
+type Stats struct {
+	Appends        int64 // records appended
+	ForceCalls     int64 // Force invocations
+	FreeRides      int64 // Force calls satisfied without writing a page
+	PageWrites     int64 // physical log-page programs (capacity flushes included)
+	RecordsFlushed int64 // records carried by those page writes
+}
+
+// GroupCommitSize returns the mean number of records made durable per
+// physical log-page write — the group-commit amortization factor.
+func (s Stats) GroupCommitSize() float64 {
+	if s.PageWrites == 0 {
+		return 0
+	}
+	return float64(s.RecordsFlushed) / float64(s.PageWrites)
+}
+
 // Log is the append side of the recovery log. Safe for concurrent use.
+//
+// Flushes release the log lock around the physical page program: the
+// flusher snapshots the buffered records into an encoded page under the
+// lock, programs it unlocked, and reconciles on return. Appends therefore
+// proceed while a page write is in flight, and a Force whose records the
+// in-flight page already covers waits only for that write, not for a page
+// write of its own (leader/follower group commit).
 type Log struct {
 	mu        sync.Mutex
+	flushCond *sync.Cond // broadcast when an in-flight flush completes
+	flushing  bool       // a flush has released mu around its page program
 	sink      Sink
 	pageBytes int
 
@@ -95,6 +124,8 @@ type Log struct {
 	slots []Slot // provisioned future slots; slots[0] is the current page's home
 	pages []PageIndexEntry
 	dead  bool
+
+	stats Stats
 }
 
 // New creates a fresh, empty log (after device format). The first page will
@@ -103,7 +134,9 @@ func New(sink Sink, pageBytes int) (*Log, error) {
 	if pageBytes <= headerSize+record.EncodedSize(record.Done{}) {
 		return nil, ErrPageTooSmall
 	}
-	return &Log{sink: sink, pageBytes: pageBytes, nextLSN: 1}, nil
+	l := &Log{sink: sink, pageBytes: pageBytes, nextLSN: 1}
+	l.flushCond = sync.NewCond(&l.mu)
+	return l, nil
 }
 
 // Resume creates a log that continues an existing chain after recovery.
@@ -158,8 +191,18 @@ func (l *Log) Append(r record.Record) (record.LSN, error) {
 		return 0, fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, sz, l.Capacity())
 	}
 	if len(l.buf)+sz > l.Capacity() {
-		if err := l.flushLocked(); err != nil {
-			return 0, err
+		// A flush in flight will drain the buffer; wait for it rather
+		// than racing it for the slot queue.
+		for l.flushing {
+			l.flushCond.Wait()
+			if l.dead {
+				return 0, ErrLogDead
+			}
+		}
+		if len(l.buf)+sz > l.Capacity() {
+			if err := l.flushLocked(); err != nil {
+				return 0, err
+			}
 		}
 	}
 	if l.bufCount == 0 {
@@ -167,23 +210,48 @@ func (l *Log) Append(r record.Record) (record.LSN, error) {
 	}
 	l.buf = record.Append(l.buf, r)
 	l.bufCount++
+	l.stats.Appends++
 	lsn := l.nextLSN
 	l.nextLSN++
 	return lsn, nil
 }
 
-// Force makes all appended records durable. It writes the partially-filled
-// current page (if any) to flash; subsequent appends start a new page.
+// Force makes all records appended before the call durable. It writes the
+// partially-filled current page (if any) to flash; subsequent appends start
+// a new page.
+//
+// Concurrent committers group-commit: the first Force to start a flush is
+// the leader and its page write carries every record appended so far —
+// including the followers' commit records. A follower whose records the
+// leader's page covers waits for that single write and returns without a
+// page write of its own, counted as a FreeRide. A follower whose records
+// arrived after the leader snapshotted its page becomes the next leader.
 func (l *Log) Force() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.dead {
-		return ErrLogDead
-	}
-	if l.bufCount == 0 {
-		return nil
+	l.stats.ForceCalls++
+	target := l.nextLSN - 1 // last LSN this caller needs durable
+	for {
+		if l.dead {
+			return ErrLogDead
+		}
+		if l.durableLSN >= target {
+			l.stats.FreeRides++
+			return nil
+		}
+		if !l.flushing {
+			break
+		}
+		l.flushCond.Wait()
 	}
 	return l.flushLocked()
+}
+
+// Stats returns a snapshot of the log activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
 }
 
 // AppendForce appends records and forces the log; it returns the LSN of the
@@ -203,7 +271,21 @@ func (l *Log) AppendForce(rs ...record.Record) (record.LSN, error) {
 	return last, nil
 }
 
+// flushLocked writes the buffered records to flash. Called with l.mu held
+// and no flush in flight; returns with l.mu held. The lock is released
+// around each physical page program so concurrent Appends (and free-riding
+// Forces) are not serialized behind NAND program latency; the records being
+// flushed stay in l.buf until the program succeeds, and any records
+// appended meanwhile are preserved for the next page.
 func (l *Log) flushLocked() error {
+	l.flushing = true
+	defer func() {
+		l.flushing = false
+		l.flushCond.Broadcast()
+	}()
+	first := l.bufFirst
+	count := l.bufCount
+	nbytes := len(l.buf)
 	// Try the current slot, then its forward candidates (§VIII-A). Each
 	// attempt needs numForward further slots for its header.
 	for attempt := 0; attempt < numForward; attempt++ {
@@ -211,15 +293,23 @@ func (l *Log) flushLocked() error {
 			return err
 		}
 		home := l.slots[attempt]
-		page := encodePage(l.pageBytes, l.bufFirst, l.bufCount, l.buf, l.slots[attempt+1:attempt+1+numForward])
-		if err := l.sink.Program(home, page); err != nil {
+		page := encodePage(l.pageBytes, first, count, l.buf[:nbytes], l.slots[attempt+1:attempt+1+numForward])
+		l.mu.Unlock()
+		err := l.sink.Program(home, page)
+		l.mu.Lock()
+		if err != nil {
 			continue
 		}
-		last := l.bufFirst + record.LSN(l.bufCount) - 1
-		l.pages = append(l.pages, PageIndexEntry{First: l.bufFirst, Last: last, Slot: home})
+		last := first + record.LSN(count) - 1
+		l.pages = append(l.pages, PageIndexEntry{First: first, Last: last, Slot: home})
 		l.durableLSN = last
-		l.buf = l.buf[:0]
-		l.bufCount = 0
+		l.stats.PageWrites++
+		l.stats.RecordsFlushed += int64(count)
+		l.buf = append(l.buf[:0], l.buf[nbytes:]...)
+		l.bufCount -= count
+		if l.bufCount > 0 {
+			l.bufFirst = last + 1
+		}
 		l.slots = l.slots[attempt+1:]
 		return nil
 	}
@@ -279,6 +369,9 @@ func (l *Log) LastPage() (s Slot, first record.LSN, ok bool) {
 func (l *Log) StartCandidates() ([]Slot, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for l.flushing {
+		l.flushCond.Wait()
+	}
 	if l.dead {
 		return nil, ErrLogDead
 	}
