@@ -6,9 +6,12 @@
 //	benchrunner [flags] <experiment>
 //
 // Experiments: fig1, fig9, table2, fig10a, fig10b, fig10c, readheavy,
-// durability, ablation, concurrent, all. All but concurrent replay
-// single-threaded and report virtual device time; concurrent exercises the
-// parallel write pipeline and reports wall-clock scaling.
+// durability, ablation, concurrent, network, all. All but concurrent and
+// network replay single-threaded and report virtual device time;
+// concurrent exercises the parallel write pipeline in-process and network
+// drives it over loopback TCP through eleosd's front-end, both reporting
+// wall-clock scaling. network also records its rows to a JSON file
+// (-netjson) so the service path joins the perf trajectory.
 //
 // The experiments run at a laptop scale (seconds each) by default; raise
 // -txns / -records / -ops to approach the paper's scale. Reported
@@ -27,12 +30,14 @@ import (
 
 func main() {
 	var (
-		txns    = flag.Int("txns", 3000, "TPC-C transactions to trace (fig9/table2)")
-		records = flag.Uint64("records", 60_000, "YCSB records (fig10*)")
-		ops     = flag.Int("ops", 60_000, "YCSB operations (fig10*)")
+		txns       = flag.Int("txns", 3000, "TPC-C transactions to trace (fig9/table2)")
+		records    = flag.Uint64("records", 60_000, "YCSB records (fig10*)")
+		ops        = flag.Int("ops", 60_000, "YCSB operations (fig10*)")
+		netBatches = flag.Int("netbatches", 200, "batches per client (network)")
+		netJSON    = flag.String("netjson", "BENCH_network.json", "JSON output file for the network experiment (empty disables)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,13 +50,13 @@ func main() {
 	scale.TPCCTransactions = *txns
 	scale.YCSBRecords = *records
 	scale.YCSBOps = *ops
-	if err := run(exp, scale); err != nil {
+	if err := run(exp, scale, *netBatches, *netJSON); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale harness.Scale) error {
+func run(exp string, scale harness.Scale, netBatches int, netJSON string) error {
 	needTrace := exp == "fig9" || exp == "table2" || exp == "all"
 	var tr *tpcc.Trace
 	if needTrace {
@@ -117,6 +122,18 @@ func run(exp string, scale harness.Scale) error {
 			return err
 		}
 		harness.PrintConcurrent(os.Stdout, rows)
+	case "network":
+		rows, err := harness.RunNetwork([]int{1, 2, 4, 8}, netBatches)
+		if err != nil {
+			return err
+		}
+		harness.PrintNetwork(os.Stdout, rows)
+		if netJSON != "" {
+			if err := harness.WriteNetworkJSON(netJSON, netBatches, rows); err != nil {
+				return err
+			}
+			fmt.Printf("rows written to %s\n", netJSON)
+		}
 	case "all":
 		harness.PrintFig1(os.Stdout)
 		fmt.Println()

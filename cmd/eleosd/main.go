@@ -1,0 +1,131 @@
+// Command eleosd serves an ELEOS controller over TCP — the network
+// front-end that turns the reproduction into a deployable service.
+// Hosts connect with internal/client (or anything speaking the netproto
+// framing) and issue open/close session, flush_batch, read and stats
+// commands; concurrent connections feed the controller's parallel write
+// pipeline directly.
+//
+// Usage:
+//
+//	eleosd [-addr :9420] [-img dev.img] [-format] [flags]
+//
+// With -img, the device is loaded from (and on shutdown saved back to)
+// an eleosctl-compatible image file; -format creates it fresh. Without
+// -img an in-memory device is formatted, useful for benchmarks and
+// demos. SIGINT/SIGTERM triggers a graceful drain: stop accepting,
+// finish in-flight requests, checkpoint, then save the image — so a
+// restart recovers with (almost) no log replay, and even a kill -9 loses
+// only unacknowledged batches.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eleos/internal/core"
+	"eleos/internal/flash"
+	"eleos/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":9420", "TCP listen address")
+		img        = flag.String("img", "", "device image file (empty: in-memory device)")
+		format     = flag.Bool("format", false, "format a fresh device instead of recovering")
+		channels   = flag.Int("channels", 8, "flash channels (format only)")
+		eblocks    = flag.Int("eblocks", 64, "eblocks per channel (format only)")
+		maxConns   = flag.Int("max-conns", 256, "concurrent connection limit")
+		inflightMB = flag.Int("max-inflight-mb", 64, "in-flight batch bytes admitted across all connections (MB)")
+		drainSecs  = flag.Int("drain-timeout", 30, "graceful drain timeout in seconds")
+	)
+	flag.Parse()
+	if err := run(*addr, *img, *format, *channels, *eblocks, *maxConns, *inflightMB, *drainSecs); err != nil {
+		fmt.Fprintf(os.Stderr, "eleosd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, img string, format bool, channels, eblocks, maxConns, inflightMB, drainSecs int) error {
+	dev, ctl, err := openDevice(img, format, channels, eblocks)
+	if err != nil {
+		return err
+	}
+	srv := server.New(ctl, server.Config{
+		MaxConns:         maxConns,
+		MaxInflightBytes: int64(inflightMB) << 20,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	geo := ctl.Geometry()
+	log.Printf("eleosd: serving %d-channel x %d-eblock device (%d MB) on %s",
+		geo.Channels, geo.EBlocksPerChannel, geo.CapacityBytes()>>20, ln.Addr())
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		log.Printf("eleosd: %v: draining (limit %ds)", sig, drainSecs)
+	case err := <-serveDone:
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(drainSecs)*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("eleosd: drain: %v", err)
+	}
+	<-serveDone
+	st := ctl.Stats()
+	log.Printf("eleosd: drained: %d batches, %d pages, %d stale re-ACKs, %d checkpoints",
+		st.BatchesWritten, st.PagesWritten, st.StaleWrites, st.Checkpoints)
+	if img != "" {
+		if err := dev.SaveFile(img); err != nil {
+			return fmt.Errorf("save image: %w", err)
+		}
+		log.Printf("eleosd: image saved to %s", img)
+	}
+	return nil
+}
+
+func openDevice(img string, format bool, channels, eblocks int) (*flash.Device, *core.Controller, error) {
+	cfg := core.DefaultConfig()
+	cfg.AutoCheckpointLogBytes = 16 << 20
+	if img != "" && !format {
+		dev, err := flash.LoadFile(img, flash.TypicalNANDLatency())
+		if err != nil {
+			return nil, nil, fmt.Errorf("load %s (use -format to create): %w", img, err)
+		}
+		ctl, err := core.Open(dev, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recover controller: %w", err)
+		}
+		return dev, ctl, nil
+	}
+	geo := flash.Geometry{
+		Channels:          channels,
+		EBlocksPerChannel: eblocks,
+		EBlockBytes:       1 << 20,
+		WBlockBytes:       32 << 10,
+		RBlockBytes:       4 << 10,
+	}
+	dev, err := flash.NewDevice(geo, flash.TypicalNANDLatency())
+	if err != nil {
+		return nil, nil, err
+	}
+	ctl, err := core.Format(dev, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dev, ctl, nil
+}

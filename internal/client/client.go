@@ -1,0 +1,380 @@
+// Package client is the host-side library for the eleosd network
+// front-end: it dials the netproto TCP endpoint and makes the batched
+// write interface robust over an unreliable connection.
+//
+// Robustness is the whole point of the package. The transport gives no
+// reply-delivery guarantee — a connection can die after the server
+// applied a batch but before the acknowledgment arrived — so the client
+// leans on the controller's durable session protocol (§III-A2): every
+// flush carries (sid, wsn), and a retry of the same pair after a
+// reconnect is answered from the session's highest applied WSN without
+// being re-applied. That makes the retry loop here safe:
+//
+//	dial (exponential backoff + jitter) → send → await reply (deadline)
+//	  on connection error / timeout: reconnect, resend SAME (sid, wsn)
+//	  on CodeBusy / CodeShuttingDown / CodeWriteFailed: back off, retry
+//	  on any other server error: fail fast
+//
+// Reads and stats are idempotent and retried the same way. OpenSession is
+// the one non-idempotent request: it is retried only while dialing; once
+// the request may have reached the server, a failure is returned to the
+// caller (a leaked server-side session is possible and harmless — it
+// holds no resources beyond a table entry).
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"eleos/internal/addr"
+	"eleos/internal/core"
+	"eleos/internal/netproto"
+	"eleos/internal/session"
+)
+
+// Options tunes the client.
+type Options struct {
+	// DialTimeout bounds one TCP connect attempt. Default 5s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one send+reply round trip. Default 30s.
+	RequestTimeout time.Duration
+	// MaxAttempts caps tries per request (first try included). Default 8.
+	MaxAttempts int
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// attempts; the actual sleep is uniformly jittered in
+	// [backoff/2, backoff]. Defaults 25ms and 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxFrameBytes bounds reply frames. Default
+	// netproto.DefaultMaxFrameBytes.
+	MaxFrameBytes int
+	// Seed drives backoff jitter (0 picks a nondeterministic seed).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 8
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = 25 * time.Millisecond
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.MaxFrameBytes == 0 {
+		o.MaxFrameBytes = netproto.DefaultMaxFrameBytes
+	}
+	return o
+}
+
+// Stats counts client activity.
+type Stats struct {
+	Dials    int64 // successful connects (first dial included)
+	Requests int64 // round trips attempted
+	Retries  int64 // attempts beyond the first, per request
+	Timeouts int64 // round trips ended by deadline
+}
+
+// ErrAttemptsExhausted reports that MaxAttempts tries all failed; it
+// wraps the last failure.
+var ErrAttemptsExhausted = errors.New("client: retry attempts exhausted")
+
+// Client is a connection to an eleosd server. Methods serialize on an
+// internal lock: one in-flight request per client (open one client per
+// concurrent stream, as the benchmarks do).
+type Client struct {
+	addr string
+	opts Options
+
+	mu    sync.Mutex
+	conn  net.Conn
+	rng   *rand.Rand
+	stats Stats
+}
+
+// Dial connects to an eleosd address. The initial connect retries with
+// backoff like any other request, so a server that is still starting is
+// not an error.
+func Dial(address string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Client{addr: address, opts: opts, rng: rand.New(rand.NewSource(seed))}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if lastErr = c.connectLocked(); lastErr == nil {
+			return c, nil
+		}
+		if attempt < c.opts.MaxAttempts {
+			c.stats.Retries++
+			c.sleepBackoffLocked(attempt)
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrAttemptsExhausted, lastErr)
+}
+
+// Close tears the connection down. The client stays usable: the next
+// request reconnects.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropConnLocked()
+}
+
+// Stats snapshots the client counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// --- public requests -------------------------------------------------------
+
+// OpenSession opens a durable write-ordering session server-side and
+// returns its SID.
+func (c *Client) OpenSession() (uint64, error) {
+	rbody, err := c.call(netproto.MsgOpenSession, nil, netproto.MsgRespOpenSession, false)
+	if err != nil {
+		return 0, err
+	}
+	return netproto.ParseU64(rbody)
+}
+
+// CloseSession closes a session. A retry that lands after the close
+// already applied reports ErrUnknownSession; callers that retried can
+// treat that as success (Session.Close does).
+func (c *Client) CloseSession(sid uint64) error {
+	_, err := c.call(netproto.MsgCloseSession, netproto.U64Body(sid), netproto.MsgRespCloseSession, true)
+	return err
+}
+
+// Flush durably writes one batch under (sid, wsn) and returns the
+// session's highest applied WSN from the acknowledgment. Safe to retry:
+// the server deduplicates by WSN. For sid 0 (unordered) the returned WSN
+// is 0 — and retries are NOT idempotent, so unordered flushes are
+// attempted once.
+func (c *Client) Flush(sid, wsn uint64, pages []core.LPage) (uint64, error) {
+	return c.FlushWire(sid, wsn, core.EncodeBatch(pages))
+}
+
+// FlushWire is Flush for an already-encoded batch buffer.
+func (c *Client) FlushWire(sid, wsn uint64, wire []byte) (uint64, error) {
+	rbody, err := c.call(netproto.MsgFlushBatch, netproto.FlushBody(sid, wsn, wire), netproto.MsgRespFlushBatch, sid != 0)
+	if err != nil {
+		return 0, err
+	}
+	return netproto.ParseU64(rbody)
+}
+
+// Read returns the stored (alignment-padded) content of an LPAGE.
+func (c *Client) Read(lpid addr.LPID) ([]byte, error) {
+	return c.call(netproto.MsgRead, netproto.U64Body(uint64(lpid)), netproto.MsgRespRead, true)
+}
+
+// ControllerStats fetches the server's controller statistics.
+func (c *Client) ControllerStats() (core.Stats, error) {
+	var st core.Stats
+	rbody, err := c.call(netproto.MsgStats, nil, netproto.MsgRespStats, true)
+	if err != nil {
+		return st, err
+	}
+	return st, json.Unmarshal(rbody, &st)
+}
+
+// --- session handle --------------------------------------------------------
+
+// Session tracks the WSN counter for one server-side session, giving the
+// fire-and-forget interface applications want: Flush assigns the next
+// WSN, retries safely, and advances only on acknowledgment.
+type Session struct {
+	c    *Client
+	sid  uint64
+	next uint64
+}
+
+// NewSession opens a server-side session and wraps it.
+func (c *Client) NewSession() (*Session, error) {
+	sid, err := c.OpenSession()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{c: c, sid: sid, next: 1}, nil
+}
+
+// SID returns the server-assigned session ID.
+func (s *Session) SID() uint64 { return s.sid }
+
+// NextWSN returns the WSN the next Flush will carry.
+func (s *Session) NextWSN() uint64 { return s.next }
+
+// Flush writes one batch at the session's next WSN, retrying across
+// reconnects; the WSN advances only after the server acknowledged it.
+func (s *Session) Flush(pages []core.LPage) error {
+	high, err := s.c.Flush(s.sid, s.next, pages)
+	if err != nil {
+		return err
+	}
+	if high < s.next {
+		return fmt.Errorf("client: server acknowledged WSN %d for flush %d", high, s.next)
+	}
+	s.next++
+	return nil
+}
+
+// Close closes the server-side session. ErrUnknownSession from a
+// retried close means an earlier attempt already applied.
+func (s *Session) Close() error {
+	err := s.c.CloseSession(s.sid)
+	if errors.Is(err, session.ErrUnknownSession) {
+		return nil
+	}
+	return err
+}
+
+// --- transport -------------------------------------------------------------
+
+// call runs one request with the retry loop. wantResp is the expected
+// success frame type. idempotent marks requests safe to resend even when
+// a connection error leaves it unknown whether the server executed them
+// (flush with a session WSN, read, stats); non-idempotent requests still
+// retry failures known to precede execution: dial errors and
+// busy/draining/write-failed rejections.
+func (c *Client) call(typ byte, body []byte, wantResp byte, idempotent bool) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		rbody, err := c.roundTripLocked(typ, body, wantResp)
+		if err == nil {
+			return rbody, nil
+		}
+		lastErr = err
+		var re *netproto.RemoteError
+		switch {
+		case errors.As(err, &re):
+			if !netproto.Retryable(re.Code) {
+				return nil, err
+			}
+			// Busy/draining rejections close the conn server-side;
+			// write-failed aborted without installing. Reconnect and
+			// retry regardless of idempotence.
+			_ = c.dropConnLocked()
+		case !idempotent && !errors.Is(err, errNotSent):
+			// The request may have executed and the reply is lost;
+			// resending could double-apply. Surface the uncertainty.
+			return nil, err
+		}
+		if attempt >= c.opts.MaxAttempts {
+			break
+		}
+		c.stats.Retries++
+		c.sleepBackoffLocked(attempt)
+	}
+	return nil, fmt.Errorf("%w: %v", ErrAttemptsExhausted, lastErr)
+}
+
+// errNotSent tags failures that happened before the request could have
+// reached the server, so even non-idempotent requests may retry.
+var errNotSent = errors.New("client: request not sent")
+
+// roundTripLocked performs one send+receive on the current connection,
+// (re)connecting first if needed.
+func (c *Client) roundTripLocked(typ byte, body []byte, wantResp byte) ([]byte, error) {
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			return nil, fmt.Errorf("%w: %v", errNotSent, err)
+		}
+	}
+	c.stats.Requests++
+	deadline := time.Now().Add(c.opts.RequestTimeout)
+	_ = c.conn.SetDeadline(deadline)
+	if err := netproto.WriteFrame(c.conn, typ, body); err != nil {
+		c.noteTimeout(err)
+		_ = c.dropConnLocked()
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	rtyp, rbody, err := netproto.ReadFrame(c.conn, c.opts.MaxFrameBytes)
+	if err != nil {
+		c.noteTimeout(err)
+		_ = c.dropConnLocked()
+		return nil, fmt.Errorf("client: receive: %w", err)
+	}
+	switch rtyp {
+	case wantResp:
+		return rbody, nil
+	case netproto.MsgRespError:
+		re, perr := netproto.ParseError(rbody)
+		if perr != nil {
+			_ = c.dropConnLocked()
+			return nil, perr
+		}
+		return nil, re
+	default:
+		// A mismatched reply means framing desync; the connection is
+		// unusable.
+		_ = c.dropConnLocked()
+		return nil, fmt.Errorf("client: unexpected reply type 0x%02x", rtyp)
+	}
+}
+
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	c.conn = conn
+	c.stats.Dials++
+	return nil
+}
+
+func (c *Client) dropConnLocked() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+func (c *Client) noteTimeout(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.stats.Timeouts++
+	}
+}
+
+// sleepBackoffLocked sleeps the jittered exponential backoff for the
+// given attempt number (1-based for the first retry).
+func (c *Client) sleepBackoffLocked(attempt int) {
+	time.Sleep(c.backoffLocked(attempt))
+}
+
+func (c *Client) backoffLocked(attempt int) time.Duration {
+	d := c.opts.BackoffBase << (attempt - 1)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	// Uniform jitter in [d/2, d] decorrelates retry storms from many
+	// clients reconnecting at once.
+	half := d / 2
+	return half + time.Duration(c.rng.Int63n(int64(half)+1))
+}

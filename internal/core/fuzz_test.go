@@ -1,6 +1,10 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 )
@@ -17,6 +21,85 @@ func TestDecodeBatchNeverPanics(t *testing.T) {
 			t.Fatal("nil pages with nil error")
 		}
 	}
+}
+
+// TestDecodeBatchForgedCount plants hostile count and per-page length
+// fields behind VALID checksums — a host can always produce a correct
+// CRC over malicious content, so the CRC is no defence. The parser must
+// reject them cheaply, never sizing an allocation from the forged field.
+func TestDecodeBatchForgedCount(t *testing.T) {
+	forge := func(mutate func(body []byte) []byte) []byte {
+		body := binary.LittleEndian.AppendUint32(nil, 0x454C4246) // batchMagic
+		body = binary.LittleEndian.AppendUint32(body, 1)
+		body = binary.LittleEndian.AppendUint64(body, 42)                       // lpid
+		body = binary.LittleEndian.AppendUint32(body, 4)                        // len
+		body = append(body, 'd', 'a', 't', 'a')                                //
+		body = mutate(body)                                                    //
+		return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body)) // valid CRC
+	}
+	cases := map[string][]byte{
+		// count = 4G claims ~200 GB of []LPage backing: must be rejected
+		// by the buffer-capacity bound, not allocated.
+		"count 0xFFFFFFFF": forge(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], 0xFFFFFFFF)
+			return b
+		}),
+		"count just past capacity": forge(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], 2)
+			return b
+		}),
+		// page length pointing far past the CRC-covered body.
+		"len 0xFFFFFFF0": forge(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], 0xFFFFFFF0)
+			return b
+		}),
+	}
+	for name, wire := range cases {
+		if _, err := DecodeBatch(wire); !errors.Is(err, ErrBadBatch) {
+			t.Errorf("%s: err = %v, want ErrBadBatch", name, err)
+		}
+	}
+	// The unmutated encoding stays decodable (the bound is not too tight).
+	good := forge(func(b []byte) []byte { return b })
+	pages, err := DecodeBatch(good)
+	if err != nil || len(pages) != 1 || string(pages[0].Data) != "data" {
+		t.Fatalf("well-formed batch rejected: %v", err)
+	}
+}
+
+// FuzzDecodeBatch fuzzes the wire-batch parser directly: any input must
+// either decode or fail with ErrBadBatch — no panics, no giant
+// allocations, and round-tripping a decoded batch must be stable.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeBatch([]LPage{{LPID: 1, Data: []byte("x")}}))
+	f.Add(EncodeBatch([]LPage{
+		{LPID: 7, Data: make([]byte, 100)},
+		{LPID: 9, Data: []byte("variable size")},
+	}))
+	hostile := binary.LittleEndian.AppendUint32(nil, 0x454C4246)
+	hostile = binary.LittleEndian.AppendUint32(hostile, 0xFFFFFFFF)
+	f.Add(binary.LittleEndian.AppendUint32(hostile, crc32.ChecksumIEEE(hostile)))
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		pages, err := DecodeBatch(wire)
+		if err != nil {
+			if !errors.Is(err, ErrBadBatch) {
+				t.Fatalf("non-ErrBadBatch failure: %v", err)
+			}
+			return
+		}
+		// Anything that decodes must re-encode to a decodable batch with
+		// identical content.
+		again, err := DecodeBatch(EncodeBatch(pages))
+		if err != nil || len(again) != len(pages) {
+			t.Fatalf("round trip: %d pages, %v", len(again), err)
+		}
+		for i := range pages {
+			if again[i].LPID != pages[i].LPID || !bytes.Equal(again[i].Data, pages[i].Data) {
+				t.Fatalf("page %d content changed across round trip", i)
+			}
+		}
+	})
 }
 
 // TestDecodeCkptPartNeverPanics hammers the checkpoint part parser.

@@ -53,6 +53,13 @@ func DecodeBatch(wire []byte) ([]LPage, error) {
 		return nil, fmt.Errorf("%w: checksum", ErrBadBatch)
 	}
 	count := int(binary.LittleEndian.Uint32(wire[4:]))
+	// Every page costs at least its 12-byte header, so the buffer itself
+	// bounds a plausible count: a forged count field (from a host that
+	// computed a valid CRC over hostile content) must not size the
+	// preallocation, or 4 bytes of input could demand a multi-GB make.
+	if count > (len(body)-8)/12 {
+		return nil, fmt.Errorf("%w: count %d exceeds buffer capacity", ErrBadBatch, count)
+	}
 	pages := make([]LPage, 0, count)
 	off := 8
 	for i := 0; i < count; i++ {
@@ -62,7 +69,9 @@ func DecodeBatch(wire []byte) ([]LPage, error) {
 		lpid := addr.LPID(binary.LittleEndian.Uint64(body[off:]))
 		l := int(binary.LittleEndian.Uint32(body[off+8:]))
 		off += 12
-		if l < 0 || off+l > len(body) {
+		// Bound the length before any use: l is attacker-controlled and
+		// must index only within the CRC-covered body.
+		if l < 0 || l > len(body)-off {
 			return nil, fmt.Errorf("%w: truncated page payload", ErrBadBatch)
 		}
 		pages = append(pages, LPage{LPID: lpid, Data: append([]byte(nil), body[off:off+l]...)})

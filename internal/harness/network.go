@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"eleos/internal/addr"
+	"eleos/internal/client"
+	"eleos/internal/core"
+	"eleos/internal/flash"
+	"eleos/internal/server"
+)
+
+// The network experiment measures the TCP front-end end to end: an
+// eleosd-style server on loopback, N client connections each streaming
+// session-ordered batches through the netproto framing and the retrying
+// client library. Where the concurrent experiment isolates the parallel
+// write pipeline, this one adds the service layer on top — framing,
+// per-connection goroutines, backpressure admission — and reports
+// request latency percentiles alongside throughput, the numbers a
+// deployment actually serves. The NAND emulates channel occupancy in
+// real time, so scaling past one client shows pipeline overlap exactly
+// as in-process writers do (DESIGN.md §4.1, §6).
+
+// NetworkRow is one client count's measurement.
+type NetworkRow struct {
+	Clients         int
+	Batches         int           // total batches across all clients
+	Elapsed         time.Duration // wall clock
+	MBPerSec        float64
+	Speedup         float64       // vs the first row's throughput
+	P50, P95, P99   time.Duration // per-flush round-trip latency
+	Retries         int64         // client-side retry attempts
+	Redials         int64         // reconnects beyond the first dial, summed
+	ServerPeakBytes int64         // high-water mark of admitted batch bytes
+}
+
+const (
+	netPagesPerBatch = 4
+	netPageBytes     = 1920
+	netWorkingSet    = 2000
+)
+
+// RunNetwork runs the loopback scaling experiment: for each client
+// count, a fresh device + controller is served over TCP and each client
+// owns one connection and one durable session.
+func RunNetwork(clientCounts []int, batchesPerClient int) ([]NetworkRow, error) {
+	var rows []NetworkRow
+	for _, clients := range clientCounts {
+		row, err := runNetworkOne(clients, batchesPerClient)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) > 0 {
+			row.Speedup = row.MBPerSec / rows[0].MBPerSec
+		} else {
+			row.Speedup = 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runNetworkOne(clients, batchesPerClient int) (NetworkRow, error) {
+	geo := flash.Geometry{
+		Channels: 8, EBlocksPerChannel: 64,
+		EBlockBytes: 1 << 20, WBlockBytes: 32 << 10, RBlockBytes: 4 << 10,
+	}
+	dev := flash.MustNewDevice(geo, flash.TypicalNANDLatency())
+	dev.SetWallLatencyScale(1)
+	cfg := core.DefaultConfig()
+	cfg.AutoCheckpointLogBytes = 16 << 20
+	ctl, err := core.Format(dev, cfg)
+	if err != nil {
+		return NetworkRow{}, err
+	}
+	srv := server.New(ctl, server.Config{MaxConns: clients + 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return NetworkRow{}, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	}()
+
+	data := make([]byte, netPageBytes)
+	latencies := make([][]time.Duration, clients)
+	var retries, redials int64
+	var mu sync.Mutex
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := client.Dial(ln.Addr().String(), client.Options{Seed: int64(w + 1)})
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", w, err)
+				return
+			}
+			sess, err := cl.NewSession()
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", w, err)
+				return
+			}
+			base := uint64(w+1) * 1_000_000
+			lats := make([]time.Duration, 0, batchesPerClient)
+			batch := make([]core.LPage, netPagesPerBatch)
+			for i := 0; i < batchesPerClient; i++ {
+				for j := range batch {
+					lpid := base + uint64((i*netPagesPerBatch+j)%netWorkingSet)
+					batch[j] = core.LPage{LPID: addr.LPID(lpid), Data: data}
+				}
+				t0 := time.Now()
+				if err := sess.Flush(batch); err != nil {
+					errs <- fmt.Errorf("client %d batch %d: %w", w, i, err)
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			st := cl.Stats()
+			mu.Lock()
+			latencies[w] = lats
+			retries += st.Retries
+			redials += st.Dials - 1
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return NetworkRow{}, err
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	total := clients * batchesPerClient
+	bytes := float64(total) * netPagesPerBatch * netPageBytes
+	return NetworkRow{
+		Clients:         clients,
+		Batches:         total,
+		Elapsed:         elapsed,
+		MBPerSec:        bytes / (1 << 20) / elapsed.Seconds(),
+		P50:             percentile(all, 50),
+		P95:             percentile(all, 95),
+		P99:             percentile(all, 99),
+		Retries:         retries,
+		Redials:         redials,
+		ServerPeakBytes: srv.Stats().PeakInflight,
+	}, nil
+}
+
+// percentile returns the p-th percentile of sorted durations
+// (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// PrintNetwork renders the scaling table.
+func PrintNetwork(w io.Writer, rows []NetworkRow) {
+	fmt.Fprintln(w, "Network front-end (loopback TCP, wall clock, emulated NAND channel occupancy)")
+	fmt.Fprintf(w, "%8s %9s %10s %9s %10s %10s %10s %8s\n",
+		"clients", "batches", "MB/s", "speedup", "p50", "p95", "p99", "retries")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %9d %10.2f %8.2fx %10s %10s %10s %8d\n",
+			r.Clients, r.Batches, r.MBPerSec, r.Speedup,
+			r.P50.Round(10*time.Microsecond), r.P95.Round(10*time.Microsecond),
+			r.P99.Round(10*time.Microsecond), r.Retries)
+	}
+}
+
+// networkJSONRow flattens a NetworkRow into stable, unit-explicit fields
+// for the perf trajectory.
+type networkJSONRow struct {
+	Clients         int     `json:"clients"`
+	Batches         int     `json:"batches"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	MBPerSec        float64 `json:"mb_per_sec"`
+	Speedup         float64 `json:"speedup"`
+	P50Micros       int64   `json:"p50_us"`
+	P95Micros       int64   `json:"p95_us"`
+	P99Micros       int64   `json:"p99_us"`
+	Retries         int64   `json:"retries"`
+	Redials         int64   `json:"redials"`
+	ServerPeakBytes int64   `json:"server_peak_inflight_bytes"`
+}
+
+// WriteNetworkJSON emits the rows as a BENCH_network.json-style document
+// so the network path joins the recorded perf trajectory.
+func WriteNetworkJSON(path string, batchesPerClient int, rows []NetworkRow) error {
+	doc := struct {
+		Experiment       string           `json:"experiment"`
+		Transport        string           `json:"transport"`
+		PagesPerBatch    int              `json:"pages_per_batch"`
+		PageBytes        int              `json:"page_bytes"`
+		BatchesPerClient int              `json:"batches_per_client"`
+		Rows             []networkJSONRow `json:"rows"`
+	}{
+		Experiment:       "network",
+		Transport:        "tcp-loopback",
+		PagesPerBatch:    netPagesPerBatch,
+		PageBytes:        netPageBytes,
+		BatchesPerClient: batchesPerClient,
+	}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, networkJSONRow{
+			Clients:         r.Clients,
+			Batches:         r.Batches,
+			ElapsedMS:       float64(r.Elapsed.Microseconds()) / 1000,
+			MBPerSec:        r.MBPerSec,
+			Speedup:         r.Speedup,
+			P50Micros:       r.P50.Microseconds(),
+			P95Micros:       r.P95.Microseconds(),
+			P99Micros:       r.P99.Microseconds(),
+			Retries:         r.Retries,
+			Redials:         r.Redials,
+			ServerPeakBytes: r.ServerPeakBytes,
+		})
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,222 @@
+// Package netproto defines the wire protocol of the eleosd network
+// front-end: a length-prefixed binary framing over a TCP stream socket,
+// standing in for the NVMe-oF/TCP transport of the paper's testbed
+// (§IX-A1) the way internal/nvme cost-models it.
+//
+// Every message is one frame:
+//
+//	u32 length | u8 type | body
+//
+// length (little-endian) counts the type byte plus the body, so an empty
+// message is a 5-byte frame. The commands mirror the controller's host
+// interface: open/close session, flush_batch (carrying the §IX-A2 batch
+// buffer of core.EncodeBatch verbatim, prefixed by sid+wsn), read by
+// LPID, and stats. Responses either carry the command's payload or a
+// RespError frame with a numeric code; the code tells the client whether
+// a retry is safe (see Retryable).
+//
+// The protocol is deliberately strict: unknown types, oversized frames
+// and short bodies all terminate the connection server-side. Idempotence
+// of retried flush_batch commands is NOT a framing concern — it rides on
+// the durable session table's WSN protocol (§III-A2): a client that
+// resends (sid, wsn) after a dropped connection is answered from the
+// session's highest applied WSN without re-applying the batch.
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"eleos/internal/core"
+	"eleos/internal/session"
+)
+
+// Message types.
+const (
+	// Requests.
+	MsgOpenSession  = 0x01 // body: empty
+	MsgCloseSession = 0x02 // body: sid u64
+	MsgFlushBatch   = 0x03 // body: sid u64 | wsn u64 | batch wire bytes
+	MsgRead         = 0x04 // body: lpid u64
+	MsgStats        = 0x05 // body: empty
+
+	// Responses.
+	MsgRespOpenSession  = 0x81 // body: sid u64
+	MsgRespCloseSession = 0x82 // body: empty
+	MsgRespFlushBatch   = 0x83 // body: highest applied WSN u64
+	MsgRespRead         = 0x84 // body: page bytes
+	MsgRespStats        = 0x85 // body: JSON core.Stats
+	MsgRespError        = 0xFF // body: code u16 | message bytes
+)
+
+// Error codes carried by RespError frames.
+const (
+	CodeBadRequest     uint16 = 1 // malformed frame body; not retryable
+	CodeBadBatch       uint16 = 2 // core.ErrBadBatch; not retryable
+	CodeUnknownSession uint16 = 3 // session.ErrUnknownSession; not retryable
+	CodeNotFound       uint16 = 4 // core.ErrNotFound; not retryable
+	CodeWriteFailed    uint16 = 5 // core.ErrWriteFailed (media); retry same WSN
+	CodeBusy           uint16 = 6 // connection limit reached; retry later
+	CodeShuttingDown   uint16 = 7 // server draining; retry elsewhere/later
+	CodeInternal       uint16 = 8 // anything else; not retryable
+)
+
+// DefaultMaxFrameBytes bounds a frame unless the peer configures its own
+// cap: large enough for a multi-megabyte flush_batch, small enough that a
+// hostile 4-byte length prefix cannot force a giant allocation.
+const DefaultMaxFrameBytes = 16 << 20
+
+// Framing errors.
+var (
+	ErrFrameTooLarge = errors.New("netproto: frame exceeds size cap")
+	ErrShortBody     = errors.New("netproto: frame body too short")
+)
+
+// RemoteError is a server-reported failure decoded from a RespError
+// frame. Errors.Is matches the sentinel error for its code (e.g.
+// core.ErrNotFound), so callers handle network and in-process failures
+// with the same checks.
+type RemoteError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("netproto: remote error (code %d): %s", e.Code, e.Msg)
+}
+
+// Unwrap maps the code back to the library sentinel it was derived from.
+func (e *RemoteError) Unwrap() error {
+	switch e.Code {
+	case CodeBadBatch:
+		return core.ErrBadBatch
+	case CodeUnknownSession:
+		return session.ErrUnknownSession
+	case CodeNotFound:
+		return core.ErrNotFound
+	case CodeWriteFailed:
+		return core.ErrWriteFailed
+	default:
+		return nil
+	}
+}
+
+// Retryable reports whether a retry of the same request is safe and
+// useful after this error code. Write-failure retries are safe because
+// the aborted action installed nothing and the WSN was not advanced;
+// busy/draining retries are safe because the request was never executed.
+func Retryable(code uint16) bool {
+	return code == CodeWriteFailed || code == CodeBusy || code == CodeShuttingDown
+}
+
+// CodeFor maps a server-side error to the wire code for its RespError
+// frame.
+func CodeFor(err error) uint16 {
+	switch {
+	case errors.Is(err, core.ErrBadBatch):
+		return CodeBadBatch
+	case errors.Is(err, session.ErrUnknownSession):
+		return CodeUnknownSession
+	case errors.Is(err, core.ErrNotFound):
+		return CodeNotFound
+	case errors.Is(err, core.ErrWriteFailed):
+		return CodeWriteFailed
+	default:
+		return CodeInternal
+	}
+}
+
+// --- framing ---------------------------------------------------------------
+
+// WriteFrame sends one frame as a single Write call (one TCP segment for
+// small messages; no interleaving hazard between goroutines sharing a
+// conn through their own locks).
+func WriteFrame(w io.Writer, typ byte, body []byte) error {
+	frame := make([]byte, 5+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(1+len(body)))
+	frame[4] = typ
+	copy(frame[5:], body)
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting lengths beyond max (<=0 selects
+// DefaultMaxFrameBytes). On EOF before any byte it returns io.EOF
+// unchanged so callers can distinguish a clean close from a torn frame.
+func ReadFrame(r io.Reader, max int) (typ byte, body []byte, err error) {
+	if max <= 0 {
+		max = DefaultMaxFrameBytes
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 {
+		return 0, nil, ErrShortBody
+	}
+	if int64(n) > int64(max) {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return payload[0], payload[1:], nil
+}
+
+// --- message bodies --------------------------------------------------------
+
+// AppendU64 appends a little-endian u64 (exported for body builders).
+func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// U64Body encodes a body that is a single u64 (sid, lpid, wsn ack...).
+func U64Body(v uint64) []byte { return AppendU64(nil, v) }
+
+// ParseU64 decodes a single-u64 body.
+func ParseU64(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("%w: want 8 bytes, have %d", ErrShortBody, len(body))
+	}
+	return binary.LittleEndian.Uint64(body), nil
+}
+
+// FlushBody encodes a flush_batch request body around an already-encoded
+// batch buffer (core.EncodeBatch output).
+func FlushBody(sid, wsn uint64, wire []byte) []byte {
+	b := make([]byte, 0, 16+len(wire))
+	b = AppendU64(b, sid)
+	b = AppendU64(b, wsn)
+	return append(b, wire...)
+}
+
+// ParseFlush decodes a flush_batch request body. The returned wire slice
+// aliases body.
+func ParseFlush(body []byte) (sid, wsn uint64, wire []byte, err error) {
+	if len(body) < 16 {
+		return 0, 0, nil, fmt.Errorf("%w: flush header", ErrShortBody)
+	}
+	sid = binary.LittleEndian.Uint64(body)
+	wsn = binary.LittleEndian.Uint64(body[8:])
+	return sid, wsn, body[16:], nil
+}
+
+// ErrorBody encodes a RespError body.
+func ErrorBody(code uint16, msg string) []byte {
+	b := make([]byte, 2, 2+len(msg))
+	binary.LittleEndian.PutUint16(b, code)
+	return append(b, msg...)
+}
+
+// ParseError decodes a RespError body into a RemoteError.
+func ParseError(body []byte) (*RemoteError, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: error frame", ErrShortBody)
+	}
+	return &RemoteError{Code: binary.LittleEndian.Uint16(body), Msg: string(body[2:])}, nil
+}

@@ -1,0 +1,152 @@
+package netproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"eleos/internal/core"
+	"eleos/internal/session"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {}, []byte("x"), make([]byte, 4096)}
+	for i, body := range bodies {
+		buf.Reset()
+		if err := WriteFrame(&buf, byte(i+1), body); err != nil {
+			t.Fatal(err)
+		}
+		typ, got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(got, body) {
+			t.Fatalf("frame %d: type %d body %d bytes", i, typ, len(got))
+		}
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgStats, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(&buf, 100); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize frame accepted: %v", err)
+	}
+}
+
+func TestReadFrameForgedLengthNoAlloc(t *testing.T) {
+	// A hostile 4-byte prefix claiming 4 GB must be rejected by the cap,
+	// never allocated.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 0xFFFFFFFF)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:]), 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("forged length accepted: %v", err)
+	}
+}
+
+func TestReadFrameShortAndTorn(t *testing.T) {
+	if _, _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Fatalf("empty stream: %v", err)
+	}
+	// Zero-length frame (no type byte) is malformed.
+	var zero [4]byte
+	if _, _, err := ReadFrame(bytes.NewReader(zero[:]), 0); !errors.Is(err, ErrShortBody) {
+		t.Fatalf("zero frame: %v", err)
+	}
+	// Header promises more than the stream holds.
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, MsgRead, []byte("abcdefgh"))
+	torn := buf.Bytes()[:7]
+	if _, _, err := ReadFrame(bytes.NewReader(torn), 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame: %v", err)
+	}
+}
+
+func TestFlushBodyRoundTrip(t *testing.T) {
+	wire := core.EncodeBatch([]core.LPage{{LPID: 7, Data: []byte("hello")}})
+	body := FlushBody(11, 22, wire)
+	sid, wsn, gotWire, err := ParseFlush(body)
+	if err != nil || sid != 11 || wsn != 22 || !bytes.Equal(gotWire, wire) {
+		t.Fatalf("flush round trip: sid=%d wsn=%d err=%v", sid, wsn, err)
+	}
+	if _, _, _, err := ParseFlush(body[:15]); !errors.Is(err, ErrShortBody) {
+		t.Fatal("short flush body accepted")
+	}
+}
+
+func TestU64Body(t *testing.T) {
+	v, err := ParseU64(U64Body(1 << 60))
+	if err != nil || v != 1<<60 {
+		t.Fatalf("u64 round trip: %d %v", v, err)
+	}
+	if _, err := ParseU64([]byte{1, 2, 3}); !errors.Is(err, ErrShortBody) {
+		t.Fatal("short u64 accepted")
+	}
+}
+
+func TestErrorCodesRoundTrip(t *testing.T) {
+	re, err := ParseError(ErrorBody(CodeNotFound, "lpid 9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(re, core.ErrNotFound) {
+		t.Fatal("CodeNotFound does not unwrap to core.ErrNotFound")
+	}
+	if _, err := ParseError([]byte{1}); !errors.Is(err, ErrShortBody) {
+		t.Fatal("short error body accepted")
+	}
+}
+
+func TestCodeForMapsSentinels(t *testing.T) {
+	cases := []struct {
+		err  error
+		code uint16
+	}{
+		{core.ErrBadBatch, CodeBadBatch},
+		{session.ErrUnknownSession, CodeUnknownSession},
+		{core.ErrNotFound, CodeNotFound},
+		{core.ErrWriteFailed, CodeWriteFailed},
+		{errors.New("anything else"), CodeInternal},
+	}
+	for _, c := range cases {
+		if got := CodeFor(c.err); got != c.code {
+			t.Fatalf("CodeFor(%v) = %d, want %d", c.err, got, c.code)
+		}
+		// Whatever comes back over the wire must Is-match the original
+		// sentinel (internal errors map to no sentinel).
+		re := &RemoteError{Code: c.code, Msg: c.err.Error()}
+		if c.code != CodeInternal && !errors.Is(re, c.err) {
+			t.Fatalf("code %d does not unwrap to %v", c.code, c.err)
+		}
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	for _, code := range []uint16{CodeWriteFailed, CodeBusy, CodeShuttingDown} {
+		if !Retryable(code) {
+			t.Fatalf("code %d should be retryable", code)
+		}
+	}
+	for _, code := range []uint16{CodeBadRequest, CodeBadBatch, CodeUnknownSession, CodeNotFound, CodeInternal} {
+		if Retryable(code) {
+			t.Fatalf("code %d should not be retryable", code)
+		}
+	}
+}
+
+// TestReadFrameNeverPanics hammers the frame reader with random bytes —
+// a hostile peer must not crash the server.
+func TestReadFrameNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 20000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		_, _, _ = ReadFrame(bytes.NewReader(b), 1<<20)
+	}
+}

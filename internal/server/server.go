@@ -1,0 +1,412 @@
+// Package server is the network front-end of the controller: eleosd's
+// TCP listener. Hosts speak the netproto framing over stream sockets —
+// the deployment shape of the paper's testbed (§IX-A1), where writers
+// reach the controller over NVMe-oF/TCP rather than linking it
+// in-process.
+//
+// Each accepted connection gets one goroutine that decodes frames and
+// feeds Controller.WriteBatchWire, so concurrent connections drive the
+// parallel write pipeline exactly like in-process writers (DESIGN.md
+// §4.1): their flash programs overlap across channels and their commit
+// records share forced log pages. The front-end adds the service
+// concerns the library cannot: a connection limit, backpressure by
+// bounded in-flight batch bytes, per-request read/write deadlines, and a
+// graceful drain (stop accepting, finish in-flight requests, checkpoint,
+// close).
+//
+// Idempotence across reconnects is the session table's job: a client
+// that retries flush_batch with the same (sid, wsn) after a dropped
+// connection gets the Stale verdict server-side and is re-acknowledged
+// with the session's highest applied WSN — the batch is not re-applied.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"eleos/internal/addr"
+	"eleos/internal/core"
+	"eleos/internal/netproto"
+)
+
+// Config tunes the front-end.
+type Config struct {
+	// MaxConns caps concurrently served connections; further accepts are
+	// answered with CodeBusy and closed. Default 256.
+	MaxConns int
+	// MaxFrameBytes bounds one request frame. Default
+	// netproto.DefaultMaxFrameBytes.
+	MaxFrameBytes int
+	// MaxInflightBytes bounds the batch bytes admitted into the
+	// controller across all connections; flush requests beyond it block
+	// on the socket (TCP backpressure) until space frees. Default 64 MB.
+	MaxInflightBytes int64
+	// IdleTimeout closes a connection that sends no request for this
+	// long. Default 2 minutes.
+	IdleTimeout time.Duration
+	// IOTimeout bounds reading one request body and writing one reply.
+	// Default 30 seconds.
+	IOTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns == 0 {
+		c.MaxConns = 256
+	}
+	if c.MaxFrameBytes == 0 {
+		c.MaxFrameBytes = netproto.DefaultMaxFrameBytes
+	}
+	if c.MaxInflightBytes == 0 {
+		c.MaxInflightBytes = 64 << 20
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Stats counts front-end activity (monotonic; read with Stats()).
+type Stats struct {
+	Accepted      int64 // connections served
+	Rejected      int64 // connections refused at the limit
+	Requests      int64 // frames dispatched
+	Batches       int64 // flush_batch requests applied or deduplicated
+	BadFrames     int64 // connections dropped on malformed input
+	Errors        int64 // RespError frames sent
+	BytesIn       int64 // request frame bytes
+	BytesOut      int64 // response frame bytes
+	PeakInflight  int64 // high-water mark of admitted batch bytes
+	DrainedConns  int64 // connections closed by drain
+	ActiveConns   int64 // currently served connections
+	InflightBytes int64 // currently admitted batch bytes
+}
+
+// ErrDraining is returned by Serve when the listener was closed by Drain,
+// and to requests that arrive while the server is draining.
+var ErrDraining = errors.New("server: draining")
+
+// Server serves one controller over TCP.
+type Server struct {
+	ctl *core.Controller
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond // waiters on inflight-byte capacity
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	stats    Stats
+}
+
+// New wraps a controller in a network front-end.
+func New(ctl *core.Controller, cfg Config) *Server {
+	s := &Server{ctl: ctl, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// ListenAndServe listens on addr and serves until Drain or a listener
+// error.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Drain closes it. It returns
+// ErrDraining after a drain, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrDraining
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrDraining
+			}
+			return err
+		}
+		s.mu.Lock()
+		switch {
+		case s.draining:
+			s.mu.Unlock()
+			s.refuse(conn, netproto.CodeShuttingDown, "server draining")
+		case int(s.stats.ActiveConns) >= s.cfg.MaxConns:
+			s.stats.Rejected++
+			s.mu.Unlock()
+			s.refuse(conn, netproto.CodeBusy, "connection limit reached")
+		default:
+			s.conns[conn] = struct{}{}
+			s.stats.Accepted++
+			s.stats.ActiveConns++
+			s.mu.Unlock()
+			go s.handle(conn)
+		}
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Stats snapshots the front-end counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// refuse answers an over-limit connection with one error frame and
+// closes it; the deadline keeps a stalled peer from pinning the
+// goroutine.
+func (s *Server) refuse(conn net.Conn, code uint16, msg string) {
+	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+	_ = netproto.WriteFrame(conn, netproto.MsgRespError, netproto.ErrorBody(code, msg))
+	_ = conn.Close()
+}
+
+// Drain gracefully shuts the server down: stop accepting, unblock idle
+// connections, let requests already being processed finish and be
+// answered, then checkpoint the controller so a subsequent Open replays
+// (almost) nothing. If ctx expires first the remaining connections are
+// closed hard; the checkpoint still runs. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	// Nudge connections parked in their idle read; a handler mid-request
+	// is unaffected (its deadline is managed per phase) and finishes.
+	for conn := range s.conns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.cond.Broadcast() // release backpressure waiters into ErrDraining
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	if already {
+		return nil
+	}
+
+	idle := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.stats.ActiveConns > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		<-idle
+	}
+	if err := s.ctl.Checkpoint(); err != nil && !errors.Is(err, core.ErrCrashed) {
+		return fmt.Errorf("server: drain checkpoint: %w", err)
+	}
+	return ctx.Err()
+}
+
+// --- connection handling ---------------------------------------------------
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.stats.ActiveConns--
+		if s.draining {
+			s.stats.DrainedConns++
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	for {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		typ, body, err := netproto.ReadFrame(conn, s.cfg.MaxFrameBytes)
+		if err != nil {
+			// EOF and deadline pokes are routine; anything else malformed
+			// costs the peer its connection.
+			if !isExpectedReadErr(err) {
+				s.count(func(st *Stats) { st.BadFrames++ })
+			}
+			return
+		}
+		s.count(func(st *Stats) { st.Requests++; st.BytesIn += int64(5 + len(body)) })
+		rtyp, rbody := s.dispatch(typ, body)
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+		if err := netproto.WriteFrame(conn, rtyp, rbody); err != nil {
+			return
+		}
+		s.count(func(st *Stats) { st.BytesOut += int64(5 + len(rbody)) })
+	}
+}
+
+// isExpectedReadErr separates routine connection endings (peer closed,
+// idle/drain deadline, torn frame on a killed conn) from malformed input.
+func isExpectedReadErr(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func (s *Server) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// dispatch executes one request and builds its reply frame.
+func (s *Server) dispatch(typ byte, body []byte) (byte, []byte) {
+	switch typ {
+	case netproto.MsgOpenSession:
+		sid, err := s.ctl.OpenSession()
+		if err != nil {
+			return s.errFrame(err)
+		}
+		return netproto.MsgRespOpenSession, netproto.U64Body(sid)
+
+	case netproto.MsgCloseSession:
+		sid, err := netproto.ParseU64(body)
+		if err != nil {
+			return s.badRequest(err)
+		}
+		if err := s.ctl.CloseSession(sid); err != nil {
+			return s.errFrame(err)
+		}
+		return netproto.MsgRespCloseSession, nil
+
+	case netproto.MsgFlushBatch:
+		sid, wsn, wire, err := netproto.ParseFlush(body)
+		if err != nil {
+			return s.badRequest(err)
+		}
+		return s.flush(sid, wsn, wire)
+
+	case netproto.MsgRead:
+		lpid, err := netproto.ParseU64(body)
+		if err != nil {
+			return s.badRequest(err)
+		}
+		data, err := s.ctl.Read(addr.LPID(lpid))
+		if err != nil {
+			return s.errFrame(err)
+		}
+		return netproto.MsgRespRead, data
+
+	case netproto.MsgStats:
+		raw, err := json.Marshal(s.ctl.Stats())
+		if err != nil {
+			return s.errFrame(err)
+		}
+		return netproto.MsgRespStats, raw
+
+	default:
+		return s.badRequest(fmt.Errorf("unknown message type 0x%02x", typ))
+	}
+}
+
+// flush admits the batch under the in-flight byte bound, applies it, and
+// acknowledges the session's highest applied WSN (which, for a retried
+// stale WSN, is the dedup re-ACK of §III-A2).
+func (s *Server) flush(sid, wsn uint64, wire []byte) (byte, []byte) {
+	n := int64(len(wire))
+	if err := s.admit(n); err != nil {
+		return s.errCode(netproto.CodeShuttingDown, err.Error())
+	}
+	err := s.ctl.WriteBatchWire(sid, wsn, wire)
+	s.release(n)
+	if err != nil {
+		return s.errFrame(err)
+	}
+	s.count(func(st *Stats) { st.Batches++ })
+	var highest uint64
+	if sid != 0 {
+		if highest, err = s.ctl.SessionHighestWSN(sid); err != nil {
+			return s.errFrame(err)
+		}
+	}
+	return netproto.MsgRespFlushBatch, netproto.U64Body(highest)
+}
+
+// admit blocks until n batch bytes fit under MaxInflightBytes. A single
+// batch larger than the whole bound is admitted alone rather than
+// deadlocking. Draining aborts waiters.
+func (s *Server) admit(n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.draining {
+			return ErrDraining
+		}
+		if s.stats.InflightBytes+n <= s.cfg.MaxInflightBytes || s.stats.InflightBytes == 0 {
+			s.stats.InflightBytes += n
+			if s.stats.InflightBytes > s.stats.PeakInflight {
+				s.stats.PeakInflight = s.stats.InflightBytes
+			}
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *Server) release(n int64) {
+	s.mu.Lock()
+	s.stats.InflightBytes -= n
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Server) errFrame(err error) (byte, []byte) {
+	return s.errCode(netproto.CodeFor(err), err.Error())
+}
+
+func (s *Server) badRequest(err error) (byte, []byte) {
+	return s.errCode(netproto.CodeBadRequest, err.Error())
+}
+
+func (s *Server) errCode(code uint16, msg string) (byte, []byte) {
+	s.count(func(st *Stats) { st.Errors++ })
+	return netproto.MsgRespError, netproto.ErrorBody(code, msg)
+}
