@@ -6,12 +6,15 @@
 //	benchrunner [flags] <experiment>
 //
 // Experiments: fig1, fig9, table2, fig10a, fig10b, fig10c, readheavy,
-// durability, ablation, concurrent, network, all. All but concurrent and
-// network replay single-threaded and report virtual device time;
-// concurrent exercises the parallel write pipeline in-process and network
-// drives it over loopback TCP through eleosd's front-end, both reporting
-// wall-clock scaling. network also records its rows to a JSON file
-// (-netjson) so the service path joins the perf trajectory.
+// durability, ablation, concurrent, network, metricsoverhead, all. All but
+// concurrent, network, and metricsoverhead replay single-threaded and
+// report virtual device time; concurrent exercises the parallel write
+// pipeline in-process and network drives it over loopback TCP through
+// eleosd's front-end, both reporting wall-clock scaling. network records
+// its rows to a JSON file (-netjson) so the service path joins the perf
+// trajectory; metricsoverhead compares the CPU-bound write path with the
+// metrics registry disabled vs enabled, records the delta (-mojson), and
+// can gate CI with -maxoverhead.
 //
 // The experiments run at a laptop scale (seconds each) by default; raise
 // -txns / -records / -ops to approach the paper's scale. Reported
@@ -30,14 +33,18 @@ import (
 
 func main() {
 	var (
-		txns       = flag.Int("txns", 3000, "TPC-C transactions to trace (fig9/table2)")
-		records    = flag.Uint64("records", 60_000, "YCSB records (fig10*)")
-		ops        = flag.Int("ops", 60_000, "YCSB operations (fig10*)")
-		netBatches = flag.Int("netbatches", 200, "batches per client (network)")
-		netJSON    = flag.String("netjson", "BENCH_network.json", "JSON output file for the network experiment (empty disables)")
+		txns        = flag.Int("txns", 3000, "TPC-C transactions to trace (fig9/table2)")
+		records     = flag.Uint64("records", 60_000, "YCSB records (fig10*)")
+		ops         = flag.Int("ops", 60_000, "YCSB operations (fig10*)")
+		netBatches  = flag.Int("netbatches", 200, "batches per client (network)")
+		netJSON     = flag.String("netjson", "BENCH_network.json", "JSON output file for the network experiment (empty disables)")
+		moBatches   = flag.Int("mobatches", 400, "batches per writer (metricsoverhead)")
+		moTrials    = flag.Int("motrials", 3, "trials per arm, best kept (metricsoverhead)")
+		moJSON      = flag.String("mojson", "BENCH_metrics_overhead.json", "JSON output file for the metricsoverhead experiment (empty disables)")
+		maxOverhead = flag.Float64("maxoverhead", 0, "fail if metrics overhead exceeds this percent (0 disables the gate)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,13 +57,22 @@ func main() {
 	scale.TPCCTransactions = *txns
 	scale.YCSBRecords = *records
 	scale.YCSBOps = *ops
-	if err := run(exp, scale, *netBatches, *netJSON); err != nil {
+	mo := overheadFlags{batches: *moBatches, trials: *moTrials, json: *moJSON, maxPct: *maxOverhead}
+	if err := run(exp, scale, *netBatches, *netJSON, mo); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale harness.Scale, netBatches int, netJSON string) error {
+// overheadFlags carries the metricsoverhead experiment's knobs.
+type overheadFlags struct {
+	batches int
+	trials  int
+	json    string
+	maxPct  float64 // >0: exit nonzero if overhead exceeds this percent
+}
+
+func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo overheadFlags) error {
 	needTrace := exp == "fig9" || exp == "table2" || exp == "all"
 	var tr *tpcc.Trace
 	if needTrace {
@@ -133,6 +149,21 @@ func run(exp string, scale harness.Scale, netBatches int, netJSON string) error 
 				return err
 			}
 			fmt.Printf("rows written to %s\n", netJSON)
+		}
+	case "metricsoverhead":
+		res, err := harness.RunMetricsOverhead(4, mo.batches, mo.trials)
+		if err != nil {
+			return err
+		}
+		harness.PrintMetricsOverhead(os.Stdout, res)
+		if mo.json != "" {
+			if err := harness.WriteMetricsOverheadJSON(mo.json, res); err != nil {
+				return err
+			}
+			fmt.Printf("result written to %s\n", mo.json)
+		}
+		if mo.maxPct > 0 && res.OverheadPct > mo.maxPct {
+			return fmt.Errorf("metrics overhead %.2f%% exceeds limit %.2f%%", res.OverheadPct, mo.maxPct)
 		}
 	case "all":
 		harness.PrintFig1(os.Stdout)

@@ -11,7 +11,7 @@
 //	eleosctl -img dev.img fill -pages N -size BYTES [-seed S]
 //	eleosctl -img dev.img gc [-channel N]
 //	eleosctl -img dev.img checkpoint
-//	eleosctl -img dev.img stats
+//	eleosctl -img dev.img stats [-json]
 //
 // Every invocation recovers the controller from the image (Open — the
 // paper's §VIII recovery path runs each time), applies the operation, and
@@ -20,8 +20,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -30,6 +32,7 @@ import (
 	"eleos/internal/addr"
 	"eleos/internal/core"
 	"eleos/internal/flash"
+	"eleos/internal/metrics"
 )
 
 func main() {
@@ -56,7 +59,7 @@ commands:
   fill -pages N -size BYTES [-seed S] write N random pages (GC exercise)
   gc [-channel N]                     force a garbage-collection pass
   checkpoint                          take a fuzzy checkpoint
-  stats                               print controller and media statistics
+  stats [-json]                       print controller, media and metrics statistics
   session-open                        open a durable write-ordering session
   swrite -sid S -wsn N <lpid>=<text>  ordered write (stale WSNs are ACKed, not re-applied)
   session-status -sid S               show a session's highest applied WSN
@@ -97,8 +100,7 @@ func run(img string, args []string) error {
 		}
 		fmt.Println("checkpoint complete")
 	case "stats":
-		printStats(ctl)
-		return nil
+		return doStats(ctl, rest) // read-only: skip the image save
 	case "session-open":
 		sid, err := ctl.OpenSession()
 		if err != nil {
@@ -285,6 +287,55 @@ func doSessionStatus(ctl *core.Controller, args []string) error {
 	}
 	fmt.Printf("session %d: highest applied WSN = %d\n", *sid, high)
 	return nil
+}
+
+func doStats(ctl *core.Controller, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the full metrics snapshot as JSON")
+	_ = fs.Parse(args)
+	snap := ctl.MetricsSnapshot()
+	if *jsonOut {
+		b, err := marshalSnapshot(snap)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	printStats(ctl)
+	printMetrics(os.Stdout, snap)
+	return nil
+}
+
+// marshalSnapshot renders a metrics snapshot as indented JSON. The schema
+// is the JSON encoding of metrics.Snapshot, documented in DESIGN.md §7;
+// the golden test pins it.
+func marshalSnapshot(s metrics.Snapshot) ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// printMetrics renders the registry snapshot as a human-readable table:
+// counters and gauges one per line, histograms with count, mean and the
+// interpolated p50/p95/p99.
+func printMetrics(w io.Writer, s metrics.Snapshot) {
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "metrics:\n")
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "  %-34s %14d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "  %-34s %14d (gauge)\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(w, "  %-34s count %-8d mean %-10.0f p50 %-10.0f p95 %-10.0f p99 %.0f\n",
+			h.Name, h.Count, h.Mean(), h.P50, h.P95, h.P99)
+	}
 }
 
 func printStats(ctl *core.Controller) {

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eleos/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureSnapshot builds a fully deterministic registry snapshot covering
+// every shape the renderer handles: counters, a negative gauge, and
+// histograms with both duration and size bounds (including an overflow
+// observation beyond the last bucket bound).
+func fixtureSnapshot() metrics.Snapshot {
+	reg := metrics.New()
+	reg.Counter("core.write.batches").Add(128)
+	reg.Counter("core.write.pages").Add(512)
+	reg.Counter("flash.programs").Add(300)
+	reg.Counter("wal.appends").Add(900)
+	reg.Gauge("server.active_conns").Set(3)
+	reg.Gauge("flash.chan0.queue_depth").Set(-1)
+	h := reg.Histogram("core.write.init_ns", metrics.DurationBounds())
+	for _, v := range []int64{1500, 2100, 9000, 60_000, 1 << 45} {
+		h.Observe(v)
+	}
+	g := reg.Histogram("wal.group_commit_records", metrics.SizeBounds())
+	for _, v := range []int64{1, 2, 2, 7, 31} {
+		g.Observe(v)
+	}
+	return reg.Snapshot()
+}
+
+// TestStatsJSONGolden pins the `eleosctl stats -json` schema: the JSON
+// encoding of metrics.Snapshot documented in DESIGN.md §7. A diff here
+// means the wire-visible schema changed and the docs (and any consumers)
+// must change with it.
+func TestStatsJSONGolden(t *testing.T) {
+	got, err := marshalSnapshot(fixtureSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "stats_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/eleosctl -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stats -json output diverged from %s\n got: %s\nwant: %s\n(run `go test ./cmd/eleosctl -update` if the change is intentional)", golden, got, want)
+	}
+}
+
+// TestPrintMetricsTable smoke-checks the human-readable rendering: every
+// instrument appears, histograms carry quantiles, and an empty snapshot
+// prints nothing.
+func TestPrintMetricsTable(t *testing.T) {
+	var buf bytes.Buffer
+	printMetrics(&buf, fixtureSnapshot())
+	out := buf.String()
+	for _, want := range []string{
+		"metrics:",
+		"core.write.batches", "128",
+		"server.active_conns", "(gauge)",
+		"core.write.init_ns", "wal.group_commit_records",
+		"p50", "p95", "p99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	printMetrics(&buf, metrics.Snapshot{})
+	if buf.Len() != 0 {
+		t.Fatalf("empty snapshot should render nothing, got %q", buf.String())
+	}
+}

@@ -33,6 +33,7 @@ import (
 
 	"eleos/internal/addr"
 	"eleos/internal/core"
+	"eleos/internal/metrics"
 	"eleos/internal/netproto"
 	"eleos/internal/session"
 )
@@ -195,6 +196,17 @@ func (c *Client) ControllerStats() (core.Stats, error) {
 		return st, err
 	}
 	return st, json.Unmarshal(rbody, &st)
+}
+
+// StatsFull fetches the server's full metrics snapshot — every counter,
+// gauge and latency histogram across server, core, wal and flash — via
+// the stats_full command. Idempotent and retried like a read.
+func (c *Client) StatsFull() (metrics.Snapshot, error) {
+	rbody, err := c.call(netproto.MsgStatsFull, nil, netproto.MsgRespStatsFull, true)
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	return netproto.DecodeStatsFull(rbody)
 }
 
 // --- session handle --------------------------------------------------------

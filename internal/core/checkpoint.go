@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"time"
 
 	"eleos/internal/addr"
 	"eleos/internal/provision"
@@ -39,6 +40,10 @@ func (c *Controller) checkpointLocked() error {
 	}
 	c.inCheckpoint = true
 	defer func() { c.inCheckpoint = false }()
+	var t0 time.Time
+	if c.met.on {
+		t0 = time.Now()
+	}
 	// Force-close EBLOCKs open since before the previous checkpoint so the
 	// truncation LSN can advance (GC buckets can stay open a long time).
 	for _, ref := range c.st.OpenEBlocks() {
@@ -116,6 +121,10 @@ func (c *Controller) checkpointLocked() error {
 	c.log.Truncate(trunc)
 	c.logBytes = 0
 	c.stats.Checkpoints++
+	if c.met.on {
+		c.met.checkpoints.Inc()
+		c.met.checkpointNS.ObserveDuration(time.Since(t0))
+	}
 	return nil
 }
 

@@ -27,7 +27,7 @@ func stressLPID(w int, wsn uint64) addr.LPID {
 
 // stressChurnLPID is writer w's constantly-overwritten page (GC fodder).
 func stressChurnLPID(w int) addr.LPID {
-	return addr.LPID(uint64(w+1)*stressLPIDsPerSID)
+	return addr.LPID(uint64(w+1) * stressLPIDsPerSID)
 }
 
 // stressBatch builds writer w's wsn'th batch: one unique page plus one

@@ -27,6 +27,7 @@ import (
 	"eleos/internal/addr"
 	"eleos/internal/flash"
 	"eleos/internal/mapping"
+	"eleos/internal/metrics"
 	"eleos/internal/provision"
 	"eleos/internal/record"
 	"eleos/internal/session"
@@ -89,6 +90,11 @@ type Config struct {
 	// page — so truncation keeps pace with log growth (0 disables auto
 	// checkpointing). Values below a few WBLOCKs checkpoint every write.
 	AutoCheckpointLogBytes int
+	// Metrics is the registry every layer (core, flash, wal) records
+	// into. Nil gets a private enabled registry; pass
+	// metrics.NewDisabled() to strip instrumentation entirely (the
+	// metricsoverhead benchmark's baseline).
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns production-like defaults.
@@ -212,6 +218,16 @@ type Controller struct {
 	// eblock). GC victim selection, checkpoint force-close and migration
 	// must not touch an EBLOCK while its count is non-zero.
 	inflight map[[2]int]int
+	// pinned counts actions whose programs landed on an EBLOCK but whose
+	// mapping install (or abort) has not happened yet. A user action's
+	// commit force releases c.mu with its programs already drained from
+	// inflight; without the pin, GC running in that window would scan the
+	// freshly closed EBLOCK, find its pages unreferenced (the mapping
+	// still points at the old versions), and erase it — the action would
+	// then install addresses into erased flash. Pins are taken at submit
+	// and released at install/abort; GC victim selection and migration
+	// skip or wait on them exactly like inflight.
+	pinned map[[2]int]int
 	// wsnInflight claims a (sid, wsn) admission while its batch runs with
 	// c.mu released, so a concurrent duplicate submission cannot be
 	// admitted twice.
@@ -232,6 +248,8 @@ type Controller struct {
 	crashPoints map[string]bool
 
 	stats Stats
+	reg   *metrics.Registry
+	met   coreMetrics
 }
 
 func newController(dev *flash.Device, cfg Config) (*Controller, error) {
@@ -260,6 +278,7 @@ func newController(dev *flash.Device, cfg Config) (*Controller, error) {
 		nextAction:  1,
 		active:      make(map[uint64]record.LSN),
 		inflight:    make(map[[2]int]int),
+		pinned:      make(map[[2]int]int),
 		wsnInflight: make(map[[2]uint64]bool),
 		ckptEB:      ckptEBlockA,
 		crashPoints: make(map[string]bool),
@@ -268,6 +287,12 @@ func newController(dev *flash.Device, cfg Config) (*Controller, error) {
 	c.wsnCond = sync.NewCond(&c.mu)
 	c.ioCond = sync.NewCond(&c.mu)
 	c.mt.SetLoader(c.loadExtent)
+	c.reg = cfg.Metrics
+	if c.reg == nil {
+		c.reg = metrics.New()
+	}
+	c.met = newCoreMetrics(c.reg)
+	dev.SetMetrics(c.reg)
 	return c, nil
 }
 

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"eleos/internal/provision"
+)
+
+// Fault-schedule tests: deterministic program-failure injections at exact
+// media sequence points while WriteBatch, GC, and checkpoint traffic runs
+// concurrently. After the storm, the system must hold three invariants:
+//
+//  1. Content integrity — every acknowledged page reads back with the
+//     content of its highest acknowledged version.
+//  2. No leaked actions — the active-action table is empty once all
+//     writers have returned.
+//  3. Exact accounting — the device's WriteFailures counter and the
+//     registry's flash.program_failures counter both equal exactly the
+//     number of injected faults, no more, no less.
+//
+// All schedules run under -race in CI.
+
+// faultWriters mirrors runStressWriters but retries ErrWriteFailed with
+// the same WSN, which is the documented client contract for media aborts.
+// Returns per-writer highest acknowledged WSN and total observed aborts.
+func faultWriters(t *testing.T, c *Controller, sids []uint64, batches uint64) ([]uint64, int64) {
+	t.Helper()
+	acked := make([]uint64, len(sids))
+	var aborts int64
+	var abortMu sync.Mutex
+	errs := make(chan error, len(sids))
+	var wg sync.WaitGroup
+	for w := range sids {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for wsn := uint64(1); wsn <= batches; wsn++ {
+				const maxRetries = 50
+				var err error
+				for attempt := 0; attempt < maxRetries; attempt++ {
+					err = c.WriteBatch(sids[w], wsn, stressBatch(w, wsn))
+					if errors.Is(err, ErrWriteFailed) {
+						abortMu.Lock()
+						aborts++
+						abortMu.Unlock()
+						continue
+					}
+					if errors.Is(err, provision.ErrNoSpace) {
+						// Transiently full: concurrent force-window actions
+						// pin their EBLOCKs against GC, so under maximal
+						// churn a channel can run dry until they install.
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					break
+				}
+				if err != nil {
+					errs <- fmt.Errorf("writer %d wsn %d: %v", w, wsn, err)
+					return
+				}
+				acked[w] = wsn
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	return acked, aborts
+}
+
+// TestFaultSchedule injects faults at fixed program-attempt offsets and
+// asserts the invariants above. Offsets are relative to the arming point
+// (after Format), so each schedule is deterministic regardless of how
+// many programs formatting itself issued.
+func TestFaultSchedule(t *testing.T) {
+	schedules := []struct {
+		name string
+		arm  []int // 1-based program-attempt offsets that must fail
+	}{
+		// Offsets are spaced: when an armed fault lands on a WAL log page,
+		// the failover retry is the very next program attempt, so adjacent
+		// offsets can chain through the log's forward candidates and shut
+		// the log down — a designed durability limit, not the scenario
+		// under test here.
+		{"single", []int{5}},
+		{"burst", []int{10, 22, 34}},
+		{"spread", []int{3, 25, 60, 110, 170}},
+	}
+	for _, sc := range schedules {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			c, dev := stressController(t)
+			for _, n := range sc.arm {
+				dev.FailNthProgram(n)
+			}
+
+			sids := make([]uint64, 4)
+			for w := range sids {
+				sid, err := c.OpenSession()
+				if err != nil {
+					t.Fatalf("OpenSession: %v", err)
+				}
+				sids[w] = sid
+			}
+
+			// Background GC + checkpoint churn racing the writers. Both
+			// may themselves absorb an injected fault; that surfaces as
+			// ErrWriteFailed and is retried on the next tick.
+			stop := make(chan struct{})
+			var bg sync.WaitGroup
+			bg.Add(1)
+			go func() {
+				defer bg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var err error
+					if i%2 == 0 {
+						err = c.Checkpoint()
+					} else {
+						err = c.GCNow(i % c.Geometry().Channels)
+					}
+					if err != nil && !errors.Is(err, ErrWriteFailed) && !errors.Is(err, provision.ErrNoSpace) {
+						t.Errorf("background churn: %v", err)
+						return
+					}
+				}
+			}()
+
+			const batches = 60
+			acked, aborts := faultWriters(t, c, sids, batches)
+			close(stop)
+			bg.Wait()
+
+			// Every armed fault must have fired: the writer fleet issues
+			// far more program attempts than the largest armed offset.
+			want := int64(len(sc.arm))
+			if got := dev.Stats().WriteFailures; got != want {
+				t.Fatalf("device WriteFailures = %d, want exactly %d", got, want)
+			}
+			snap := c.MetricsSnapshot()
+			if got := snap.Counter("flash.program_failures"); got != want {
+				t.Fatalf("flash.program_failures = %d, want exactly %d", got, want)
+			}
+			if progs := snap.Counter("flash.programs"); progs <= want {
+				t.Fatalf("flash.programs = %d, expected many more than %d faults", progs, want)
+			}
+
+			// No leaked active entries once all writers and churn joined.
+			if n := c.ActiveActions(); n != 0 {
+				t.Fatalf("%d active actions leaked after quiesce", n)
+			}
+
+			// Aborts observed by clients can be fewer than injected faults
+			// (GC/checkpoint absorb some) but core must have counted every
+			// user-visible media abort it returned.
+			if got := snap.Counter("core.write.media_aborts"); got < aborts {
+				t.Fatalf("core.write.media_aborts = %d, below %d client-observed aborts", got, aborts)
+			}
+
+			// Content integrity: all acknowledged pages, latest versions.
+			for w, sid := range sids {
+				if acked[w] != batches {
+					t.Fatalf("writer %d acked %d/%d", w, acked[w], batches)
+				}
+				high, err := c.SessionHighestWSN(sid)
+				if err != nil {
+					t.Fatalf("SessionHighestWSN: %v", err)
+				}
+				if high != batches {
+					t.Fatalf("session %d highest WSN %d, want %d", sid, high, batches)
+				}
+				for wsn := uint64(1); wsn <= batches; wsn++ {
+					lpid := stressLPID(w, wsn)
+					size := 200 + int((uint64(w)*131+wsn*97)%1800)
+					checkRead(t, c, lpid, pageContent(uint64(lpid), wsn, size))
+				}
+				churn := stressChurnLPID(w)
+				checkRead(t, c, churn, pageContent(uint64(churn), batches, 8000))
+			}
+		})
+	}
+}
+
+// TestFaultScheduleSurvivesRecovery injects a fault mid-traffic, crashes,
+// reopens, and checks the committed prefix — a media abort must never
+// corrupt what recovery replays.
+func TestFaultScheduleSurvivesRecovery(t *testing.T) {
+	c, dev := stressController(t)
+	sid, err := c.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.FailNthProgram(4)
+	dev.FailNthProgram(9)
+
+	const batches = 30
+	var lastAcked uint64
+	for wsn := uint64(1); wsn <= batches; wsn++ {
+		var werr error
+		for attempt := 0; attempt < 10; attempt++ {
+			werr = c.WriteBatch(sid, wsn, stressBatch(0, wsn))
+			if !errors.Is(werr, ErrWriteFailed) {
+				break
+			}
+		}
+		if werr != nil {
+			t.Fatalf("wsn %d: %v", wsn, werr)
+		}
+		lastAcked = wsn
+	}
+	if got := dev.Stats().WriteFailures; got != 2 {
+		t.Fatalf("WriteFailures = %d, want 2", got)
+	}
+	c.Crash()
+
+	c2, err := Open(dev, testConfig())
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	high, err := c2.SessionHighestWSN(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high < lastAcked {
+		t.Fatalf("recovered WSN %d below acknowledged %d", high, lastAcked)
+	}
+	for wsn := uint64(1); wsn <= high; wsn++ {
+		lpid := stressLPID(0, wsn)
+		size := 200 + int((wsn*97)%1800)
+		checkRead(t, c2, lpid, pageContent(uint64(lpid), wsn, size))
+	}
+	if n := c2.ActiveActions(); n != 0 {
+		t.Fatalf("%d active actions leaked after recovery", n)
+	}
+}

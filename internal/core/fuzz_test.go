@@ -33,8 +33,8 @@ func TestDecodeBatchForgedCount(t *testing.T) {
 		body = binary.LittleEndian.AppendUint32(body, 1)
 		body = binary.LittleEndian.AppendUint64(body, 42)                       // lpid
 		body = binary.LittleEndian.AppendUint32(body, 4)                        // len
-		body = append(body, 'd', 'a', 't', 'a')                                //
-		body = mutate(body)                                                    //
+		body = append(body, 'd', 'a', 't', 'a')                                 //
+		body = mutate(body)                                                     //
 		return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body)) // valid CRC
 	}
 	cases := map[string][]byte{

@@ -54,6 +54,7 @@ func (c *Controller) gcChannelLocked(ch int) error {
 			return nil
 		}
 		eb, ok := c.selectVictimLocked(ch)
+		c.met.gcVictims.Inc()
 		if !ok {
 			return nil
 		}
@@ -71,12 +72,14 @@ func (c *Controller) gcChannelLocked(ch int) error {
 func (c *Controller) selectVictimLocked(ch int) (int, bool) {
 	best, bestScore := -1, math.Inf(1)
 	for _, eb := range c.st.UsedEBlocks(ch) {
-		if c.inflight[[2]int{ch, eb}] > 0 {
+		if c.inflight[[2]int{ch, eb}] > 0 || c.pinned[[2]int{ch, eb}] > 0 {
 			// A concurrent action still has programs queued against this
 			// EBLOCK (it fills and closes in the same plan, so it can be
-			// Used before its last program lands). Its metadata is not yet
-			// readable and erasing it would lose that action's data; skip
-			// it this round.
+			// Used before its last program lands), or has landed programs
+			// but is still waiting on its commit force with c.mu released
+			// and its mapping install pending. Either way the validity
+			// scan would see its pages as unreferenced and erasing the
+			// EBLOCK would lose committed data; skip it this round.
 			continue
 		}
 		d, err := c.st.Desc(ch, eb)
@@ -127,6 +130,7 @@ func (c *Controller) gcEBlockLocked(ch, eb int) error {
 		return nil
 	}
 	c.stats.GCRounds++
+	c.met.gcRounds.Inc()
 	if d.Stream == record.StreamLog {
 		return c.eraseAndFreeLocked(ch, eb)
 	}
@@ -321,6 +325,7 @@ func (c *Controller) relocateLocked(ch, eb int, entries []summary.MetaEntry, src
 			}
 		}
 		c.stats.GCPagesMoved++
+		c.met.gcPagesMoved.Inc()
 		c.stats.GCBytesMoved += int64(pg.Addr.Length())
 	}
 	if err := c.lazyGarbageLocked(id, abandoned); err != nil {
@@ -360,5 +365,6 @@ func (c *Controller) eraseAndFreeLocked(ch, eb int) error {
 		return err
 	}
 	c.stats.GCEBlocksFreed++
+	c.met.gcFreed.Inc()
 	return nil
 }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"eleos/internal/metrics"
+)
+
+// coreMetrics holds the controller's instrument handles, resolved once in
+// newController. The write-stage histograms decompose a WriteBatch into
+// the paper's system-action phases so the cost accounting (Table II's
+// write-context argument) is visible at runtime: claim (WSN admission
+// wait), init (provision + log plan + submit under c.mu), program wait
+// (flash workers, c.mu released), force wait (commit group-commit force),
+// and install (mapping/summary/session updates under c.mu).
+//
+// The `on` flag gates the time.Now() calls: with a disabled registry the
+// handles are nil (recording is a nil-receiver branch) and `on` is false,
+// so the hot path pays no clock reads either.
+type coreMetrics struct {
+	on bool
+
+	claimNS       *metrics.Histogram
+	initNS        *metrics.Histogram
+	programWaitNS *metrics.Histogram
+	forceWaitNS   *metrics.Histogram
+	installNS     *metrics.Histogram
+	batchPages    *metrics.Histogram
+
+	batches     *metrics.Counter
+	pages       *metrics.Counter
+	staleWrites *metrics.Counter
+	mediaAborts *metrics.Counter
+	aborted     *metrics.Counter
+
+	gcRounds     *metrics.Counter
+	gcVictims    *metrics.Counter
+	gcPagesMoved *metrics.Counter
+	gcFreed      *metrics.Counter
+	migrations   *metrics.Counter
+
+	checkpoints  *metrics.Counter
+	checkpointNS *metrics.Histogram
+}
+
+func newCoreMetrics(reg *metrics.Registry) coreMetrics {
+	return coreMetrics{
+		on: reg.Enabled(),
+
+		claimNS:       reg.Histogram("core.write.claim_ns", metrics.DurationBounds()),
+		initNS:        reg.Histogram("core.write.init_ns", metrics.DurationBounds()),
+		programWaitNS: reg.Histogram("core.write.program_wait_ns", metrics.DurationBounds()),
+		forceWaitNS:   reg.Histogram("core.write.force_wait_ns", metrics.DurationBounds()),
+		installNS:     reg.Histogram("core.write.install_ns", metrics.DurationBounds()),
+		batchPages:    reg.Histogram("core.write.batch_pages", metrics.SizeBounds()),
+
+		batches:     reg.Counter("core.write.batches"),
+		pages:       reg.Counter("core.write.pages"),
+		staleWrites: reg.Counter("core.write.stale"),
+		mediaAborts: reg.Counter("core.write.media_aborts"),
+		aborted:     reg.Counter("core.aborted_actions"),
+
+		gcRounds:     reg.Counter("core.gc.rounds"),
+		gcVictims:    reg.Counter("core.gc.victim_selections"),
+		gcPagesMoved: reg.Counter("core.gc.pages_moved"),
+		gcFreed:      reg.Counter("core.gc.eblocks_freed"),
+		migrations:   reg.Counter("core.migrations"),
+
+		checkpoints:  reg.Counter("core.checkpoints"),
+		checkpointNS: reg.Histogram("core.checkpoint_ns", metrics.DurationBounds()),
+	}
+}
+
+// Metrics returns the controller's metrics registry (never nil; a
+// controller built without Config.Metrics owns a private registry).
+func (c *Controller) Metrics() *metrics.Registry { return c.reg }
+
+// MetricsSnapshot exports every instrument in the controller's registry.
+// Lock-free: safe to call concurrently with writes, GC and checkpoints.
+func (c *Controller) MetricsSnapshot() metrics.Snapshot { return c.reg.Snapshot() }
+
+// ActiveActions returns the number of in-progress system actions. After
+// traffic quiesces — even traffic that suffered injected media failures —
+// this must be zero, or an abort path leaked an active-table entry and
+// log truncation is pinned forever.
+func (c *Controller) ActiveActions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.active)
+}

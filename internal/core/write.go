@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"eleos/internal/addr"
 	"eleos/internal/flash"
@@ -43,6 +44,12 @@ type action struct {
 // and the commit force runs with the lock released (committers share forced
 // log pages — group commit).
 func (c *Controller) WriteBatch(sid, wsn uint64, pages []LPage) error {
+	// Claim stage: lock acquisition plus WSN admission (which may wait for
+	// predecessor WSNs). Timed only when the registry is enabled.
+	var tClaim time.Time
+	if c.met.on {
+		tClaim = time.Now()
+	}
 	c.mu.Lock()
 	if c.crashed {
 		c.mu.Unlock()
@@ -60,6 +67,9 @@ func (c *Controller) WriteBatch(sid, wsn uint64, pages []LPage) error {
 		}
 	}
 	c.mu.Unlock()
+	if c.met.on {
+		c.met.claimNS.ObserveDuration(time.Since(tClaim))
+	}
 
 	// Build the aligned write buffer outside the lock: validating, copying
 	// and padding the batch is per-action work.
@@ -99,6 +109,7 @@ func (c *Controller) admitWSNLocked(sid, wsn uint64) (bool, error) {
 		}
 		if v == session.Stale {
 			c.stats.StaleWrites++
+			c.met.staleWrites.Inc()
 			return false, nil
 		}
 		if v == session.Apply && !c.wsnInflight[key] {
@@ -144,6 +155,10 @@ func buildBatch(pages []LPage) ([]byte, []provision.BatchPage, error) {
 // commit record is forced.
 func (c *Controller) writeUser(a *action, pages []LPage) error {
 	c.updateSeq += uint64(len(pages))
+	var tInit time.Time
+	if c.met.on {
+		tInit = time.Now()
+	}
 
 	// Initialization phase (§IV-A). Provisioning, the init log records and
 	// the queue submission form one critical section: the provisioner
@@ -184,9 +199,30 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 	// workers with c.mu released, so concurrent actions' I/O overlaps in
 	// wall-clock time.
 	batch := c.submitPlanLocked(a.buf, plan)
+	// The submit pinned the plan's EBLOCKs against GC/migration erase.
+	// Every exit from here on must release the pins — after the install
+	// or the abort, whichever ends the action. The deferred call covers
+	// the error returns; paths that must unpin earlier (migration waits
+	// on pins and would self-deadlock) call unpin directly.
+	unpinned := false
+	unpin := func() {
+		if !unpinned {
+			unpinned = true
+			c.unpinPlanLocked(plan)
+		}
+	}
+	defer unpin()
+	var tExec time.Time
+	if c.met.on {
+		tExec = time.Now()
+		c.met.initNS.ObserveDuration(tExec.Sub(tInit))
+	}
 	c.mu.Unlock()
 	res := batch.Wait()
 	c.mu.Lock()
+	if c.met.on {
+		c.met.programWaitNS.ObserveDuration(time.Since(tExec))
+	}
 	c.finishPlanLocked(plan, res)
 	if c.crashed {
 		return ErrCrashed
@@ -195,7 +231,9 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 		return err
 	}
 	if len(res.FailedEBlocks) > 0 {
+		c.met.mediaAborts.Inc()
 		c.abortActionLocked(a.id, plan)
+		unpin()
 		c.migrateFailedLocked(res.FailedEBlocks)
 		return fmt.Errorf("%w: action %d", ErrWriteFailed, a.id)
 	}
@@ -214,8 +252,17 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 		c.abortActionLocked(a.id, plan)
 		return err
 	}
+	var tForce time.Time
+	if c.met.on {
+		tForce = time.Now()
+	}
 	if err := c.forceCommitLocked(a.id); err != nil {
 		return err
+	}
+	var tInstall time.Time
+	if c.met.on {
+		tInstall = time.Now()
+		c.met.forceWaitNS.ObserveDuration(tInstall.Sub(tForce))
 	}
 	if err := c.crashIf("commit.after-force"); err != nil {
 		return err
@@ -257,6 +304,12 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 	for _, bp := range a.bps {
 		c.stats.BytesStored += int64(bp.Length)
 	}
+	if c.met.on {
+		c.met.installNS.ObserveDuration(time.Since(tInstall))
+		c.met.batches.Inc()
+		c.met.pages.Add(int64(len(pages)))
+		c.met.batchPages.Observe(int64(len(pages)))
+	}
 	return nil
 }
 
@@ -294,6 +347,7 @@ func (c *Controller) forceCommitLocked(id uint64) error {
 	c.wsnCond.Broadcast()
 	delete(c.active, id)
 	c.stats.AbortedActions++
+	c.met.aborted.Inc()
 	return fmt.Errorf("%w: commit force failed: %v", ErrCrashed, err)
 }
 
@@ -354,9 +408,23 @@ func (c *Controller) submitPlanLocked(buf []byte, plan *provision.Plan) *flash.B
 			data = buf[io.BufLo:io.BufHi]
 		}
 		cmds = append(cmds, flash.BatchCmd{Channel: io.Channel, EBlock: io.EBlock, WBlock: io.WBlock, Data: data})
-		c.inflight[[2]int{io.Channel, io.EBlock}]++
+		key := [2]int{io.Channel, io.EBlock}
+		c.inflight[key]++
+		c.pinned[key]++
 	}
 	return c.dev.SubmitBatch(cmds)
+}
+
+// unpinPlanLocked releases the erase-protection pins taken at submit.
+// Called once per plan when the owning action installs or aborts.
+func (c *Controller) unpinPlanLocked(plan *provision.Plan) {
+	for _, io := range plan.IOs {
+		key := [2]int{io.Channel, io.EBlock}
+		if c.pinned[key]--; c.pinned[key] <= 0 {
+			delete(c.pinned, key)
+		}
+	}
+	c.ioCond.Broadcast()
 }
 
 // finishPlanLocked retires a completed batch's in-flight bookkeeping and
@@ -372,11 +440,14 @@ func (c *Controller) finishPlanLocked(plan *provision.Plan, res flash.BatchResul
 	c.ioCond.Broadcast()
 }
 
-// waitInflightLocked blocks until no queued programs target (ch, eb). The
-// queued programs always complete (the workers depend only on device
-// locks), so the wait is bounded.
+// waitInflightLocked blocks until no queued programs target (ch, eb) and
+// no landed-but-uninstalled action pins it. The wait is bounded: queued
+// programs always complete (the workers depend only on device locks), and
+// pins drain when their action installs or aborts — both of which happen
+// on every writeUser exit path.
 func (c *Controller) waitInflightLocked(ch, eb int) {
-	for c.inflight[[2]int{ch, eb}] > 0 {
+	key := [2]int{ch, eb}
+	for c.inflight[key] > 0 || c.pinned[key] > 0 {
 		c.ioCond.Wait()
 	}
 }
@@ -390,6 +461,10 @@ func (c *Controller) executeIOsLocked(buf []byte, plan *provision.Plan) [][2]int
 	batch := c.submitPlanLocked(buf, plan)
 	res := batch.Wait()
 	c.finishPlanLocked(plan, res)
+	// The pins are moot here — c.mu is held from submit through the
+	// caller's install — but submit takes them unconditionally, so
+	// release them before anyone else can observe the counts.
+	c.unpinPlanLocked(plan)
 	return res.FailedEBlocks
 }
 
@@ -402,6 +477,7 @@ func (c *Controller) abortActionLocked(id uint64, plan *provision.Plan) {
 	}
 	delete(c.active, id)
 	c.stats.AbortedActions++
+	c.met.aborted.Inc()
 }
 
 // lazyGarbageLocked appends the lazy old-address records and the DONE
@@ -469,5 +545,6 @@ func (c *Controller) migrateEBlockLocked(ch, eb int) error {
 		return err
 	}
 	c.stats.Migrations++
+	c.met.migrations.Inc()
 	return c.eraseAndFreeLocked(ch, eb)
 }

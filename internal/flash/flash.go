@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"eleos/internal/metrics"
 )
 
 // Geometry describes the shape of the simulated flash array.
@@ -167,10 +169,18 @@ type Device struct {
 	statsMu sync.Mutex
 	stats   Stats
 
-	injectMu sync.Mutex
-	failNext map[[3]int]bool // explicit one-shot program failures
-	failProb float64
-	rng      *rand.Rand
+	injectMu   sync.Mutex
+	failNext   map[[3]int]bool // explicit one-shot program failures
+	failProb   float64
+	rng        *rand.Rand
+	programSeq int64          // program attempts seen by shouldFail
+	failAtSeq  map[int64]bool // programSeq values that must fail (FailNthProgram)
+
+	// met is the instrument-handle set installed by SetMetrics; nil means
+	// uninstrumented, so the hot path pays one atomic pointer load and a
+	// branch. Swappable atomically because the controller installs it
+	// after the device already exists.
+	met atomic.Pointer[devMetrics]
 
 	workerMu sync.Mutex
 	workers  []chan batchSeg // lazily started, one per channel
@@ -197,6 +207,46 @@ func (d *Device) wallWait(lat time.Duration) {
 	if s := d.wallScaleMilli.Load(); s > 0 {
 		time.Sleep(lat * time.Duration(s) / 1000)
 	}
+}
+
+// devMetrics holds the device's instrument handles, resolved once in
+// SetMetrics. Latencies are wall-clock (they include channel-lock wait
+// and any wallWait emulation), so histogram time only moves when the
+// benchmark models occupancy — virtual-time accounting stays in
+// ChannelTime/MediaTime.
+type devMetrics struct {
+	programs        *metrics.Counter
+	programFailures *metrics.Counter
+	erases          *metrics.Counter
+	programNS       *metrics.Histogram
+	eraseNS         *metrics.Histogram
+	queueDepth      []*metrics.Gauge // per channel, in queued commands
+}
+
+// SetMetrics installs instrument handles from reg: "flash.programs",
+// "flash.program_failures", "flash.erases" counters, the
+// "flash.program_ns"/"flash.erase_ns" wall-clock histograms, and one
+// "flash.chan<i>.queue_depth" gauge per channel counting commands queued
+// on the channel's submission worker. A nil or disabled registry
+// uninstalls instrumentation. Install before submitting traffic: batches
+// in flight across the swap can skew the queue-depth gauges.
+func (d *Device) SetMetrics(reg *metrics.Registry) {
+	if !reg.Enabled() {
+		d.met.Store(nil)
+		return
+	}
+	m := &devMetrics{
+		programs:        reg.Counter("flash.programs"),
+		programFailures: reg.Counter("flash.program_failures"),
+		erases:          reg.Counter("flash.erases"),
+		programNS:       reg.Histogram("flash.program_ns", metrics.DurationBounds()),
+		eraseNS:         reg.Histogram("flash.erase_ns", metrics.DurationBounds()),
+		queueDepth:      make([]*metrics.Gauge, d.geo.Channels),
+	}
+	for i := range m.queueDepth {
+		m.queueDepth[i] = reg.Gauge(fmt.Sprintf("flash.chan%d.queue_depth", i))
+	}
+	d.met.Store(m)
 }
 
 // NewDevice creates a device with the given geometry and latency model.
@@ -247,6 +297,26 @@ func (d *Device) FailNextProgram(ch, eb, wb int) {
 	d.failNext[[3]int{ch, eb, wb}] = true
 }
 
+// FailNthProgram arranges for the n-th program attempt from now (n=1 is
+// the very next) to fail, whichever WBLOCK it targets. Unlike
+// FailNextProgram it needs no address, so fault schedules stay
+// deterministic even when concurrent provisioning makes the victim
+// address unpredictable: each armed countdown fires on exactly one
+// program attempt, so the device's WriteFailures count (and the
+// "flash.program_failures" metric) grows by exactly the number of armed
+// countdowns once at least that many programs have been attempted.
+func (d *Device) FailNthProgram(n int) {
+	if n < 1 {
+		return
+	}
+	d.injectMu.Lock()
+	defer d.injectMu.Unlock()
+	if d.failAtSeq == nil {
+		d.failAtSeq = make(map[int64]bool)
+	}
+	d.failAtSeq[d.programSeq+int64(n)] = true
+}
+
 // SetFailureProbability makes every program fail independently with
 // probability p, using the device's seeded RNG (deterministic runs).
 // A non-zero probability also switches SubmitBatch to synchronous
@@ -263,6 +333,11 @@ func (d *Device) SetFailureProbability(p float64, seed int64) {
 func (d *Device) shouldFail(ch, eb, wb int) bool {
 	d.injectMu.Lock()
 	defer d.injectMu.Unlock()
+	d.programSeq++
+	if d.failAtSeq[d.programSeq] {
+		delete(d.failAtSeq, d.programSeq)
+		return true
+	}
 	key := [3]int{ch, eb, wb}
 	if d.failNext[key] {
 		delete(d.failNext, key)
@@ -301,6 +376,11 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 		return fmt.Errorf("%w: ch=%d eb=%d wb=%d (next=%d)", ErrWriteOrder, ch, eb, wb, ebs.nextWBlock)
 	}
 	// Programming consumes time whether or not it succeeds.
+	m := d.met.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	cs.busy += d.lat.ProgramWBlock
 	d.wallWait(d.lat.ProgramWBlock)
 	if d.shouldFail(ch, eb, wb) {
@@ -308,6 +388,11 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 		d.statsMu.Lock()
 		d.stats.WriteFailures++
 		d.statsMu.Unlock()
+		if m != nil {
+			m.programs.Inc()
+			m.programFailures.Inc()
+			m.programNS.ObserveDuration(time.Since(t0))
+		}
 		return fmt.Errorf("%w: ch=%d eb=%d wb=%d", ErrWriteFailed, ch, eb, wb)
 	}
 	buf := make([]byte, len(data))
@@ -318,6 +403,10 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 	d.stats.WBlocksWritten++
 	d.stats.BytesWritten += int64(d.geo.WBlockBytes)
 	d.statsMu.Unlock()
+	if m != nil {
+		m.programs.Inc()
+		m.programNS.ObserveDuration(time.Since(t0))
+	}
 	return nil
 }
 
@@ -420,12 +509,21 @@ func (d *Device) Erase(ch, eb int) error {
 	}
 	ebs.nextWBlock = 0
 	ebs.failed = false
+	m := d.met.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	cs.busy += d.lat.EraseEBlock
 	d.wallWait(d.lat.EraseEBlock)
 	cs.mu.Unlock()
 	d.statsMu.Lock()
 	d.stats.EBlocksErased++
 	d.statsMu.Unlock()
+	if m != nil {
+		m.erases.Inc()
+		m.eraseNS.ObserveDuration(time.Since(t0))
+	}
 	return nil
 }
 
@@ -611,6 +709,9 @@ func (d *Device) runSegment(cmds []BatchCmd) (attempted int, failed [][2]int) {
 func (d *Device) workerLoop(q chan batchSeg) {
 	for seg := range q {
 		attempted, failed := d.runSegment(seg.cmds)
+		if m := d.met.Load(); m != nil && len(seg.cmds) > 0 {
+			m.queueDepth[seg.cmds[0].Channel].Add(-int64(len(seg.cmds)))
+		}
 		seg.b.finish(attempted, failed)
 	}
 }
@@ -676,6 +777,7 @@ func (d *Device) SubmitBatch(cmds []BatchCmd) *Batch {
 		segs[c.Channel] = append(segs[c.Channel], c)
 	}
 	b.pending = len(order)
+	m := d.met.Load()
 	for _, ch := range order {
 		q := d.queueFor(ch)
 		if q == nil {
@@ -683,6 +785,9 @@ func (d *Device) SubmitBatch(cmds []BatchCmd) *Batch {
 			attempted, failed := d.runSegment(segs[ch])
 			b.finish(attempted, failed)
 			continue
+		}
+		if m != nil {
+			m.queueDepth[ch].Add(int64(len(segs[ch])))
 		}
 		q <- batchSeg{b: b, cmds: segs[ch]}
 	}

@@ -9,6 +9,7 @@ import (
 	"eleos/internal/addr"
 	"eleos/internal/core"
 	"eleos/internal/flash"
+	"eleos/internal/metrics"
 )
 
 // The concurrent experiment measures the parallel write pipeline in wall
@@ -57,14 +58,30 @@ func RunConcurrent(writerCounts []int, batchesPerWriter int) ([]ConcurrentRow, e
 }
 
 func runConcurrentOne(writers, batchesPerWriter int) (ConcurrentRow, error) {
+	return runConcurrentCfg(writers, batchesPerWriter, concurrentOpts{
+		lat: flash.TypicalNANDLatency(), wallScale: 1,
+	})
+}
+
+// concurrentOpts parameterizes the shared concurrent-writer workload so
+// other experiments (metrics overhead) can rerun it with a different
+// device model or metrics registry.
+type concurrentOpts struct {
+	lat       flash.Latency
+	wallScale float64
+	reg       *metrics.Registry // nil: the controller's default registry
+}
+
+func runConcurrentCfg(writers, batchesPerWriter int, opts concurrentOpts) (ConcurrentRow, error) {
 	geo := flash.Geometry{
 		Channels: 8, EBlocksPerChannel: 64,
 		EBlockBytes: 1 << 20, WBlockBytes: 32 << 10, RBlockBytes: 4 << 10,
 	}
-	dev := flash.MustNewDevice(geo, flash.TypicalNANDLatency())
-	dev.SetWallLatencyScale(1)
+	dev := flash.MustNewDevice(geo, opts.lat)
+	dev.SetWallLatencyScale(opts.wallScale)
 	cfg := core.DefaultConfig()
 	cfg.AutoCheckpointLogBytes = 16 << 20
+	cfg.Metrics = opts.reg
 	c, err := core.Format(dev, cfg)
 	if err != nil {
 		return ConcurrentRow{}, err

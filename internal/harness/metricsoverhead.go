@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"eleos/internal/metrics"
+)
+
+// The metricsoverhead experiment measures what the observability layer
+// costs on the hot write path: the same concurrent-writer workload runs
+// once with a disabled registry (every instrument is a nil-receiver no-op
+// and the timing gates skip their time.Now() calls) and once with a live
+// registry recording every stage. The device runs with zero emulated NAND
+// latency so throughput is CPU-bound — under wall-clock NAND emulation the
+// instrumentation cost would hide inside the sleeps.
+
+// OverheadArm is one side of the comparison.
+type OverheadArm struct {
+	Mode     string        // "disabled" or "enabled"
+	Batches  int           // total batches across all writers
+	Elapsed  time.Duration // best trial's wall clock
+	MBPerSec float64       // best trial's throughput
+}
+
+// OverheadResult is the paired measurement.
+type OverheadResult struct {
+	Writers          int
+	BatchesPerWriter int
+	Trials           int
+	Disabled         OverheadArm
+	Enabled          OverheadArm
+	OverheadPct      float64 // (disabled - enabled) / disabled * 100
+	Instruments      int     // instrument count in the enabled snapshot
+}
+
+// RunMetricsOverhead runs both arms trials times, interleaved to spread
+// thermal and scheduler noise evenly, and keeps each arm's best trial.
+func RunMetricsOverhead(writers, batchesPerWriter, trials int) (OverheadResult, error) {
+	res := OverheadResult{Writers: writers, BatchesPerWriter: batchesPerWriter, Trials: trials}
+	best := map[string]ConcurrentRow{}
+	for trial := 0; trial < trials; trial++ {
+		for _, mode := range []string{"disabled", "enabled"} {
+			reg := metrics.NewDisabled()
+			if mode == "enabled" {
+				reg = metrics.New()
+			}
+			row, err := runConcurrentCfg(writers, batchesPerWriter, concurrentOpts{reg: reg})
+			if err != nil {
+				return res, fmt.Errorf("metrics overhead (%s, trial %d): %w", mode, trial, err)
+			}
+			if b, ok := best[mode]; !ok || row.MBPerSec > b.MBPerSec {
+				best[mode] = row
+			}
+			if mode == "enabled" && trial == 0 {
+				snap := reg.Snapshot()
+				res.Instruments = len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms)
+			}
+		}
+	}
+	res.Disabled = OverheadArm{Mode: "disabled", Batches: best["disabled"].Batches,
+		Elapsed: best["disabled"].Elapsed, MBPerSec: best["disabled"].MBPerSec}
+	res.Enabled = OverheadArm{Mode: "enabled", Batches: best["enabled"].Batches,
+		Elapsed: best["enabled"].Elapsed, MBPerSec: best["enabled"].MBPerSec}
+	if res.Disabled.MBPerSec > 0 {
+		res.OverheadPct = 100 * (res.Disabled.MBPerSec - res.Enabled.MBPerSec) / res.Disabled.MBPerSec
+	}
+	return res, nil
+}
+
+// PrintMetricsOverhead renders the comparison.
+func PrintMetricsOverhead(w io.Writer, r OverheadResult) {
+	fmt.Fprintln(w, "Metrics overhead (CPU-bound concurrent write workload, best of trials)")
+	fmt.Fprintf(w, "%10s %9s %12s %10s\n", "mode", "batches", "elapsed", "MB/s")
+	for _, arm := range []OverheadArm{r.Disabled, r.Enabled} {
+		fmt.Fprintf(w, "%10s %9d %12s %10.2f\n",
+			arm.Mode, arm.Batches, arm.Elapsed.Round(time.Millisecond), arm.MBPerSec)
+	}
+	fmt.Fprintf(w, "enabled registry: %d instruments, throughput overhead %.2f%%\n",
+		r.Instruments, r.OverheadPct)
+}
+
+// WriteMetricsOverheadJSON emits the result as a BENCH_-style document so
+// the observability cost joins the recorded perf trajectory.
+func WriteMetricsOverheadJSON(path string, r OverheadResult) error {
+	doc := struct {
+		Experiment       string  `json:"experiment"`
+		Writers          int     `json:"writers"`
+		BatchesPerWriter int     `json:"batches_per_writer"`
+		PagesPerBatch    int     `json:"pages_per_batch"`
+		PageBytes        int     `json:"page_bytes"`
+		Trials           int     `json:"trials"`
+		DisabledMBPerSec float64 `json:"disabled_mb_per_sec"`
+		EnabledMBPerSec  float64 `json:"enabled_mb_per_sec"`
+		DisabledMS       float64 `json:"disabled_ms"`
+		EnabledMS        float64 `json:"enabled_ms"`
+		OverheadPct      float64 `json:"overhead_pct"`
+		Instruments      int     `json:"instruments"`
+	}{
+		Experiment:       "metricsoverhead",
+		Writers:          r.Writers,
+		BatchesPerWriter: r.BatchesPerWriter,
+		PagesPerBatch:    concPagesPerBatch,
+		PageBytes:        concPageBytes,
+		Trials:           r.Trials,
+		DisabledMBPerSec: r.Disabled.MBPerSec,
+		EnabledMBPerSec:  r.Enabled.MBPerSec,
+		DisabledMS:       float64(r.Disabled.Elapsed.Microseconds()) / 1000,
+		EnabledMS:        float64(r.Enabled.Elapsed.Microseconds()) / 1000,
+		OverheadPct:      r.OverheadPct,
+		Instruments:      r.Instruments,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

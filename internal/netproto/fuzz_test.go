@@ -1,0 +1,32 @@
+package netproto
+
+import (
+	"testing"
+
+	"eleos/internal/metrics"
+)
+
+// FuzzDecodeStatsFull feeds arbitrary bytes to the stats_full decoder
+// (mirroring core's FuzzDecodeBatch): it must reject or accept without
+// panicking or over-allocating, and anything it accepts must re-encode
+// to the identical byte string (the codec is canonical: one valid
+// encoding per snapshot).
+func FuzzDecodeStatsFull(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeStatsFull(metrics.Snapshot{}))
+	reg := metrics.New()
+	reg.Counter("a").Add(1)
+	reg.Gauge("g").Set(-7)
+	reg.Histogram("h", metrics.DurationBounds()).Observe(1234)
+	f.Add(EncodeStatsFull(reg.Snapshot()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeStatsFull(data)
+		if err != nil {
+			return
+		}
+		re := EncodeStatsFull(snap)
+		if string(re) != string(data) {
+			t.Fatalf("accepted non-canonical encoding:\n in  %x\n out %x", data, re)
+		}
+	})
+}

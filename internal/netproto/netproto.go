@@ -41,6 +41,7 @@ const (
 	MsgFlushBatch   = 0x03 // body: sid u64 | wsn u64 | batch wire bytes
 	MsgRead         = 0x04 // body: lpid u64
 	MsgStats        = 0x05 // body: empty
+	MsgStatsFull    = 0x06 // body: empty
 
 	// Responses.
 	MsgRespOpenSession  = 0x81 // body: sid u64
@@ -48,6 +49,7 @@ const (
 	MsgRespFlushBatch   = 0x83 // body: highest applied WSN u64
 	MsgRespRead         = 0x84 // body: page bytes
 	MsgRespStats        = 0x85 // body: JSON core.Stats
+	MsgRespStatsFull    = 0x86 // body: binary metrics.Snapshot (EncodeStatsFull)
 	MsgRespError        = 0xFF // body: code u16 | message bytes
 )
 

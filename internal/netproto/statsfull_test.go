@@ -1,0 +1,118 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"eleos/internal/metrics"
+)
+
+func sampleSnapshot() metrics.Snapshot {
+	reg := metrics.New()
+	reg.Counter("wal.appends").Add(42)
+	reg.Counter("core.write.batches").Add(7)
+	reg.Gauge("server.inflight_bytes").Set(1 << 20)
+	reg.Gauge("flash.chan0.queue_depth").Set(-3) // gauges may go negative on skew
+	h := reg.Histogram("core.write.init_ns", metrics.DurationBounds())
+	for _, v := range []int64{900, 1500, 3000, 1 << 40} {
+		h.Observe(v)
+	}
+	reg.Histogram("wal.group_commit_records", metrics.SizeBounds()).Observe(12)
+	return reg.Snapshot()
+}
+
+func TestStatsFullRoundTrip(t *testing.T) {
+	snap := sampleSnapshot()
+	body := EncodeStatsFull(snap)
+	got, err := DecodeStatsFull(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+func TestStatsFullEmptySnapshot(t *testing.T) {
+	snap := metrics.Snapshot{}
+	got, err := DecodeStatsFull(EncodeStatsFull(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+	if got.Counters != nil || got.Gauges != nil || got.Histograms != nil {
+		t.Fatalf("empty sections must decode as nil slices: %+v", got)
+	}
+}
+
+func TestDecodeStatsFullForgedCounterCount(t *testing.T) {
+	// A forged counter count must be rejected before it can size an
+	// allocation: claim 2^31 counters in a tiny buffer.
+	b := binary.LittleEndian.AppendUint32(nil, statsMagic)
+	b = append(b, statsVersion)
+	b = binary.LittleEndian.AppendUint32(b, 1<<31)
+	if _, err := DecodeStatsFull(b); !errors.Is(err, ErrBadStats) {
+		t.Fatalf("forged count: %v, want ErrBadStats", err)
+	}
+}
+
+func TestDecodeStatsFullForgedBoundsCount(t *testing.T) {
+	// One histogram claiming 65535 bounds in a short buffer.
+	b := binary.LittleEndian.AppendUint32(nil, statsMagic)
+	b = append(b, statsVersion)
+	b = binary.LittleEndian.AppendUint32(b, 0) // counters
+	b = binary.LittleEndian.AppendUint32(b, 0) // gauges
+	b = binary.LittleEndian.AppendUint32(b, 1) // histograms
+	b = binary.LittleEndian.AppendUint16(b, 1) // name len
+	b = append(b, 'h')
+	b = binary.LittleEndian.AppendUint64(b, 0)      // sum
+	b = binary.LittleEndian.AppendUint16(b, 0xFFFF) // forged nBounds
+	if _, err := DecodeStatsFull(b); !errors.Is(err, ErrBadStats) {
+		t.Fatalf("forged bounds: %v, want ErrBadStats", err)
+	}
+}
+
+func TestDecodeStatsFullForgedNameLen(t *testing.T) {
+	b := binary.LittleEndian.AppendUint32(nil, statsMagic)
+	b = append(b, statsVersion)
+	b = binary.LittleEndian.AppendUint32(b, 1)      // one counter...
+	b = binary.LittleEndian.AppendUint16(b, 0xFFFF) // ...whose name overruns
+	b = append(b, make([]byte, 8)...)
+	if _, err := DecodeStatsFull(b); !errors.Is(err, ErrBadStats) {
+		t.Fatalf("forged name len: %v, want ErrBadStats", err)
+	}
+}
+
+func TestDecodeStatsFullTruncated(t *testing.T) {
+	full := EncodeStatsFull(sampleSnapshot())
+	// Every proper prefix must fail cleanly, never panic.
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeStatsFull(full[:n]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", n, len(full))
+		}
+	}
+}
+
+func TestDecodeStatsFullTrailingBytes(t *testing.T) {
+	full := EncodeStatsFull(sampleSnapshot())
+	if _, err := DecodeStatsFull(append(full, 0)); !errors.Is(err, ErrBadStats) {
+		t.Fatalf("trailing byte: %v, want ErrBadStats", err)
+	}
+}
+
+func TestDecodeStatsFullBadMagicVersion(t *testing.T) {
+	b := binary.LittleEndian.AppendUint32(nil, 0xDEADBEEF)
+	b = append(b, statsVersion)
+	if _, err := DecodeStatsFull(b); !errors.Is(err, ErrBadStats) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	b = binary.LittleEndian.AppendUint32(nil, statsMagic)
+	b = append(b, 99)
+	if _, err := DecodeStatsFull(b); !errors.Is(err, ErrBadStats) {
+		t.Fatalf("bad version: %v", err)
+	}
+}

@@ -99,10 +99,20 @@ type Config struct {
 	// a fresh bucket (while under the GCBuckets cap) instead of the
 	// closest existing one.
 	GCBucketSpread uint64
+	// GCReserveEBlocks holds back this many free EBLOCKs per channel from
+	// user and log allocation. GC relocation places survivors on the
+	// victim's own channel, so without a reserve a channel can wedge:
+	// zero free EBLOCKs, no open GC destination, and every victim worth
+	// collecting needs a relocation that itself needs a free EBLOCK. The
+	// reserve guarantees GC can always open a destination, and erasing
+	// the victim immediately repays the loan.
+	GCReserveEBlocks int
 }
 
 // DefaultConfig returns the defaults used by the paper's description.
-func DefaultConfig() Config { return Config{GCBuckets: 3, GCBucketSpread: 1024} }
+func DefaultConfig() Config {
+	return Config{GCBuckets: 3, GCBucketSpread: 1024, GCReserveEBlocks: 1}
+}
 
 // Errors.
 var (
@@ -380,9 +390,15 @@ func (c *chanPlanner) closeCur() {
 	c.meta = nil
 }
 
-// openFresh takes the next free EBLOCK for the stream.
+// openFresh takes the next free EBLOCK for the stream. Non-GC streams
+// leave GCReserveEBlocks behind so garbage collection always has a
+// relocation destination on this channel.
 func (c *chanPlanner) openFresh() error {
-	if len(c.free) == 0 {
+	reserve := 0
+	if c.stream != record.StreamGC {
+		reserve = c.p.cfg.GCReserveEBlocks
+	}
+	if len(c.free) <= reserve {
 		return fmt.Errorf("%w: channel %d", ErrNoSpace, c.ch)
 	}
 	eb := c.free[0]
@@ -674,6 +690,9 @@ func (p *Provisioner) takeLogEBlock(prevCh, siblingCh int, lsn record.LSN) (int,
 			ch := (start + i) % p.geo.Channels
 			if pass == 0 && ch == siblingCh && p.geo.Channels > 1 {
 				continue
+			}
+			if p.st.FreeCount(ch) <= p.cfg.GCReserveEBlocks {
+				continue // leave the GC relocation reserve untouched
 			}
 			if eb, ok := p.st.TakeFree(ch); ok {
 				if err := p.st.OpenEBlock(ch, eb, record.StreamLog, lsn); err != nil {

@@ -32,6 +32,7 @@ import (
 
 	"eleos/internal/addr"
 	"eleos/internal/core"
+	"eleos/internal/metrics"
 	"eleos/internal/netproto"
 )
 
@@ -94,10 +95,54 @@ type Stats struct {
 // and to requests that arrive while the server is draining.
 var ErrDraining = errors.New("server: draining")
 
+// srvMetrics holds the front-end's instrument handles, resolved from the
+// controller's registry in New. The counters double-book the mutex-held
+// Stats fields into the shared registry so one stats_full snapshot
+// covers every layer; request_ns times frame-read completion to reply
+// written, per request.
+type srvMetrics struct {
+	on bool
+
+	accepted  *metrics.Counter
+	rejected  *metrics.Counter
+	requests  *metrics.Counter
+	batches   *metrics.Counter
+	errors    *metrics.Counter
+	badFrames *metrics.Counter
+	bytesIn   *metrics.Counter
+	bytesOut  *metrics.Counter
+
+	activeConns   *metrics.Gauge
+	inflightBytes *metrics.Gauge
+
+	requestNS *metrics.Histogram
+}
+
+func newSrvMetrics(reg *metrics.Registry) srvMetrics {
+	return srvMetrics{
+		on: reg.Enabled(),
+
+		accepted:  reg.Counter("server.accepted"),
+		rejected:  reg.Counter("server.rejected"),
+		requests:  reg.Counter("server.requests"),
+		batches:   reg.Counter("server.batches"),
+		errors:    reg.Counter("server.errors"),
+		badFrames: reg.Counter("server.bad_frames"),
+		bytesIn:   reg.Counter("server.bytes_in"),
+		bytesOut:  reg.Counter("server.bytes_out"),
+
+		activeConns:   reg.Gauge("server.active_conns"),
+		inflightBytes: reg.Gauge("server.inflight_bytes"),
+
+		requestNS: reg.Histogram("server.request_ns", metrics.DurationBounds()),
+	}
+}
+
 // Server serves one controller over TCP.
 type Server struct {
 	ctl *core.Controller
 	cfg Config
+	met srvMetrics
 
 	mu       sync.Mutex
 	cond     *sync.Cond // waiters on inflight-byte capacity
@@ -107,10 +152,14 @@ type Server struct {
 	stats    Stats
 }
 
-// New wraps a controller in a network front-end.
+// New wraps a controller in a network front-end. The server registers
+// its instruments into the controller's metrics registry, so the
+// stats_full command exports one snapshot spanning server, core, wal and
+// flash.
 func New(ctl *core.Controller, cfg Config) *Server {
 	s := &Server{ctl: ctl, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
 	s.cond = sync.NewCond(&s.mu)
+	s.met = newSrvMetrics(ctl.Metrics())
 	return s
 }
 
@@ -154,12 +203,15 @@ func (s *Server) Serve(ln net.Listener) error {
 		case int(s.stats.ActiveConns) >= s.cfg.MaxConns:
 			s.stats.Rejected++
 			s.mu.Unlock()
+			s.met.rejected.Inc()
 			s.refuse(conn, netproto.CodeBusy, "connection limit reached")
 		default:
 			s.conns[conn] = struct{}{}
 			s.stats.Accepted++
 			s.stats.ActiveConns++
 			s.mu.Unlock()
+			s.met.accepted.Inc()
+			s.met.activeConns.Add(1)
 			go s.handle(conn)
 		}
 	}
@@ -253,6 +305,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
+		s.met.activeConns.Add(-1)
 	}()
 	for {
 		s.mu.Lock()
@@ -268,16 +321,31 @@ func (s *Server) handle(conn net.Conn) {
 			// costs the peer its connection.
 			if !isExpectedReadErr(err) {
 				s.count(func(st *Stats) { st.BadFrames++ })
+				s.met.badFrames.Inc()
 			}
 			return
 		}
+		// Request and inbound-byte accounting happen before dispatch, the
+		// reply latency and outbound bytes after the reply is written: a
+		// stats_full snapshot therefore includes the request that fetched
+		// it in requests/bytes_in but not in bytes_out/request_ns.
+		var t0 time.Time
+		if s.met.on {
+			t0 = time.Now()
+		}
 		s.count(func(st *Stats) { st.Requests++; st.BytesIn += int64(5 + len(body)) })
+		s.met.requests.Inc()
+		s.met.bytesIn.Add(int64(5 + len(body)))
 		rtyp, rbody := s.dispatch(typ, body)
 		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
 		if err := netproto.WriteFrame(conn, rtyp, rbody); err != nil {
 			return
 		}
 		s.count(func(st *Stats) { st.BytesOut += int64(5 + len(rbody)) })
+		s.met.bytesOut.Add(int64(5 + len(rbody)))
+		if s.met.on {
+			s.met.requestNS.ObserveDuration(time.Since(t0))
+		}
 	}
 }
 
@@ -342,6 +410,9 @@ func (s *Server) dispatch(typ byte, body []byte) (byte, []byte) {
 		}
 		return netproto.MsgRespStats, raw
 
+	case netproto.MsgStatsFull:
+		return netproto.MsgRespStatsFull, netproto.EncodeStatsFull(s.ctl.MetricsSnapshot())
+
 	default:
 		return s.badRequest(fmt.Errorf("unknown message type 0x%02x", typ))
 	}
@@ -361,6 +432,7 @@ func (s *Server) flush(sid, wsn uint64, wire []byte) (byte, []byte) {
 		return s.errFrame(err)
 	}
 	s.count(func(st *Stats) { st.Batches++ })
+	s.met.batches.Inc()
 	var highest uint64
 	if sid != 0 {
 		if highest, err = s.ctl.SessionHighestWSN(sid); err != nil {
@@ -385,6 +457,7 @@ func (s *Server) admit(n int64) error {
 			if s.stats.InflightBytes > s.stats.PeakInflight {
 				s.stats.PeakInflight = s.stats.InflightBytes
 			}
+			s.met.inflightBytes.Add(n)
 			return nil
 		}
 		s.cond.Wait()
@@ -396,6 +469,7 @@ func (s *Server) release(n int64) {
 	s.stats.InflightBytes -= n
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.met.inflightBytes.Add(-n)
 }
 
 func (s *Server) errFrame(err error) (byte, []byte) {
@@ -408,5 +482,6 @@ func (s *Server) badRequest(err error) (byte, []byte) {
 
 func (s *Server) errCode(code uint16, msg string) (byte, []byte) {
 	s.count(func(st *Stats) { st.Errors++ })
+	s.met.errors.Inc()
 	return netproto.MsgRespError, netproto.ErrorBody(code, msg)
 }

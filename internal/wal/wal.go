@@ -20,6 +20,7 @@ import (
 	"hash/crc32"
 	"sync"
 
+	"eleos/internal/metrics"
 	"eleos/internal/record"
 )
 
@@ -90,6 +91,47 @@ type Stats struct {
 	RecordsFlushed int64 // records carried by those page writes
 }
 
+// logMetrics holds the log's instrument handles, resolved once at
+// construction. The counters are the system of record for Stats():
+// flushLocked increments PageWrites/RecordsFlushed *after* re-acquiring
+// l.mu from the unlocked page program, so a struct-field version read
+// under a different lock interleaving raced with group-commit writers —
+// atomics make Stats() safe to call from any goroutine at any time.
+type logMetrics struct {
+	appends        *metrics.Counter
+	forceCalls     *metrics.Counter
+	freeRides      *metrics.Counter
+	pageWrites     *metrics.Counter
+	recordsFlushed *metrics.Counter
+	groupCommit    *metrics.Histogram // records per physical page write
+}
+
+func newLogMetrics(reg *metrics.Registry) logMetrics {
+	return logMetrics{
+		appends:        reg.Counter("wal.appends"),
+		forceCalls:     reg.Counter("wal.force_calls"),
+		freeRides:      reg.Counter("wal.free_rides"),
+		pageWrites:     reg.Counter("wal.page_writes"),
+		recordsFlushed: reg.Counter("wal.records_flushed"),
+		groupCommit:    reg.Histogram("wal.group_commit_records", metrics.SizeBounds()),
+	}
+}
+
+// Option configures a Log at construction.
+type Option func(*Log)
+
+// WithRegistry records the log's activity counters into reg (names
+// "wal.appends", "wal.force_calls", "wal.free_rides", "wal.page_writes",
+// "wal.records_flushed" and the "wal.group_commit_records" histogram).
+// Without it the log uses a private registry, so Stats() always works.
+func WithRegistry(reg *metrics.Registry) Option {
+	return func(l *Log) {
+		if reg != nil {
+			l.met = newLogMetrics(reg)
+		}
+	}
+}
+
 // GroupCommitSize returns the mean number of records made durable per
 // physical log-page write — the group-commit amortization factor.
 func (s Stats) GroupCommitSize() float64 {
@@ -125,17 +167,21 @@ type Log struct {
 	pages []PageIndexEntry
 	dead  bool
 
-	stats Stats
+	met logMetrics
 }
 
 // New creates a fresh, empty log (after device format). The first page will
 // be written to the first slot the sink provisions.
-func New(sink Sink, pageBytes int) (*Log, error) {
+func New(sink Sink, pageBytes int, opts ...Option) (*Log, error) {
 	if pageBytes <= headerSize+record.EncodedSize(record.Done{}) {
 		return nil, ErrPageTooSmall
 	}
 	l := &Log{sink: sink, pageBytes: pageBytes, nextLSN: 1}
 	l.flushCond = sync.NewCond(&l.mu)
+	l.met = newLogMetrics(metrics.New())
+	for _, o := range opts {
+		o(l)
+	}
 	return l, nil
 }
 
@@ -143,8 +189,8 @@ func New(sink Sink, pageBytes int) (*Log, error) {
 // nextLSN is one past the last durable LSN, candidates are the tail page's
 // unwritten forward locations (in order), and pages is the durable-page
 // index recovered from the chain walk (may be nil).
-func Resume(sink Sink, pageBytes int, nextLSN record.LSN, candidates []Slot, pages []PageIndexEntry) (*Log, error) {
-	l, err := New(sink, pageBytes)
+func Resume(sink Sink, pageBytes int, nextLSN record.LSN, candidates []Slot, pages []PageIndexEntry, opts ...Option) (*Log, error) {
+	l, err := New(sink, pageBytes, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +256,7 @@ func (l *Log) Append(r record.Record) (record.LSN, error) {
 	}
 	l.buf = record.Append(l.buf, r)
 	l.bufCount++
-	l.stats.Appends++
+	l.met.appends.Inc()
 	lsn := l.nextLSN
 	l.nextLSN++
 	return lsn, nil
@@ -229,14 +275,14 @@ func (l *Log) Append(r record.Record) (record.LSN, error) {
 func (l *Log) Force() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.stats.ForceCalls++
+	l.met.forceCalls.Inc()
 	target := l.nextLSN - 1 // last LSN this caller needs durable
 	for {
 		if l.dead {
 			return ErrLogDead
 		}
 		if l.durableLSN >= target {
-			l.stats.FreeRides++
+			l.met.freeRides.Inc()
 			return nil
 		}
 		if !l.flushing {
@@ -247,11 +293,17 @@ func (l *Log) Force() error {
 	return l.flushLocked()
 }
 
-// Stats returns a snapshot of the log activity counters.
+// Stats returns a snapshot of the log activity counters. Reads are
+// atomic loads — no lock — so callers may poll it concurrently with
+// group-commit flushes.
 func (l *Log) Stats() Stats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
+	return Stats{
+		Appends:        l.met.appends.Value(),
+		ForceCalls:     l.met.forceCalls.Value(),
+		FreeRides:      l.met.freeRides.Value(),
+		PageWrites:     l.met.pageWrites.Value(),
+		RecordsFlushed: l.met.recordsFlushed.Value(),
+	}
 }
 
 // AppendForce appends records and forces the log; it returns the LSN of the
@@ -303,8 +355,9 @@ func (l *Log) flushLocked() error {
 		last := first + record.LSN(count) - 1
 		l.pages = append(l.pages, PageIndexEntry{First: first, Last: last, Slot: home})
 		l.durableLSN = last
-		l.stats.PageWrites++
-		l.stats.RecordsFlushed += int64(count)
+		l.met.pageWrites.Inc()
+		l.met.recordsFlushed.Add(int64(count))
+		l.met.groupCommit.Observe(int64(count))
 		l.buf = append(l.buf[:0], l.buf[nbytes:]...)
 		l.bufCount -= count
 		if l.bufCount > 0 {
