@@ -6,15 +6,17 @@
 //	benchrunner [flags] <experiment>
 //
 // Experiments: fig1, fig9, table2, fig10a, fig10b, fig10c, readheavy,
-// durability, ablation, concurrent, network, metricsoverhead, all. All but
-// concurrent, network, and metricsoverhead replay single-threaded and
-// report virtual device time; concurrent exercises the parallel write
-// pipeline in-process and network drives it over loopback TCP through
-// eleosd's front-end, both reporting wall-clock scaling. network records
-// its rows to a JSON file (-netjson) so the service path joins the perf
-// trajectory; metricsoverhead compares the CPU-bound write path with the
-// metrics registry disabled vs enabled, records the delta (-mojson), and
-// can gate CI with -maxoverhead.
+// durability, ablation, concurrent, network, metricsoverhead,
+// traceoverhead, all. All but concurrent, network, and the overhead pair
+// replay single-threaded and report virtual device time; concurrent
+// exercises the parallel write pipeline in-process and network drives it
+// over loopback TCP through eleosd's front-end, both reporting
+// wall-clock scaling. network records its rows to a JSON file (-netjson)
+// so the service path joins the perf trajectory; metricsoverhead and
+// traceoverhead compare the CPU-bound write path with the metrics
+// registry (respectively the flight recorder) disabled vs enabled,
+// record the delta (-mojson / -tojson), and can gate CI with
+// -maxoverhead / -maxtraceoverhead.
 //
 // The experiments run at a laptop scale (seconds each) by default; raise
 // -txns / -records / -ops to approach the paper's scale. Reported
@@ -42,9 +44,13 @@ func main() {
 		moTrials    = flag.Int("motrials", 3, "trials per arm, best kept (metricsoverhead)")
 		moJSON      = flag.String("mojson", "BENCH_metrics_overhead.json", "JSON output file for the metricsoverhead experiment (empty disables)")
 		maxOverhead = flag.Float64("maxoverhead", 0, "fail if metrics overhead exceeds this percent (0 disables the gate)")
+		toBatches   = flag.Int("tobatches", 400, "batches per writer (traceoverhead)")
+		toTrials    = flag.Int("totrials", 3, "trials per arm, best kept (traceoverhead)")
+		toJSON      = flag.String("tojson", "BENCH_trace_overhead.json", "JSON output file for the traceoverhead experiment (empty disables)")
+		maxTraceOH  = flag.Float64("maxtraceoverhead", 0, "fail if trace overhead exceeds this percent (0 disables the gate)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|traceoverhead|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -58,13 +64,15 @@ func main() {
 	scale.YCSBRecords = *records
 	scale.YCSBOps = *ops
 	mo := overheadFlags{batches: *moBatches, trials: *moTrials, json: *moJSON, maxPct: *maxOverhead}
-	if err := run(exp, scale, *netBatches, *netJSON, mo); err != nil {
+	to := overheadFlags{batches: *toBatches, trials: *toTrials, json: *toJSON, maxPct: *maxTraceOH}
+	if err := run(exp, scale, *netBatches, *netJSON, mo, to); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// overheadFlags carries the metricsoverhead experiment's knobs.
+// overheadFlags carries one overhead experiment's knobs (metricsoverhead
+// and traceoverhead share the shape).
 type overheadFlags struct {
 	batches int
 	trials  int
@@ -72,7 +80,7 @@ type overheadFlags struct {
 	maxPct  float64 // >0: exit nonzero if overhead exceeds this percent
 }
 
-func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo overheadFlags) error {
+func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to overheadFlags) error {
 	needTrace := exp == "fig9" || exp == "table2" || exp == "all"
 	var tr *tpcc.Trace
 	if needTrace {
@@ -164,6 +172,21 @@ func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo ove
 		}
 		if mo.maxPct > 0 && res.OverheadPct > mo.maxPct {
 			return fmt.Errorf("metrics overhead %.2f%% exceeds limit %.2f%%", res.OverheadPct, mo.maxPct)
+		}
+	case "traceoverhead":
+		res, err := harness.RunTraceOverhead(4, to.batches, to.trials)
+		if err != nil {
+			return err
+		}
+		harness.PrintTraceOverhead(os.Stdout, res)
+		if to.json != "" {
+			if err := harness.WriteTraceOverheadJSON(to.json, res); err != nil {
+				return err
+			}
+			fmt.Printf("result written to %s\n", to.json)
+		}
+		if to.maxPct > 0 && res.OverheadPct > to.maxPct {
+			return fmt.Errorf("trace overhead %.2f%% exceeds limit %.2f%%", res.OverheadPct, to.maxPct)
 		}
 	case "all":
 		harness.PrintFig1(os.Stdout)

@@ -28,11 +28,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"eleos/internal/addr"
+	"eleos/internal/client"
 	"eleos/internal/core"
 	"eleos/internal/flash"
 	"eleos/internal/metrics"
+	"eleos/internal/trace"
 )
 
 func main() {
@@ -63,6 +66,8 @@ commands:
   session-open                        open a durable write-ordering session
   swrite -sid S -wsn N <lpid>=<text>  ordered write (stale WSNs are ACKed, not re-applied)
   session-status -sid S               show a session's highest applied WSN
+  trace [-addr HOST:PORT] [-chrome F] dump a running eleosd's flight recorder
+                                      (text timeline, or Chrome trace_event JSON with -chrome)
 `)
 }
 
@@ -70,6 +75,11 @@ func run(img string, args []string) error {
 	cmd, rest := args[0], args[1:]
 	if cmd == "format" {
 		return doFormat(img, rest)
+	}
+	if cmd == "trace" {
+		// Network command: talks to a running eleosd, never touches the
+		// image file.
+		return doTrace(rest)
 	}
 	dev, err := flash.LoadFile(img, flash.Latency{})
 	if err != nil {
@@ -147,6 +157,55 @@ func doFormat(img string, args []string) error {
 	}
 	fmt.Printf("formatted %s: %d channels x %d eblocks (%d MB)\n",
 		img, geo.Channels, geo.EBlocksPerChannel, geo.CapacityBytes()>>20)
+	return nil
+}
+
+// doTrace fetches a running eleosd's flight recorder over TCP and
+// renders it: a per-batch text timeline by default, or Chrome
+// trace_event JSON (loadable in chrome://tracing / Perfetto) with
+// -chrome.
+func doTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	addrFlag := fs.String("addr", "127.0.0.1:9420", "eleosd address")
+	chrome := fs.String("chrome", "", "write Chrome trace_event JSON to FILE ('-' for stdout) instead of the text timeline")
+	_ = fs.Parse(args)
+	cl, err := client.Dial(*addrFlag, client.Options{
+		DialTimeout:    3 * time.Second,
+		RequestTimeout: 10 * time.Second,
+		MaxAttempts:    3,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	d, err := cl.TraceDump()
+	if err != nil {
+		return err
+	}
+	return renderTrace(os.Stdout, d, *chrome)
+}
+
+// renderTrace writes the dump in the selected format; split from doTrace
+// so tests can feed a fixture dump without a server.
+func renderTrace(stdout io.Writer, d trace.Dump, chromePath string) error {
+	switch chromePath {
+	case "":
+		return trace.Timeline(stdout, d)
+	case "-":
+		return trace.ChromeJSON(stdout, d)
+	}
+	f, err := os.Create(chromePath)
+	if err != nil {
+		return err
+	}
+	if err := trace.ChromeJSON(f, d); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d trace events (%d dropped) to %s\n", len(d.Events), d.Dropped, chromePath)
 	return nil
 }
 

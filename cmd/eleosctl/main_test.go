@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"eleos/internal/metrics"
+	"eleos/internal/trace"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -60,6 +62,104 @@ func TestStatsJSONGolden(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("stats -json output diverged from %s\n got: %s\nwant: %s\n(run `go test ./cmd/eleosctl -update` if the change is intentional)", golden, got, want)
+	}
+}
+
+// fixtureDump builds a deterministic flight-recorder dump covering every
+// rendering shape: a full traced batch (spans + instants), a server
+// request span, background GC and WAL events, and a dropped count.
+func fixtureDump() trace.Dump {
+	return trace.Dump{
+		EpochUnixNano: 1_700_000_000_000_000_000,
+		Dropped:       3,
+		Events: []trace.Event{
+			{Seq: 4, Kind: trace.KConnOpen, TS: 500, SID: 1},
+			{Seq: 5, Kind: trace.KBatchStart, TS: 1_000, TraceID: 42, SID: 7, WSN: 9, Arg1: 3},
+			{Seq: 6, Kind: trace.KClaim, TS: 1_000, Dur: 2_500, TraceID: 42, SID: 7, WSN: 9},
+			{Seq: 7, Kind: trace.KInit, TS: 3_500, Dur: 10_000, TraceID: 42, SID: 7, WSN: 9},
+			{Seq: 8, Kind: trace.KFlashProgram, TS: 14_000, Dur: 90_000, Arg1: 2, Arg2: 17},
+			{Seq: 9, Kind: trace.KProgramWait, TS: 13_500, Dur: 95_000, TraceID: 42, SID: 7, WSN: 9},
+			{Seq: 10, Kind: trace.KWalForce, TS: 110_000, Dur: 40_000, Arg1: 1, Arg2: 5},
+			{Seq: 11, Kind: trace.KForceWait, TS: 108_500, Dur: 43_000, TraceID: 42, SID: 7, WSN: 9},
+			{Seq: 12, Kind: trace.KInstall, TS: 151_500, Dur: 4_000, TraceID: 42, SID: 7, WSN: 9},
+			{Seq: 13, Kind: trace.KBatchEnd, TS: 155_500, TraceID: 42, SID: 7, WSN: 9},
+			{Seq: 14, Kind: trace.KRequest, TS: 900, Dur: 155_000, SID: 1, Arg1: 3, Arg2: 4096},
+			{Seq: 15, Kind: trace.KGC, TS: 200_000, Dur: 1_000_000, Arg1: 1, Arg2: 33},
+			{Seq: 16, Kind: trace.KConnClose, TS: 1_300_000, SID: 1},
+		},
+	}
+}
+
+// TestTraceChromeGolden pins the Chrome trace_event rendering byte for
+// byte: what `eleosctl trace -chrome out.json` writes is what
+// chrome://tracing loads, so a diff here is a consumer-visible format
+// change.
+func TestTraceChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := renderTrace(&buf, fixtureDump(), "-"); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("unexpected chrome document: %+v", doc)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/eleosctl -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chrome trace output diverged from %s\n got: %s\nwant: %s\n(run `go test ./cmd/eleosctl -update` if the change is intentional)", golden, got, want)
+	}
+}
+
+// TestTraceTimelineRender smoke-checks the default text rendering and the
+// -chrome FILE path.
+func TestTraceTimelineRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := renderTrace(&buf, fixtureDump(), ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"trace 42", "claim", "program_wait", "install", "batch_end", "untraced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+
+	file := filepath.Join(t.TempDir(), "out.json")
+	buf.Reset()
+	if err := renderTrace(&buf, fixtureDump(), file); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote 13 trace events (3 dropped)") {
+		t.Fatalf("unexpected status line: %q", buf.String())
+	}
+	onDisk, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chromeBuf bytes.Buffer
+	if err := renderTrace(&chromeBuf, fixtureDump(), "-"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, chromeBuf.Bytes()) {
+		t.Fatal("-chrome FILE and -chrome - renderings differ")
 	}
 }
 

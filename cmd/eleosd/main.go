@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,23 +45,38 @@ func main() {
 		maxConns   = flag.Int("max-conns", 256, "concurrent connection limit")
 		inflightMB = flag.Int("max-inflight-mb", 64, "in-flight batch bytes admitted across all connections (MB)")
 		drainSecs  = flag.Int("drain-timeout", 30, "graceful drain timeout in seconds")
+		debugAddr  = flag.String("debug-addr", "", "HTTP debug listen address (pprof, /metrics, /debug/trace; empty: off)")
+		slowBatch  = flag.Duration("slow-batch", 0, "log flush_batch requests slower than this with their trace breakdown (0: off)")
 	)
 	flag.Parse()
-	if err := run(*addr, *img, *format, *channels, *eblocks, *maxConns, *inflightMB, *drainSecs); err != nil {
+	if err := run(*addr, *img, *format, *channels, *eblocks, *maxConns, *inflightMB, *drainSecs, *debugAddr, *slowBatch); err != nil {
 		fmt.Fprintf(os.Stderr, "eleosd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, img string, format bool, channels, eblocks, maxConns, inflightMB, drainSecs int) error {
+func run(addr, img string, format bool, channels, eblocks, maxConns, inflightMB, drainSecs int, debugAddr string, slowBatch time.Duration) error {
 	dev, ctl, err := openDevice(img, format, channels, eblocks)
 	if err != nil {
 		return err
 	}
 	srv := server.New(ctl, server.Config{
-		MaxConns:         maxConns,
-		MaxInflightBytes: int64(inflightMB) << 20,
+		MaxConns:           maxConns,
+		MaxInflightBytes:   int64(inflightMB) << 20,
+		SlowBatchThreshold: slowBatch,
 	})
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		log.Printf("eleosd: debug endpoint on http://%s (pprof, /metrics, /debug/trace)", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, srv.DebugHandler()); err != nil {
+				log.Printf("eleosd: debug endpoint: %v", err)
+			}
+		}()
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

@@ -36,6 +36,7 @@ import (
 	"eleos/internal/metrics"
 	"eleos/internal/netproto"
 	"eleos/internal/session"
+	"eleos/internal/trace"
 )
 
 // Options tunes the client.
@@ -183,6 +184,23 @@ func (c *Client) FlushWire(sid, wsn uint64, wire []byte) (uint64, error) {
 	return netproto.ParseU64(rbody)
 }
 
+// FlushTraced is Flush carrying a caller-chosen trace ID, so the batch's
+// events in the server's flight recorder are attributable to this exact
+// request (trace ID 0 lets the server assign one). Same idempotence
+// rules as Flush.
+func (c *Client) FlushTraced(traceID, sid, wsn uint64, pages []core.LPage) (uint64, error) {
+	return c.FlushWireTraced(traceID, sid, wsn, core.EncodeBatch(pages))
+}
+
+// FlushWireTraced is FlushTraced for an already-encoded batch buffer.
+func (c *Client) FlushWireTraced(traceID, sid, wsn uint64, wire []byte) (uint64, error) {
+	rbody, err := c.call(netproto.MsgFlushBatchTraced, netproto.FlushTracedBody(traceID, sid, wsn, wire), netproto.MsgRespFlushBatch, sid != 0)
+	if err != nil {
+		return 0, err
+	}
+	return netproto.ParseU64(rbody)
+}
+
 // Read returns the stored (alignment-padded) content of an LPAGE.
 func (c *Client) Read(lpid addr.LPID) ([]byte, error) {
 	return c.call(netproto.MsgRead, netproto.U64Body(uint64(lpid)), netproto.MsgRespRead, true)
@@ -207,6 +225,17 @@ func (c *Client) StatsFull() (metrics.Snapshot, error) {
 		return metrics.Snapshot{}, err
 	}
 	return netproto.DecodeStatsFull(rbody)
+}
+
+// TraceDump fetches the server's flight recorder — the last few thousand
+// write-path, GC and media events — via the trace_dump command.
+// Idempotent and retried like a read.
+func (c *Client) TraceDump() (trace.Dump, error) {
+	rbody, err := c.call(netproto.MsgTraceDump, nil, netproto.MsgRespTraceDump, true)
+	if err != nil {
+		return trace.Dump{}, err
+	}
+	return netproto.DecodeTraceDump(rbody)
 }
 
 // --- session handle --------------------------------------------------------
@@ -239,6 +268,20 @@ func (s *Session) NextWSN() uint64 { return s.next }
 // reconnects; the WSN advances only after the server acknowledged it.
 func (s *Session) Flush(pages []core.LPage) error {
 	high, err := s.c.Flush(s.sid, s.next, pages)
+	if err != nil {
+		return err
+	}
+	if high < s.next {
+		return fmt.Errorf("client: server acknowledged WSN %d for flush %d", high, s.next)
+	}
+	s.next++
+	return nil
+}
+
+// FlushTraced is Flush carrying a caller-chosen trace ID (see
+// Client.FlushTraced).
+func (s *Session) FlushTraced(traceID uint64, pages []core.LPage) error {
+	high, err := s.c.FlushTraced(traceID, s.sid, s.next, pages)
 	if err != nil {
 		return err
 	}

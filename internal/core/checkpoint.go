@@ -11,6 +11,7 @@ import (
 	"eleos/internal/provision"
 	"eleos/internal/record"
 	"eleos/internal/summary"
+	"eleos/internal/trace"
 	"eleos/internal/wal"
 )
 
@@ -41,7 +42,7 @@ func (c *Controller) checkpointLocked() error {
 	c.inCheckpoint = true
 	defer func() { c.inCheckpoint = false }()
 	var t0 time.Time
-	if c.met.on {
+	if c.met.on || c.trc.Enabled() {
 		t0 = time.Now()
 	}
 	// Force-close EBLOCKs open since before the previous checkpoint so the
@@ -125,6 +126,7 @@ func (c *Controller) checkpointLocked() error {
 		c.met.checkpoints.Inc()
 		c.met.checkpointNS.ObserveDuration(time.Since(t0))
 	}
+	c.trc.Span(trace.KCheckpoint, 0, 0, 0, t0, int64(ck.Seq), 0)
 	return nil
 }
 
@@ -151,7 +153,7 @@ func (c *Controller) forceCloseLocked(ref summary.OpenRef) error {
 		}
 		if err := c.dev.Program(ref.Channel, ref.EBlock, int(d.DataWBlocks)+k, img[lo:hi]); err != nil {
 			// Treat like any write failure: migrate the EBLOCK away.
-			c.migrateFailedLocked([][2]int{{ref.Channel, ref.EBlock}})
+			c.migrateFailedLocked([][2]int{{ref.Channel, ref.EBlock}}, 0)
 			return nil
 		}
 		c.stats.IOCommands++
@@ -161,7 +163,7 @@ func (c *Controller) forceCloseLocked(ref summary.OpenRef) error {
 		ts = d.Timestamp
 	}
 	lsn := c.lsnHint()
-	trace("forceClose (%d,%d) stream=%v openLSN=%d lastCkptLSN=%d", ref.Channel, ref.EBlock, ref.Stream, ref.OpenLSN, c.lastCkptLSN)
+	dbg("forceClose (%d,%d) stream=%v openLSN=%d lastCkptLSN=%d", ref.Channel, ref.EBlock, ref.Stream, ref.OpenLSN, c.lastCkptLSN)
 	if err := c.st.CloseEBlock(ref.Channel, ref.EBlock, ts, metaWB, lsn); err != nil {
 		return err
 	}
@@ -263,7 +265,7 @@ func (c *Controller) flushTablesLocked() error {
 	failed := c.executeIOsLocked(buf, plan)
 	if len(failed) > 0 {
 		c.abortActionLocked(id, plan)
-		c.migrateFailedLocked(failed)
+		c.migrateFailedLocked(failed, 0)
 		return fmt.Errorf("%w: checkpoint action %d", ErrWriteFailed, id)
 	}
 	// Commit-phase failures abort the action: the old table-page homes are

@@ -32,6 +32,7 @@ import (
 	"eleos/internal/record"
 	"eleos/internal/session"
 	"eleos/internal/summary"
+	"eleos/internal/trace"
 	"eleos/internal/wal"
 )
 
@@ -95,6 +96,13 @@ type Config struct {
 	// metrics.NewDisabled() to strip instrumentation entirely (the
 	// metricsoverhead benchmark's baseline).
 	Metrics *metrics.Registry
+	// Trace is the flight recorder every layer (core, flash, wal) emits
+	// events into. Nil gets a private always-on recorder of
+	// trace.DefaultSize — tracing is on by default so the last few
+	// thousand events are available after any incident; pass
+	// trace.NewDisabled() to strip it (the traceoverhead benchmark's
+	// baseline).
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns production-like defaults.
@@ -250,6 +258,7 @@ type Controller struct {
 	stats Stats
 	reg   *metrics.Registry
 	met   coreMetrics
+	trc   *trace.Recorder
 }
 
 func newController(dev *flash.Device, cfg Config) (*Controller, error) {
@@ -293,6 +302,11 @@ func newController(dev *flash.Device, cfg Config) (*Controller, error) {
 	}
 	c.met = newCoreMetrics(c.reg)
 	dev.SetMetrics(c.reg)
+	c.trc = cfg.Trace
+	if c.trc == nil {
+		c.trc = trace.New(trace.DefaultSize)
+	}
+	dev.SetTracer(c.trc)
 	return c, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"eleos/internal/provision"
+	"eleos/internal/trace"
 )
 
 // Fault-schedule tests: deterministic program-failure injections at exact
@@ -188,6 +189,102 @@ func TestFaultSchedule(t *testing.T) {
 				checkRead(t, c, churn, pageContent(uint64(churn), batches, 8000))
 			}
 		})
+	}
+}
+
+// TestFaultScheduleTraceAttribution injects spaced program faults under a
+// single traced writer and asserts the flight recorder attributes each
+// client-visible media abort to the right batch: the batch's trace ID
+// carries a media_abort instant AND at least one migration span, so an
+// operator reading the dump sees not just that a batch failed but what
+// cleanup its failure triggered (§VII). Single writer, no background
+// churn: every user-visible abort is unambiguously one known trace ID.
+func TestFaultScheduleTraceAttribution(t *testing.T) {
+	c, dev := stressController(t)
+	// Spaced offsets (see TestFaultSchedule): adjacent faults can chain
+	// through the WAL's failover candidates. Some of these land on log
+	// pages rather than user programs and surface as no client abort;
+	// the test only asserts on aborts that did surface.
+	for _, n := range []int{5, 9, 14, 20, 27} {
+		dev.FailNthProgram(n)
+	}
+	sid, err := c.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batches = 30
+	traceFor := func(wsn uint64) uint64 { return 7000 + wsn }
+	aborted := map[uint64]bool{} // trace IDs that returned ErrWriteFailed
+	for wsn := uint64(1); wsn <= batches; wsn++ {
+		var werr error
+		for attempt := 0; attempt < 10; attempt++ {
+			werr = c.WriteBatchTraced(sid, wsn, traceFor(wsn), stressBatch(0, wsn))
+			if errors.Is(werr, ErrWriteFailed) {
+				aborted[traceFor(wsn)] = true
+				continue
+			}
+			break
+		}
+		if werr != nil {
+			t.Fatalf("wsn %d: %v", wsn, werr)
+		}
+	}
+	if len(aborted) == 0 {
+		t.Fatal("no client-visible abort surfaced; the schedule no longer exercises the abort path")
+	}
+
+	d := c.TraceDump()
+	if d.Dropped != 0 {
+		t.Fatalf("ring dropped %d events; workload outgrew the default ring", d.Dropped)
+	}
+	abortsByID := map[uint64]int{}
+	migrationsByID := map[uint64]int{}
+	endsByID := map[uint64]int{}
+	for _, ev := range d.Events {
+		switch ev.Kind {
+		case trace.KMediaAbort:
+			abortsByID[ev.TraceID]++
+			if ev.Arg1 < 1 {
+				t.Errorf("media_abort for trace %d reports %d failed eblocks", ev.TraceID, ev.Arg1)
+			}
+		case trace.KMigration:
+			migrationsByID[ev.TraceID]++
+		case trace.KBatchEnd:
+			if ev.Arg1 != 0 {
+				endsByID[ev.TraceID]++
+			}
+		}
+	}
+	for id := range aborted {
+		if abortsByID[id] == 0 {
+			t.Errorf("trace %d returned ErrWriteFailed but has no media_abort event", id)
+		}
+		if migrationsByID[id] == 0 {
+			t.Errorf("trace %d aborted but no migration span carries its ID", id)
+		}
+		if endsByID[id] == 0 {
+			t.Errorf("trace %d aborted but no batch_end records the error", id)
+		}
+	}
+	// And no abort was attributed to a batch that never failed.
+	for id := range abortsByID {
+		if !aborted[id] {
+			t.Errorf("media_abort attributed to trace %d, which never returned ErrWriteFailed", id)
+		}
+	}
+	// The successful retries completed: the final attempt of every WSN
+	// has a clean batch_end.
+	cleanEnds := map[uint64]bool{}
+	for _, ev := range d.Events {
+		if ev.Kind == trace.KBatchEnd && ev.Arg1 == 0 {
+			cleanEnds[ev.TraceID] = true
+		}
+	}
+	for wsn := uint64(1); wsn <= batches; wsn++ {
+		if !cleanEnds[traceFor(wsn)] {
+			t.Errorf("wsn %d never recorded a successful batch_end", wsn)
+		}
 	}
 }
 

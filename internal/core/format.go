@@ -24,7 +24,7 @@ func Format(dev *flash.Device, cfg Config) (*Controller, error) {
 	if err := c.st.Reserve(ckptChannel, ckptEBlockB); err != nil {
 		return nil, err
 	}
-	c.log, err = wal.New(logSink{c}, c.geo.WBlockBytes, wal.WithRegistry(c.reg))
+	c.log, err = wal.New(logSink{c}, c.geo.WBlockBytes, wal.WithRegistry(c.reg), wal.WithTracer(c.trc))
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"eleos/internal/provision"
 	"eleos/internal/record"
 	"eleos/internal/summary"
+	"eleos/internal/trace"
 )
 
 // maybeGCLocked runs garbage collection on every channel whose free-EBLOCK
@@ -128,6 +129,11 @@ func (c *Controller) gcEBlockLocked(ch, eb int) error {
 	}
 	if d.State != summary.Used {
 		return nil
+	}
+	if start := c.trc.Now(); !start.IsZero() {
+		defer func() {
+			c.trc.Span(trace.KGC, 0, 0, 0, start, int64(ch), int64(eb))
+		}()
 	}
 	c.stats.GCRounds++
 	c.met.gcRounds.Inc()
@@ -287,7 +293,7 @@ func (c *Controller) relocateLocked(ch, eb int, entries []summary.MetaEntry, src
 	failed := c.executeIOsLocked(buf, plan)
 	if len(failed) > 0 {
 		c.abortActionLocked(id, plan)
-		c.migrateFailedLocked(failed)
+		c.migrateFailedLocked(failed, 0)
 		return fmt.Errorf("%w: gc action %d", ErrWriteFailed, id)
 	}
 	// A commit-phase failure aborts the relocation: both copies stay valid
@@ -335,15 +341,16 @@ func (c *Controller) relocateLocked(ch, eb int, entries []summary.MetaEntry, src
 	return nil
 }
 
-// traceFn, when set by tests, receives internal event traces.
-var traceFn func(format string, args ...any)
+// dbgFn, when set by tests, receives internal debug traces (distinct
+// from the flight recorder in internal/trace, which is always on).
+var dbgFn func(format string, args ...any)
 
-// SetTraceForTests installs a trace sink (tests only).
-func SetTraceForTests(fn func(format string, args ...any)) { traceFn = fn }
+// SetTraceForTests installs a debug-trace sink (tests only).
+func SetTraceForTests(fn func(format string, args ...any)) { dbgFn = fn }
 
-func trace(format string, args ...any) {
-	if traceFn != nil {
-		traceFn(format, args...)
+func dbg(format string, args ...any) {
+	if dbgFn != nil {
+		dbgFn(format, args...)
 	}
 }
 
@@ -352,7 +359,7 @@ func trace(format string, args ...any) {
 // by re-collecting the EBLOCK).
 func (c *Controller) eraseAndFreeLocked(ch, eb int) error {
 	d, _ := c.st.Desc(ch, eb)
-	trace("eraseAndFree (%d,%d) state=%v stream=%v ts=%d trunc=%d hint=%d", ch, eb, d.State, d.Stream, d.Timestamp, c.lastTruncLSN, c.lsnHint())
+	dbg("eraseAndFree (%d,%d) state=%v stream=%v ts=%d trunc=%d hint=%d", ch, eb, d.State, d.Stream, d.Timestamp, c.lastTruncLSN, c.lsnHint())
 	if err := c.dev.Erase(ch, eb); err != nil {
 		_ = c.st.MarkBad(ch, eb, c.lsnHint())
 		return err

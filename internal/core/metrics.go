@@ -2,6 +2,7 @@ package core
 
 import (
 	"eleos/internal/metrics"
+	"eleos/internal/trace"
 )
 
 // coreMetrics holds the controller's instrument handles, resolved once in
@@ -76,6 +77,15 @@ func (c *Controller) Metrics() *metrics.Registry { return c.reg }
 // MetricsSnapshot exports every instrument in the controller's registry.
 // Lock-free: safe to call concurrently with writes, GC and checkpoints.
 func (c *Controller) MetricsSnapshot() metrics.Snapshot { return c.reg.Snapshot() }
+
+// Tracer returns the controller's flight recorder (never nil; a
+// controller built without Config.Trace owns a private always-on
+// recorder).
+func (c *Controller) Tracer() *trace.Recorder { return c.trc }
+
+// TraceDump snapshots the flight recorder. Lock-free: safe to call
+// concurrently with writes, GC and checkpoints.
+func (c *Controller) TraceDump() trace.Dump { return c.trc.Dump() }
 
 // ActiveActions returns the number of in-progress system actions. After
 // traffic quiesces — even traffic that suffered injected media failures —

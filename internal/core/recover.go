@@ -249,7 +249,7 @@ func Open(dev *flash.Device, cfg Config) (*Controller, error) {
 		return nil, fmt.Errorf("core: log chain has no resume candidates")
 	}
 	c.prov.SetLogCursorFromCandidates(resumeCands)
-	c.log, err = wal.Resume(sink, c.geo.WBlockBytes, tail.LastLSN+1, resumeCands, tail.Pages, wal.WithRegistry(c.reg))
+	c.log, err = wal.Resume(sink, c.geo.WBlockBytes, tail.LastLSN+1, resumeCands, tail.Pages, wal.WithRegistry(c.reg), wal.WithTracer(c.trc))
 	if err != nil {
 		return nil, err
 	}

@@ -87,9 +87,15 @@ func DecodeBatch(wire []byte) ([]LPage, error) {
 // controller parses the buffer's in-batch metadata, then executes the
 // write as one system action.
 func (c *Controller) WriteBatchWire(sid, wsn uint64, wire []byte) error {
+	return c.WriteBatchWireTraced(sid, wsn, 0, wire)
+}
+
+// WriteBatchWireTraced is WriteBatchWire carrying the flush frame's
+// trace ID (see WriteBatchTraced).
+func (c *Controller) WriteBatchWireTraced(sid, wsn, traceID uint64, wire []byte) error {
 	pages, err := DecodeBatch(wire)
 	if err != nil {
 		return err
 	}
-	return c.WriteBatch(sid, wsn, pages)
+	return c.WriteBatchTraced(sid, wsn, traceID, pages)
 }

@@ -11,6 +11,7 @@ import (
 	"eleos/internal/record"
 	"eleos/internal/session"
 	"eleos/internal/summary"
+	"eleos/internal/trace"
 )
 
 // action carries one batched write's state through the pipeline phases.
@@ -21,6 +22,7 @@ type action struct {
 	id   uint64
 	sid  uint64
 	wsn  uint64
+	tid  uint64     // flight-recorder trace ID (0 = untraced)
 	hint record.LSN // lsnHint at init; pins the truncation LSN while active
 
 	buf  []byte                // aligned page images, back to back
@@ -44,10 +46,39 @@ type action struct {
 // and the commit force runs with the lock released (committers share forced
 // log pages — group commit).
 func (c *Controller) WriteBatch(sid, wsn uint64, pages []LPage) error {
+	return c.WriteBatchTraced(sid, wsn, 0, pages)
+}
+
+// WriteBatchTraced is WriteBatch with an explicit flight-recorder trace
+// ID tying the batch's spans to the originating request (the network
+// front-end propagates the ID from flush_batch_traced frames). traceID 0
+// gets a fresh ID when tracing is enabled, so every batch is always
+// attributable in the recorder.
+func (c *Controller) WriteBatchTraced(sid, wsn, traceID uint64, pages []LPage) error {
+	tracing := c.trc.Enabled()
+	if tracing {
+		if traceID == 0 {
+			traceID = c.trc.NewTraceID()
+		}
+		c.trc.Emit(trace.KBatchStart, traceID, sid, wsn, int64(len(pages)), 0)
+	}
+	err := c.writeBatch(sid, wsn, traceID, pages)
+	if tracing {
+		var fail int64
+		if err != nil {
+			fail = 1
+		}
+		c.trc.Emit(trace.KBatchEnd, traceID, sid, wsn, fail, 0)
+	}
+	return err
+}
+
+func (c *Controller) writeBatch(sid, wsn, traceID uint64, pages []LPage) error {
 	// Claim stage: lock acquisition plus WSN admission (which may wait for
-	// predecessor WSNs). Timed only when the registry is enabled.
+	// predecessor WSNs). Timed only when the registry or tracer needs it.
+	timed := c.met.on || c.trc.Enabled()
 	var tClaim time.Time
-	if c.met.on {
+	if timed {
 		tClaim = time.Now()
 	}
 	c.mu.Lock()
@@ -67,13 +98,16 @@ func (c *Controller) WriteBatch(sid, wsn uint64, pages []LPage) error {
 		}
 	}
 	c.mu.Unlock()
-	if c.met.on {
-		c.met.claimNS.ObserveDuration(time.Since(tClaim))
+	if timed {
+		if c.met.on {
+			c.met.claimNS.ObserveDuration(time.Since(tClaim))
+		}
+		c.trc.Span(trace.KClaim, traceID, sid, wsn, tClaim, 0, 0)
 	}
 
 	// Build the aligned write buffer outside the lock: validating, copying
 	// and padding the batch is per-action work.
-	a := &action{sid: sid, wsn: wsn}
+	a := &action{sid: sid, wsn: wsn, tid: traceID}
 	var err error
 	a.buf, a.bps, err = buildBatch(pages)
 
@@ -155,8 +189,9 @@ func buildBatch(pages []LPage) ([]byte, []provision.BatchPage, error) {
 // commit record is forced.
 func (c *Controller) writeUser(a *action, pages []LPage) error {
 	c.updateSeq += uint64(len(pages))
+	timed := c.met.on || c.trc.Enabled()
 	var tInit time.Time
-	if c.met.on {
+	if timed {
 		tInit = time.Now()
 	}
 
@@ -213,15 +248,21 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 	}
 	defer unpin()
 	var tExec time.Time
-	if c.met.on {
+	if timed {
 		tExec = time.Now()
-		c.met.initNS.ObserveDuration(tExec.Sub(tInit))
+		if c.met.on {
+			c.met.initNS.ObserveDuration(tExec.Sub(tInit))
+		}
+		c.trc.Span(trace.KInit, a.tid, a.sid, a.wsn, tInit, 0, 0)
 	}
 	c.mu.Unlock()
 	res := batch.Wait()
 	c.mu.Lock()
-	if c.met.on {
-		c.met.programWaitNS.ObserveDuration(time.Since(tExec))
+	if timed {
+		if c.met.on {
+			c.met.programWaitNS.ObserveDuration(time.Since(tExec))
+		}
+		c.trc.Span(trace.KProgramWait, a.tid, a.sid, a.wsn, tExec, 0, 0)
 	}
 	c.finishPlanLocked(plan, res)
 	if c.crashed {
@@ -232,9 +273,10 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 	}
 	if len(res.FailedEBlocks) > 0 {
 		c.met.mediaAborts.Inc()
+		c.trc.Emit(trace.KMediaAbort, a.tid, a.sid, a.wsn, int64(len(res.FailedEBlocks)), 0)
 		c.abortActionLocked(a.id, plan)
 		unpin()
-		c.migrateFailedLocked(res.FailedEBlocks)
+		c.migrateFailedLocked(res.FailedEBlocks, a.tid)
 		return fmt.Errorf("%w: action %d", ErrWriteFailed, a.id)
 	}
 
@@ -253,16 +295,19 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 		return err
 	}
 	var tForce time.Time
-	if c.met.on {
+	if timed {
 		tForce = time.Now()
 	}
 	if err := c.forceCommitLocked(a.id); err != nil {
 		return err
 	}
 	var tInstall time.Time
-	if c.met.on {
+	if timed {
 		tInstall = time.Now()
-		c.met.forceWaitNS.ObserveDuration(tInstall.Sub(tForce))
+		if c.met.on {
+			c.met.forceWaitNS.ObserveDuration(tInstall.Sub(tForce))
+		}
+		c.trc.Span(trace.KForceWait, a.tid, a.sid, a.wsn, tForce, 0, 0)
 	}
 	if err := c.crashIf("commit.after-force"); err != nil {
 		return err
@@ -304,11 +349,14 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 	for _, bp := range a.bps {
 		c.stats.BytesStored += int64(bp.Length)
 	}
-	if c.met.on {
-		c.met.installNS.ObserveDuration(time.Since(tInstall))
-		c.met.batches.Inc()
-		c.met.pages.Add(int64(len(pages)))
-		c.met.batchPages.Observe(int64(len(pages)))
+	if timed {
+		if c.met.on {
+			c.met.installNS.ObserveDuration(time.Since(tInstall))
+			c.met.batches.Inc()
+			c.met.pages.Add(int64(len(pages)))
+			c.met.batchPages.Observe(int64(len(pages)))
+		}
+		c.trc.Span(trace.KInstall, a.tid, a.sid, a.wsn, tInstall, 0, 0)
 	}
 	return nil
 }
@@ -500,10 +548,12 @@ func (c *Controller) lazyGarbageLocked(id uint64, pairs []record.AddrPair) error
 
 // migrateFailedLocked migrates every EBLOCK that suffered a write failure:
 // committed LPAGEs still stored there are moved to new locations with the
-// GC machinery, then the EBLOCK is erased (§VII).
-func (c *Controller) migrateFailedLocked(failed [][2]int) {
+// GC machinery, then the EBLOCK is erased (§VII). traceID attributes the
+// migrations to the batch whose program failure triggered them (0 when
+// the trigger was a GC/checkpoint action).
+func (c *Controller) migrateFailedLocked(failed [][2]int, traceID uint64) {
 	for _, f := range failed {
-		if err := c.migrateEBlockLocked(f[0], f[1]); err != nil {
+		if err := c.migrateEBlockLocked(f[0], f[1], traceID); err != nil {
 			// Migration failures cascade into further migrations; a hard
 			// error here leaves the EBLOCK for GC to retry.
 			continue
@@ -511,12 +561,17 @@ func (c *Controller) migrateFailedLocked(failed [][2]int) {
 	}
 }
 
-func (c *Controller) migrateEBlockLocked(ch, eb int) error {
+func (c *Controller) migrateEBlockLocked(ch, eb int, traceID uint64) error {
 	if c.migrationDepth >= 8 {
 		return fmt.Errorf("core: migration depth exceeded for (%d,%d)", ch, eb)
 	}
 	c.migrationDepth++
 	defer func() { c.migrationDepth-- }()
+	if start := c.trc.Now(); !start.IsZero() {
+		defer func() {
+			c.trc.Span(trace.KMigration, traceID, 0, 0, start, int64(ch), int64(eb))
+		}()
+	}
 
 	// Other actions may still have programs queued against this EBLOCK;
 	// they must land (and fail, feeding those actions' own abort paths)

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"eleos/internal/metrics"
+	"eleos/internal/trace"
 )
 
 // Geometry describes the shape of the simulated flash array.
@@ -182,6 +183,11 @@ type Device struct {
 	// after the device already exists.
 	met atomic.Pointer[devMetrics]
 
+	// trc is the flight recorder installed by SetTracer; like met it is
+	// swapped atomically after the device exists, and a disabled recorder
+	// costs the hot path one pointer load and a branch.
+	trc atomic.Pointer[trace.Recorder]
+
 	workerMu sync.Mutex
 	workers  []chan batchSeg // lazily started, one per channel
 	closed   bool
@@ -248,6 +254,22 @@ func (d *Device) SetMetrics(reg *metrics.Registry) {
 	}
 	d.met.Store(m)
 }
+
+// SetTracer installs a flight recorder: every program and erase emits a
+// KFlashProgram/KFlashErase span with its (channel, eblock) identity.
+// Media events carry trace ID 0 — attribution to a batch happens via the
+// enclosing KProgramWait span's time window. A nil or disabled recorder
+// uninstalls tracing.
+func (d *Device) SetTracer(trc *trace.Recorder) {
+	if !trc.Enabled() {
+		d.trc.Store(nil)
+		return
+	}
+	d.trc.Store(trc)
+}
+
+// tracer returns the installed recorder; nil-safe for Emit/Span/Now.
+func (d *Device) tracer() *trace.Recorder { return d.trc.Load() }
 
 // NewDevice creates a device with the given geometry and latency model.
 func NewDevice(geo Geometry, lat Latency) (*Device, error) {
@@ -377,8 +399,9 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 	}
 	// Programming consumes time whether or not it succeeds.
 	m := d.met.Load()
+	trc := d.tracer()
 	var t0 time.Time
-	if m != nil {
+	if m != nil || trc.Enabled() {
 		t0 = time.Now()
 	}
 	cs.busy += d.lat.ProgramWBlock
@@ -393,6 +416,7 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 			m.programFailures.Inc()
 			m.programNS.ObserveDuration(time.Since(t0))
 		}
+		trc.Span(trace.KFlashProgram, 0, 0, 0, t0, int64(ch), int64(eb))
 		return fmt.Errorf("%w: ch=%d eb=%d wb=%d", ErrWriteFailed, ch, eb, wb)
 	}
 	buf := make([]byte, len(data))
@@ -407,6 +431,7 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 		m.programs.Inc()
 		m.programNS.ObserveDuration(time.Since(t0))
 	}
+	trc.Span(trace.KFlashProgram, 0, 0, 0, t0, int64(ch), int64(eb))
 	return nil
 }
 
@@ -510,8 +535,9 @@ func (d *Device) Erase(ch, eb int) error {
 	ebs.nextWBlock = 0
 	ebs.failed = false
 	m := d.met.Load()
+	trc := d.tracer()
 	var t0 time.Time
-	if m != nil {
+	if m != nil || trc.Enabled() {
 		t0 = time.Now()
 	}
 	cs.busy += d.lat.EraseEBlock
@@ -524,6 +550,7 @@ func (d *Device) Erase(ch, eb int) error {
 		m.erases.Inc()
 		m.eraseNS.ObserveDuration(time.Since(t0))
 	}
+	trc.Span(trace.KFlashErase, 0, 0, 0, t0, int64(ch), int64(eb))
 	return nil
 }
 

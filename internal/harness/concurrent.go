@@ -10,6 +10,7 @@ import (
 	"eleos/internal/core"
 	"eleos/internal/flash"
 	"eleos/internal/metrics"
+	"eleos/internal/trace"
 )
 
 // The concurrent experiment measures the parallel write pipeline in wall
@@ -70,6 +71,7 @@ type concurrentOpts struct {
 	lat       flash.Latency
 	wallScale float64
 	reg       *metrics.Registry // nil: the controller's default registry
+	trc       *trace.Recorder   // nil: the controller's default recorder
 }
 
 func runConcurrentCfg(writers, batchesPerWriter int, opts concurrentOpts) (ConcurrentRow, error) {
@@ -82,6 +84,7 @@ func runConcurrentCfg(writers, batchesPerWriter int, opts concurrentOpts) (Concu
 	cfg := core.DefaultConfig()
 	cfg.AutoCheckpointLogBytes = 16 << 20
 	cfg.Metrics = opts.reg
+	cfg.Trace = opts.trc
 	c, err := core.Format(dev, cfg)
 	if err != nil {
 		return ConcurrentRow{}, err

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"eleos/internal/metrics"
+	"eleos/internal/trace"
+)
+
+// The traceoverhead experiment prices the always-on flight recorder the
+// same way metricsoverhead prices the registry: the identical CPU-bound
+// concurrent-writer workload runs once with a disabled recorder (every
+// Emit/Span is a no-op and the timing gates skip their time.Now() calls)
+// and once with a live DefaultSize ring recording every write-path span.
+// Both arms run with metrics disabled so the measured delta is the
+// recorder's alone. The recorder's claim to "always on" rests on this
+// number staying under the CI gate (5%).
+
+// RunTraceOverhead runs both arms trials times, interleaved to spread
+// thermal and scheduler noise evenly, and keeps each arm's best trial.
+func RunTraceOverhead(writers, batchesPerWriter, trials int) (OverheadResult, error) {
+	res := OverheadResult{Writers: writers, BatchesPerWriter: batchesPerWriter, Trials: trials}
+	best := map[string]ConcurrentRow{}
+	for trial := 0; trial < trials; trial++ {
+		for _, mode := range []string{"disabled", "enabled"} {
+			trc := trace.NewDisabled()
+			if mode == "enabled" {
+				trc = trace.New(trace.DefaultSize)
+			}
+			row, err := runConcurrentCfg(writers, batchesPerWriter, concurrentOpts{
+				reg: metrics.NewDisabled(), trc: trc,
+			})
+			if err != nil {
+				return res, fmt.Errorf("trace overhead (%s, trial %d): %w", mode, trial, err)
+			}
+			if b, ok := best[mode]; !ok || row.MBPerSec > b.MBPerSec {
+				best[mode] = row
+			}
+			if mode == "enabled" && trial == 0 {
+				// Reuse the Instruments slot for the ring capacity, the
+				// enabled arm's one size knob.
+				res.Instruments = trc.Size()
+			}
+		}
+	}
+	res.Disabled = OverheadArm{Mode: "disabled", Batches: best["disabled"].Batches,
+		Elapsed: best["disabled"].Elapsed, MBPerSec: best["disabled"].MBPerSec}
+	res.Enabled = OverheadArm{Mode: "enabled", Batches: best["enabled"].Batches,
+		Elapsed: best["enabled"].Elapsed, MBPerSec: best["enabled"].MBPerSec}
+	if res.Disabled.MBPerSec > 0 {
+		res.OverheadPct = 100 * (res.Disabled.MBPerSec - res.Enabled.MBPerSec) / res.Disabled.MBPerSec
+	}
+	return res, nil
+}
+
+// PrintTraceOverhead renders the comparison.
+func PrintTraceOverhead(w io.Writer, r OverheadResult) {
+	fmt.Fprintln(w, "Trace overhead (CPU-bound concurrent write workload, best of trials)")
+	fmt.Fprintf(w, "%10s %9s %12s %10s\n", "mode", "batches", "elapsed", "MB/s")
+	for _, arm := range []OverheadArm{r.Disabled, r.Enabled} {
+		fmt.Fprintf(w, "%10s %9d %12s %10.2f\n",
+			arm.Mode, arm.Batches, arm.Elapsed.Round(time.Millisecond), arm.MBPerSec)
+	}
+	fmt.Fprintf(w, "enabled recorder: %d-event ring, throughput overhead %.2f%%\n",
+		r.Instruments, r.OverheadPct)
+}
+
+// WriteTraceOverheadJSON emits the result as a BENCH_-style document so
+// the flight recorder's cost joins the recorded perf trajectory.
+func WriteTraceOverheadJSON(path string, r OverheadResult) error {
+	doc := struct {
+		Experiment       string  `json:"experiment"`
+		Writers          int     `json:"writers"`
+		BatchesPerWriter int     `json:"batches_per_writer"`
+		PagesPerBatch    int     `json:"pages_per_batch"`
+		PageBytes        int     `json:"page_bytes"`
+		Trials           int     `json:"trials"`
+		RingEvents       int     `json:"ring_events"`
+		DisabledMBPerSec float64 `json:"disabled_mb_per_sec"`
+		EnabledMBPerSec  float64 `json:"enabled_mb_per_sec"`
+		DisabledMS       float64 `json:"disabled_ms"`
+		EnabledMS        float64 `json:"enabled_ms"`
+		OverheadPct      float64 `json:"overhead_pct"`
+	}{
+		Experiment:       "traceoverhead",
+		Writers:          r.Writers,
+		BatchesPerWriter: r.BatchesPerWriter,
+		PagesPerBatch:    concPagesPerBatch,
+		PageBytes:        concPageBytes,
+		Trials:           r.Trials,
+		RingEvents:       r.Instruments,
+		DisabledMBPerSec: r.Disabled.MBPerSec,
+		EnabledMBPerSec:  r.Enabled.MBPerSec,
+		DisabledMS:       float64(r.Disabled.Elapsed.Microseconds()) / 1000,
+		EnabledMS:        float64(r.Enabled.Elapsed.Microseconds()) / 1000,
+		OverheadPct:      r.OverheadPct,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"eleos/internal/metrics"
+	"eleos/internal/trace"
 )
 
 // FuzzDecodeStatsFull feeds arbitrary bytes to the stats_full decoder
@@ -25,6 +26,25 @@ func FuzzDecodeStatsFull(f *testing.F) {
 			return
 		}
 		re := EncodeStatsFull(snap)
+		if string(re) != string(data) {
+			t.Fatalf("accepted non-canonical encoding:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzDecodeTraceDump: same contract for the trace_dump codec — no
+// panics, no over-allocation, and accepted inputs re-encode
+// byte-identically (the 65-byte fixed entries make the codec canonical).
+func FuzzDecodeTraceDump(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeTraceDump(trace.Dump{}))
+	f.Add(EncodeTraceDump(sampleDump()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeTraceDump(data)
+		if err != nil {
+			return
+		}
+		re := EncodeTraceDump(d)
 		if string(re) != string(data) {
 			t.Fatalf("accepted non-canonical encoding:\n in  %x\n out %x", data, re)
 		}

@@ -42,6 +42,11 @@ const (
 	MsgRead         = 0x04 // body: lpid u64
 	MsgStats        = 0x05 // body: empty
 	MsgStatsFull    = 0x06 // body: empty
+	MsgTraceDump    = 0x07 // body: empty
+	// MsgFlushBatchTraced is MsgFlushBatch with a leading trace ID so the
+	// flight recorder can attribute every stage of the batch to the
+	// originating request. Its success response is MsgRespFlushBatch.
+	MsgFlushBatchTraced = 0x08 // body: trace_id u64 | sid u64 | wsn u64 | batch wire bytes
 
 	// Responses.
 	MsgRespOpenSession  = 0x81 // body: sid u64
@@ -50,6 +55,7 @@ const (
 	MsgRespRead         = 0x84 // body: page bytes
 	MsgRespStats        = 0x85 // body: JSON core.Stats
 	MsgRespStatsFull    = 0x86 // body: binary metrics.Snapshot (EncodeStatsFull)
+	MsgRespTraceDump    = 0x87 // body: binary trace.Dump (EncodeTraceDump)
 	MsgRespError        = 0xFF // body: code u16 | message bytes
 )
 
@@ -206,6 +212,28 @@ func ParseFlush(body []byte) (sid, wsn uint64, wire []byte, err error) {
 	sid = binary.LittleEndian.Uint64(body)
 	wsn = binary.LittleEndian.Uint64(body[8:])
 	return sid, wsn, body[16:], nil
+}
+
+// FlushTracedBody encodes a flush_batch_traced request body: FlushBody
+// prefixed by the client-chosen trace ID (0 lets the server assign one).
+func FlushTracedBody(traceID, sid, wsn uint64, wire []byte) []byte {
+	b := make([]byte, 0, 24+len(wire))
+	b = AppendU64(b, traceID)
+	b = AppendU64(b, sid)
+	b = AppendU64(b, wsn)
+	return append(b, wire...)
+}
+
+// ParseFlushTraced decodes a flush_batch_traced request body. The
+// returned wire slice aliases body.
+func ParseFlushTraced(body []byte) (traceID, sid, wsn uint64, wire []byte, err error) {
+	if len(body) < 24 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: traced flush header", ErrShortBody)
+	}
+	traceID = binary.LittleEndian.Uint64(body)
+	sid = binary.LittleEndian.Uint64(body[8:])
+	wsn = binary.LittleEndian.Uint64(body[16:])
+	return traceID, sid, wsn, body[24:], nil
 }
 
 // ErrorBody encodes a RespError body.

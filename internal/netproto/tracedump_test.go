@@ -1,0 +1,110 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"eleos/internal/trace"
+)
+
+func sampleDump() trace.Dump {
+	return trace.Dump{
+		EpochUnixNano: 1700000000123456789,
+		Dropped:       42,
+		Events: []trace.Event{
+			{Seq: 43, Kind: trace.KBatchStart, TS: 100, TraceID: 7, SID: 1, WSN: 9, Arg1: 4},
+			{Seq: 44, Kind: trace.KClaim, TS: 150, Dur: 2000, TraceID: 7, SID: 1, WSN: 9},
+			{Seq: 45, Kind: trace.KWalForce, TS: 5000, Dur: 12000, Arg1: 1, Arg2: 6},
+			{Seq: 46, Kind: trace.KGC, TS: 9000, Dur: 300, Arg1: 3, Arg2: -17},
+		},
+	}
+}
+
+func TestTraceDumpRoundTrip(t *testing.T) {
+	d := sampleDump()
+	got, err := DecodeTraceDump(EncodeTraceDump(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, d)
+	}
+}
+
+func TestTraceDumpEmpty(t *testing.T) {
+	d := trace.Dump{EpochUnixNano: 5, Dropped: 0}
+	got, err := DecodeTraceDump(EncodeTraceDump(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+	if got.Events != nil {
+		t.Fatalf("empty events must decode as nil slice: %+v", got.Events)
+	}
+}
+
+func TestDecodeTraceDumpForgedCount(t *testing.T) {
+	// A forged event count must be rejected before it can size an
+	// allocation: claim 2^31 events in a 25-byte buffer.
+	b := binary.LittleEndian.AppendUint32(nil, traceMagic)
+	b = append(b, traceVersion)
+	b = binary.LittleEndian.AppendUint64(b, 0) // epoch
+	b = binary.LittleEndian.AppendUint64(b, 0) // dropped
+	b = binary.LittleEndian.AppendUint32(b, 1<<31)
+	if _, err := DecodeTraceDump(b); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("forged count: %v, want ErrBadTrace", err)
+	}
+}
+
+func TestDecodeTraceDumpTruncated(t *testing.T) {
+	full := EncodeTraceDump(sampleDump())
+	// Every proper prefix must fail cleanly, never panic.
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeTraceDump(full[:n]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", n, len(full))
+		}
+	}
+}
+
+func TestDecodeTraceDumpTrailingBytes(t *testing.T) {
+	full := EncodeTraceDump(sampleDump())
+	if _, err := DecodeTraceDump(append(full, 0)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("trailing byte: %v, want ErrBadTrace", err)
+	}
+}
+
+func TestDecodeTraceDumpBadMagicVersion(t *testing.T) {
+	b := binary.LittleEndian.AppendUint32(nil, 0xDEADBEEF)
+	b = append(b, traceVersion)
+	b = append(b, make([]byte, 20)...)
+	if _, err := DecodeTraceDump(b); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	b = binary.LittleEndian.AppendUint32(nil, traceMagic)
+	b = append(b, 99)
+	b = append(b, make([]byte, 20)...)
+	if _, err := DecodeTraceDump(b); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("bad version: %v", err)
+	}
+}
+
+func TestFlushTracedBodyRoundTrip(t *testing.T) {
+	wire := []byte{1, 2, 3, 4, 5}
+	body := FlushTracedBody(77, 3, 12, wire)
+	traceID, sid, wsn, gotWire, err := ParseFlushTraced(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceID != 77 || sid != 3 || wsn != 12 || !reflect.DeepEqual(gotWire, wire) {
+		t.Fatalf("parsed %d/%d/%d/%v", traceID, sid, wsn, gotWire)
+	}
+	for n := 0; n < 24; n++ {
+		if _, _, _, _, err := ParseFlushTraced(body[:n]); !errors.Is(err, ErrShortBody) {
+			t.Fatalf("short traced flush at %d: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"eleos/internal/trace"
+)
+
+// DebugHandler returns the live debug endpoint eleosd mounts behind
+// -debug-addr. It is deliberately separate from the netproto data plane:
+// an operator points a browser (or curl, or chrome://tracing) at it
+// without speaking the binary protocol, and a wedged write path does not
+// take the diagnostics down with it — every route reads lock-free
+// snapshots.
+//
+//	/metrics        plain-text exposition of the controller's registry
+//	/debug/trace    flight-recorder dump as Chrome trace_event JSON
+//	/debug/pprof/*  the standard runtime profiles
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetricsText)
+	mux.HandleFunc("/debug/trace", s.serveTraceChrome)
+	// net/http/pprof registers on DefaultServeMux at import; mount its
+	// handlers explicitly so this mux works without the default one.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "eleosd debug endpoint\n\n/metrics\n/debug/trace\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// serveMetricsText renders the registry snapshot in the conventional
+// one-line-per-sample text form. Registry names use '.' separators;
+// the exposition flattens them to '_' so scrapers accept them.
+func (s *Server) serveMetricsText(w http.ResponseWriter, _ *http.Request) {
+	snap := s.ctl.MetricsSnapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	flat := func(name string) string { return strings.ReplaceAll(name, ".", "_") }
+	for _, c := range snap.Counters {
+		fmt.Fprintf(w, "%s %d\n", flat(c.Name), c.Value)
+	}
+	for _, g := range snap.Gauges {
+		fmt.Fprintf(w, "%s %d\n", flat(g.Name), g.Value)
+	}
+	for _, h := range snap.Histograms {
+		n := flat(h.Name)
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(w, "%s_p50 %g\n", n, h.P50)
+		fmt.Fprintf(w, "%s_p95 %g\n", n, h.P95)
+		fmt.Fprintf(w, "%s_p99 %g\n", n, h.P99)
+	}
+}
+
+// serveTraceChrome dumps the flight recorder as Chrome trace_event JSON,
+// loadable directly in chrome://tracing or Perfetto.
+func (s *Server) serveTraceChrome(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := trace.ChromeJSON(w, s.ctl.TraceDump()); err != nil {
+		// Headers are gone; all we can do is cut the body short.
+		return
+	}
+}

@@ -26,14 +26,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eleos/internal/addr"
 	"eleos/internal/core"
 	"eleos/internal/metrics"
 	"eleos/internal/netproto"
+	"eleos/internal/trace"
 )
 
 // Config tunes the front-end.
@@ -54,6 +57,11 @@ type Config struct {
 	// IOTimeout bounds reading one request body and writing one reply.
 	// Default 30 seconds.
 	IOTimeout time.Duration
+	// SlowBatchThreshold, when positive, logs one structured line for
+	// every flush_batch that takes longer than this end to end, with the
+	// batch's trace ID and its per-stage breakdown pulled from the flight
+	// recorder. Zero (the default) disables the log.
+	SlowBatchThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +151,12 @@ type Server struct {
 	ctl *core.Controller
 	cfg Config
 	met srvMetrics
+	trc *trace.Recorder // the controller's flight recorder (nil-safe)
+
+	connSeq atomic.Uint64 // connection serials for trace attribution
+
+	// slowLogf sinks slow-batch lines; tests override it to capture them.
+	slowLogf func(format string, args ...any)
 
 	mu       sync.Mutex
 	cond     *sync.Cond // waiters on inflight-byte capacity
@@ -160,6 +174,8 @@ func New(ctl *core.Controller, cfg Config) *Server {
 	s := &Server{ctl: ctl, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	s.met = newSrvMetrics(ctl.Metrics())
+	s.trc = ctl.Tracer()
+	s.slowLogf = log.Printf
 	return s
 }
 
@@ -295,7 +311,14 @@ func (s *Server) Drain(ctx context.Context) error {
 // --- connection handling ---------------------------------------------------
 
 func (s *Server) handle(conn net.Conn) {
+	// The connection serial is the span root: every request event on this
+	// connection carries it in SID, bracketed by conn_open/conn_close
+	// instants, so a flight-recorder dump groups per connection even for
+	// requests that never name a session.
+	cid := s.connSeq.Add(1)
+	s.trc.Emit(trace.KConnOpen, 0, cid, 0, 0, 0)
 	defer func() {
+		s.trc.Emit(trace.KConnClose, 0, cid, 0, 0, 0)
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -330,7 +353,7 @@ func (s *Server) handle(conn net.Conn) {
 		// stats_full snapshot therefore includes the request that fetched
 		// it in requests/bytes_in but not in bytes_out/request_ns.
 		var t0 time.Time
-		if s.met.on {
+		if s.met.on || s.trc.Enabled() {
 			t0 = time.Now()
 		}
 		s.count(func(st *Stats) { st.Requests++; st.BytesIn += int64(5 + len(body)) })
@@ -346,6 +369,7 @@ func (s *Server) handle(conn net.Conn) {
 		if s.met.on {
 			s.met.requestNS.ObserveDuration(time.Since(t0))
 		}
+		s.trc.Span(trace.KRequest, 0, cid, 0, t0, int64(typ), int64(len(body)))
 	}
 }
 
@@ -390,7 +414,14 @@ func (s *Server) dispatch(typ byte, body []byte) (byte, []byte) {
 		if err != nil {
 			return s.badRequest(err)
 		}
-		return s.flush(sid, wsn, wire)
+		return s.flush(sid, wsn, 0, wire)
+
+	case netproto.MsgFlushBatchTraced:
+		traceID, sid, wsn, wire, err := netproto.ParseFlushTraced(body)
+		if err != nil {
+			return s.badRequest(err)
+		}
+		return s.flush(sid, wsn, traceID, wire)
 
 	case netproto.MsgRead:
 		lpid, err := netproto.ParseU64(body)
@@ -413,6 +444,9 @@ func (s *Server) dispatch(typ byte, body []byte) (byte, []byte) {
 	case netproto.MsgStatsFull:
 		return netproto.MsgRespStatsFull, netproto.EncodeStatsFull(s.ctl.MetricsSnapshot())
 
+	case netproto.MsgTraceDump:
+		return netproto.MsgRespTraceDump, netproto.EncodeTraceDump(s.ctl.TraceDump())
+
 	default:
 		return s.badRequest(fmt.Errorf("unknown message type 0x%02x", typ))
 	}
@@ -420,14 +454,29 @@ func (s *Server) dispatch(typ byte, body []byte) (byte, []byte) {
 
 // flush admits the batch under the in-flight byte bound, applies it, and
 // acknowledges the session's highest applied WSN (which, for a retried
-// stale WSN, is the dedup re-ACK of §III-A2).
-func (s *Server) flush(sid, wsn uint64, wire []byte) (byte, []byte) {
+// stale WSN, is the dedup re-ACK of §III-A2). traceID 0 (a plain
+// flush_batch, or a traced one from a client that declined to pick an
+// ID) gets a server-assigned ID so the slow-batch log and the flight
+// recorder can still name the batch.
+func (s *Server) flush(sid, wsn, traceID uint64, wire []byte) (byte, []byte) {
+	if traceID == 0 && s.trc.Enabled() {
+		traceID = s.trc.NewTraceID()
+	}
 	n := int64(len(wire))
 	if err := s.admit(n); err != nil {
 		return s.errCode(netproto.CodeShuttingDown, err.Error())
 	}
-	err := s.ctl.WriteBatchWire(sid, wsn, wire)
+	var t0 time.Time
+	if s.cfg.SlowBatchThreshold > 0 {
+		t0 = time.Now()
+	}
+	err := s.ctl.WriteBatchWireTraced(sid, wsn, traceID, wire)
 	s.release(n)
+	if s.cfg.SlowBatchThreshold > 0 {
+		if elapsed := time.Since(t0); elapsed > s.cfg.SlowBatchThreshold {
+			s.logSlowBatch(traceID, sid, wsn, elapsed, err)
+		}
+	}
 	if err != nil {
 		return s.errFrame(err)
 	}
@@ -440,6 +489,49 @@ func (s *Server) flush(sid, wsn uint64, wire []byte) (byte, []byte) {
 		}
 	}
 	return netproto.MsgRespFlushBatch, netproto.U64Body(highest)
+}
+
+// logSlowBatch emits one structured (JSON) log line for a flush_batch
+// that overran SlowBatchThreshold, with the per-stage breakdown
+// reconstructed from the flight recorder: only slow batches pay the
+// dump-and-scan cost, the hot path just reads a clock.
+func (s *Server) logSlowBatch(traceID, sid, wsn uint64, elapsed time.Duration, err error) {
+	entry := struct {
+		Msg     string            `json:"msg"`
+		TraceID uint64            `json:"trace_id"`
+		SID     uint64            `json:"sid"`
+		WSN     uint64            `json:"wsn"`
+		Elapsed string            `json:"elapsed"`
+		Err     string            `json:"err,omitempty"`
+		Stages  map[string]string `json:"stages,omitempty"`
+	}{
+		Msg:     "slow_batch",
+		TraceID: traceID,
+		SID:     sid,
+		WSN:     wsn,
+		Elapsed: elapsed.String(),
+	}
+	if err != nil {
+		entry.Err = err.Error()
+	}
+	if traceID != 0 {
+		stages := make(map[string]string)
+		for _, ev := range s.trc.Dump().Events {
+			if ev.TraceID != traceID || ev.Dur == 0 {
+				continue
+			}
+			stages[ev.Kind.String()] = time.Duration(ev.Dur).String()
+		}
+		if len(stages) > 0 {
+			entry.Stages = stages
+		}
+	}
+	raw, jerr := json.Marshal(entry)
+	if jerr != nil {
+		s.slowLogf("slow_batch trace_id=%d sid=%d wsn=%d elapsed=%s", traceID, sid, wsn, elapsed)
+		return
+	}
+	s.slowLogf("%s", raw)
 }
 
 // admit blocks until n batch bytes fit under MaxInflightBytes. A single

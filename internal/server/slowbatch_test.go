@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"eleos/internal/core"
+	"eleos/internal/flash"
+	"eleos/internal/netproto"
+)
+
+// newTestServer builds a server over a fresh in-memory controller; this
+// internal-package helper exists so the slow-batch log sink can be
+// overridden (it is deliberately not part of the public Config).
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	dev := flash.MustNewDevice(flash.Geometry{
+		Channels: 2, EBlocksPerChannel: 32,
+		EBlockBytes: 1 << 20, WBlockBytes: 32 << 10, RBlockBytes: 4 << 10,
+	}, flash.Latency{})
+	ctl, err := core.Format(dev, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ctl, cfg)
+}
+
+// TestSlowBatchLog drives flush with a threshold every batch overruns and
+// checks the structured line: valid JSON, the batch's identity, and a
+// stage breakdown pulled from the flight recorder by trace ID.
+func TestSlowBatchLog(t *testing.T) {
+	s := newTestServer(t, Config{SlowBatchThreshold: time.Nanosecond})
+	var mu sync.Mutex
+	var lines []string
+	s.slowLogf = func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	sid, err := s.ctl.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := core.EncodeBatch([]core.LPage{{LPID: 7, Data: make([]byte, 1200)}})
+	rtyp, _ := s.flush(sid, 1, 4242, wire)
+	if rtyp != netproto.MsgRespFlushBatch {
+		t.Fatalf("flush reply type 0x%02x", rtyp)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("got %d slow-batch lines, want 1: %q", len(lines), lines)
+	}
+	var entry struct {
+		Msg     string            `json:"msg"`
+		TraceID uint64            `json:"trace_id"`
+		SID     uint64            `json:"sid"`
+		WSN     uint64            `json:"wsn"`
+		Elapsed string            `json:"elapsed"`
+		Stages  map[string]string `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("slow-batch line is not JSON: %v\n%s", err, lines[0])
+	}
+	if entry.Msg != "slow_batch" || entry.TraceID != 4242 || entry.SID != sid || entry.WSN != 1 {
+		t.Fatalf("unexpected identity: %+v", entry)
+	}
+	if entry.Elapsed == "" {
+		t.Fatal("elapsed missing")
+	}
+	for _, stage := range []string{"claim", "init", "program_wait", "force_wait", "install"} {
+		if entry.Stages[stage] == "" {
+			t.Errorf("stage breakdown missing %q: %+v", stage, entry.Stages)
+		}
+	}
+}
+
+// TestSlowBatchLogOffByDefault checks the default config never logs.
+func TestSlowBatchLogOffByDefault(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var mu sync.Mutex
+	calls := 0
+	s.slowLogf = func(string, ...any) { mu.Lock(); calls++; mu.Unlock() }
+	wire := core.EncodeBatch([]core.LPage{{LPID: 3, Data: make([]byte, 800)}})
+	if rtyp, _ := s.flush(0, 0, 0, wire); rtyp != netproto.MsgRespFlushBatch {
+		t.Fatalf("flush reply type 0x%02x", rtyp)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 0 {
+		t.Fatalf("slow-batch log fired %d times with the gate off", calls)
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ChromeJSON writes the dump as Chrome trace_event JSON (the
+// {"traceEvents": [...]} object form) loadable by chrome://tracing and
+// Perfetto. Spans become "X" complete events, instants become "i"
+// events; timestamps and durations are microseconds with sub-µs
+// precision kept as fractions. Events are grouped on one process with
+// one thread row per session (SID), plus row 0 for background and
+// media events, so every WriteBatch stage of one batch lines up on its
+// session's row. The output is deterministic for a given dump: no maps
+// are iterated and no clocks are read.
+func ChromeJSON(w io.Writer, d Dump) error {
+	var b strings.Builder
+	b.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	for _, ev := range d.Events {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		writeChromeEvent(&b, ev)
+	}
+	// Name the thread rows: one per SID seen, row 0 = background.
+	sids := map[uint64]bool{}
+	for _, ev := range d.Events {
+		sids[ev.SID] = true
+	}
+	ordered := make([]uint64, 0, len(sids))
+	for sid := range sids {
+		ordered = append(ordered, sid)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, sid := range ordered {
+		name := "background"
+		if sid != 0 {
+			name = fmt.Sprintf("session %d", sid)
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, `{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, sid, name)
+	}
+	b.WriteString(`],"otherData":{"epochUnixNano":"`)
+	b.WriteString(strconv.FormatInt(d.EpochUnixNano, 10))
+	b.WriteString(`","dropped":"`)
+	b.WriteString(strconv.FormatUint(d.Dropped, 10))
+	b.WriteString(`"}}`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeChromeEvent(b *strings.Builder, ev Event) {
+	ph := "i"
+	if ev.Dur > 0 {
+		ph = "X"
+	}
+	fmt.Fprintf(b, `{"name":%q,"ph":%q,"pid":1,"tid":%d,"ts":%s`,
+		ev.Kind.String(), ph, ev.SID, microString(ev.TS))
+	if ph == "X" {
+		fmt.Fprintf(b, `,"dur":%s`, microString(ev.Dur))
+	} else {
+		b.WriteString(`,"s":"t"`)
+	}
+	fmt.Fprintf(b, `,"args":{"seq":"%d","trace_id":"%d","sid":"%d","wsn":"%d","arg1":"%d","arg2":"%d"}}`,
+		ev.Seq, ev.TraceID, ev.SID, ev.WSN, ev.Arg1, ev.Arg2)
+}
+
+// microString renders nanoseconds as a decimal microsecond value,
+// keeping nanosecond precision without floating point (so output is
+// byte-stable across platforms).
+func microString(ns int64) string {
+	neg := ns < 0
+	if neg {
+		ns = -ns
+	}
+	s := strconv.FormatInt(ns/1000, 10)
+	if rem := ns % 1000; rem != 0 {
+		s += "." + fmt.Sprintf("%03d", rem)
+		s = strings.TrimRight(s, "0")
+	}
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+// Timeline renders the dump as a human-readable per-batch timeline:
+// events grouped by trace ID (untraced events last, by sequence), each
+// line showing offset from the dump's first event, duration, kind and
+// identity. It is the default `eleosctl trace` output.
+func Timeline(w io.Writer, d Dump) error {
+	if len(d.Events) == 0 {
+		_, err := fmt.Fprintf(w, "trace: empty (dropped %d)\n", d.Dropped)
+		return err
+	}
+	base := d.Events[0].TS
+	for _, ev := range d.Events {
+		if ev.TS < base {
+			base = ev.TS
+		}
+	}
+	// Group by trace ID, preserving first-seen order of IDs.
+	order := []uint64{}
+	groups := map[uint64][]Event{}
+	for _, ev := range d.Events {
+		if _, ok := groups[ev.TraceID]; !ok {
+			order = append(order, ev.TraceID)
+		}
+		groups[ev.TraceID] = append(groups[ev.TraceID], ev)
+	}
+	if _, err := fmt.Fprintf(w, "trace: %d events, %d dropped, %d trace IDs\n",
+		len(d.Events), d.Dropped, len(order)); err != nil {
+		return err
+	}
+	for _, id := range order {
+		evs := groups[id]
+		if id == 0 {
+			fmt.Fprintf(w, "-- untraced (%d events)\n", len(evs))
+		} else {
+			fmt.Fprintf(w, "-- trace %d (sid=%d wsn=%d, %d events)\n",
+				id, evs[0].SID, evs[0].WSN, len(evs))
+		}
+		for _, ev := range evs {
+			durStr := "instant"
+			if ev.Dur > 0 {
+				durStr = fmt.Sprintf("%.3fms", float64(ev.Dur)/1e6)
+			}
+			if _, err := fmt.Fprintf(w, "  +%10.3fms %-14s %-8s seq=%-8d sid=%-4d wsn=%-6d arg1=%d arg2=%d\n",
+				float64(ev.TS-base)/1e6, ev.Kind, durStr, ev.Seq, ev.SID, ev.WSN, ev.Arg1, ev.Arg2); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 
 	"eleos/internal/metrics"
 	"eleos/internal/record"
+	"eleos/internal/trace"
 )
 
 // Slot names a WBLOCK that holds (or will hold) a log page.
@@ -132,6 +133,15 @@ func WithRegistry(reg *metrics.Registry) Option {
 	}
 }
 
+// WithTracer emits leader/free-ride attribution into the flight
+// recorder: every Force produces one KWalForce event — a span covering
+// the leader's physical page write (Arg1 = 1, Arg2 = records carried),
+// or an instant for a follower whose records an earlier page write
+// already made durable (Arg1 = 0).
+func WithTracer(trc *trace.Recorder) Option {
+	return func(l *Log) { l.trc = trc }
+}
+
 // GroupCommitSize returns the mean number of records made durable per
 // physical log-page write — the group-commit amortization factor.
 func (s Stats) GroupCommitSize() float64 {
@@ -168,6 +178,7 @@ type Log struct {
 	dead  bool
 
 	met logMetrics
+	trc *trace.Recorder // nil-safe; see WithTracer
 }
 
 // New creates a fresh, empty log (after device format). The first page will
@@ -283,6 +294,7 @@ func (l *Log) Force() error {
 		}
 		if l.durableLSN >= target {
 			l.met.freeRides.Inc()
+			l.trc.Emit(trace.KWalForce, 0, 0, 0, 0, 0)
 			return nil
 		}
 		if !l.flushing {
@@ -346,12 +358,14 @@ func (l *Log) flushLocked() error {
 		}
 		home := l.slots[attempt]
 		page := encodePage(l.pageBytes, first, count, l.buf[:nbytes], l.slots[attempt+1:attempt+1+numForward])
+		tWrite := l.trc.Now()
 		l.mu.Unlock()
 		err := l.sink.Program(home, page)
 		l.mu.Lock()
 		if err != nil {
 			continue
 		}
+		l.trc.Span(trace.KWalForce, 0, 0, 0, tWrite, 1, int64(count))
 		last := first + record.LSN(count) - 1
 		l.pages = append(l.pages, PageIndexEntry{First: first, Last: last, Slot: home})
 		l.durableLSN = last
