@@ -7,16 +7,19 @@
 //
 // Experiments: fig1, fig9, table2, fig10a, fig10b, fig10c, readheavy,
 // durability, ablation, concurrent, network, metricsoverhead,
-// traceoverhead, all. All but concurrent, network, and the overhead pair
-// replay single-threaded and report virtual device time; concurrent
-// exercises the parallel write pipeline in-process and network drives it
-// over loopback TCP through eleosd's front-end, both reporting
-// wall-clock scaling. network records its rows to a JSON file (-netjson)
-// so the service path joins the perf trajectory; metricsoverhead and
-// traceoverhead compare the CPU-bound write path with the metrics
-// registry (respectively the flight recorder) disabled vs enabled,
-// record the delta (-mojson / -tojson), and can gate CI with
-// -maxoverhead / -maxtraceoverhead.
+// traceoverhead, hotpath, all. All but concurrent, network, hotpath and
+// the overhead pair replay single-threaded and report virtual device
+// time; concurrent exercises the parallel write pipeline in-process and
+// network drives it over loopback TCP through eleosd's front-end, both
+// reporting wall-clock scaling. network records its rows to a JSON file
+// (-netjson) so the service path joins the perf trajectory;
+// metricsoverhead and traceoverhead compare the CPU-bound write path
+// with the metrics registry (respectively the flight recorder) disabled
+// vs enabled, record the delta (-mojson / -tojson), and can gate CI
+// with -maxoverhead / -maxtraceoverhead. hotpath compares the legacy
+// copying request loop against the pooled zero-copy path (and the
+// coalescing variant), records the ratio (-hotjson), and gates CI with
+// -minhotspeedup.
 //
 // The experiments run at a laptop scale (seconds each) by default; raise
 // -txns / -records / -ops to approach the paper's scale. Reported
@@ -48,9 +51,13 @@ func main() {
 		toTrials    = flag.Int("totrials", 3, "trials per arm, best kept (traceoverhead)")
 		toJSON      = flag.String("tojson", "BENCH_trace_overhead.json", "JSON output file for the traceoverhead experiment (empty disables)")
 		maxTraceOH  = flag.Float64("maxtraceoverhead", 0, "fail if trace overhead exceeds this percent (0 disables the gate)")
+		hotBatches  = flag.Int("hotbatches", 150, "batches per client (hotpath)")
+		hotTrials   = flag.Int("hottrials", 3, "trials per arm, best kept (hotpath)")
+		hotJSON     = flag.String("hotjson", "BENCH_hotpath.json", "JSON output file for the hotpath experiment (empty disables)")
+		minHotRatio = flag.Float64("minhotspeedup", 0, "fail if the best pooled-path speedup vs the copy path falls below this ratio (0 disables the gate)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|traceoverhead|all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|traceoverhead|hotpath|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,7 +72,8 @@ func main() {
 	scale.YCSBOps = *ops
 	mo := overheadFlags{batches: *moBatches, trials: *moTrials, json: *moJSON, maxPct: *maxOverhead}
 	to := overheadFlags{batches: *toBatches, trials: *toTrials, json: *toJSON, maxPct: *maxTraceOH}
-	if err := run(exp, scale, *netBatches, *netJSON, mo, to); err != nil {
+	hot := hotpathFlags{batches: *hotBatches, trials: *hotTrials, json: *hotJSON, minRatio: *minHotRatio}
+	if err := run(exp, scale, *netBatches, *netJSON, mo, to, hot); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(1)
 	}
@@ -80,7 +88,16 @@ type overheadFlags struct {
 	maxPct  float64 // >0: exit nonzero if overhead exceeds this percent
 }
 
-func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to overheadFlags) error {
+// hotpathFlags carries the hotpath experiment's knobs; its gate is a
+// minimum speedup ratio rather than a maximum overhead.
+type hotpathFlags struct {
+	batches  int
+	trials   int
+	json     string
+	minRatio float64 // >0: exit nonzero if pooled/copy falls below
+}
+
+func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to overheadFlags, hot hotpathFlags) error {
 	needTrace := exp == "fig9" || exp == "table2" || exp == "all"
 	var tr *tpcc.Trace
 	if needTrace {
@@ -187,6 +204,21 @@ func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to
 		}
 		if to.maxPct > 0 && res.OverheadPct > to.maxPct {
 			return fmt.Errorf("trace overhead %.2f%% exceeds limit %.2f%%", res.OverheadPct, to.maxPct)
+		}
+	case "hotpath":
+		res, err := harness.RunHotpath(hot.batches, hot.trials)
+		if err != nil {
+			return err
+		}
+		harness.PrintHotpath(os.Stdout, res)
+		if hot.json != "" {
+			if err := harness.WriteHotpathJSON(hot.json, res); err != nil {
+				return err
+			}
+			fmt.Printf("result written to %s\n", hot.json)
+		}
+		if best := max(res.SpeedupPooled, res.SpeedupCoalesced); hot.minRatio > 0 && best < hot.minRatio {
+			return fmt.Errorf("hotpath speedup %.2fx below minimum %.2fx", best, hot.minRatio)
 		}
 	case "all":
 		harness.PrintFig1(os.Stdout)

@@ -47,15 +47,16 @@ func main() {
 		drainSecs  = flag.Int("drain-timeout", 30, "graceful drain timeout in seconds")
 		debugAddr  = flag.String("debug-addr", "", "HTTP debug listen address (pprof, /metrics, /debug/trace; empty: off)")
 		slowBatch  = flag.Duration("slow-batch", 0, "log flush_batch requests slower than this with their trace breakdown (0: off)")
+		coalesce   = flag.Duration("coalesce", 0, "merge small concurrent flushes into one controller batch, waiting up to this window (0: off)")
 	)
 	flag.Parse()
-	if err := run(*addr, *img, *format, *channels, *eblocks, *maxConns, *inflightMB, *drainSecs, *debugAddr, *slowBatch); err != nil {
+	if err := run(*addr, *img, *format, *channels, *eblocks, *maxConns, *inflightMB, *drainSecs, *debugAddr, *slowBatch, *coalesce); err != nil {
 		fmt.Fprintf(os.Stderr, "eleosd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, img string, format bool, channels, eblocks, maxConns, inflightMB, drainSecs int, debugAddr string, slowBatch time.Duration) error {
+func run(addr, img string, format bool, channels, eblocks, maxConns, inflightMB, drainSecs int, debugAddr string, slowBatch, coalesce time.Duration) error {
 	dev, ctl, err := openDevice(img, format, channels, eblocks)
 	if err != nil {
 		return err
@@ -64,6 +65,7 @@ func run(addr, img string, format bool, channels, eblocks, maxConns, inflightMB,
 		MaxConns:           maxConns,
 		MaxInflightBytes:   int64(inflightMB) << 20,
 		SlowBatchThreshold: slowBatch,
+		Coalesce:           server.CoalesceConfig{Enabled: coalesce > 0, Window: coalesce},
 	})
 	if debugAddr != "" {
 		dln, err := net.Listen("tcp", debugAddr)

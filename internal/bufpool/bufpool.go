@@ -1,0 +1,131 @@
+// Package bufpool is the shared buffer pool of the network hot path: a
+// set of size-classed sync.Pools handing out reference-counted byte
+// buffers, so the decode→claim→program pipeline can borrow one buffer
+// through several layers and return it to the pool exactly once, when
+// the last borrower is done.
+//
+// The target shape is the fixed-buffer packet idiom of zero-alloc
+// network loops: a request's bytes are read from the socket once, into
+// a pooled frame, and every later stage (batch decode, the aligned
+// program buffer handed to the flash workers, the coalescer holding
+// sub-flushes from several connections) holds a reference instead of a
+// copy. The reference count exists because those lifetimes genuinely
+// overlap — a coalesced batch keeps the frames of many connections
+// alive until the flash programs complete — and a plain sync.Pool Put
+// from the wrong layer would recycle bytes another layer still reads.
+//
+// Ownership rules (see DESIGN.md §6.5):
+//
+//   - Get returns a Buf with one reference, owned by the caller.
+//   - A layer that stores the buffer past the current call must Retain
+//     it and Release when done; slices of Bytes() are only valid while
+//     the holder's reference is live.
+//   - Release of the last reference returns the buffer to its pool.
+//     Releasing more than retained panics — a use-after-put in waiting.
+//
+// SetPoison makes every recycled buffer get scribbled before reuse, so
+// tests (and paranoid deployments) convert silent use-after-release
+// into loud data corruption that content-integrity checks catch.
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Size classes are spaced ×4 from 4 KB to 16 MB — the typical span from
+// one small flush frame to netproto.DefaultMaxFrameBytes. A request for
+// more than the largest class gets a plain unpooled allocation.
+var classSizes = [...]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+
+// PoisonByte is the fill pattern SetPoison(true) writes over released
+// buffers. 0xDB reads as "dead buffer" in hex dumps and is nonzero, so
+// code that relies on pool buffers arriving zeroed fails loudly too.
+const PoisonByte = 0xDB
+
+var poison atomic.Bool
+
+// SetPoison toggles scribbling of released buffers (default off). Tests
+// enable it to turn any use-after-release into detectable corruption.
+func SetPoison(on bool) { poison.Store(on) }
+
+// Buf is one pooled, reference-counted buffer. The zero value is not
+// usable; obtain Bufs from Get.
+type Buf struct {
+	b     []byte // full backing array, len = class size
+	n     int    // requested length; Bytes() = b[:n]
+	class int32  // index into pools, -1 = unpooled
+	refs  atomic.Int32
+}
+
+// pools[i] holds *Buf whose backing arrays are classSizes[i] long. The
+// Buf structs ride along with their arrays, so a steady-state
+// Get/Release cycle allocates nothing.
+var pools [len(classSizes)]sync.Pool
+
+func init() {
+	for i := range pools {
+		size := classSizes[i]
+		class := int32(i)
+		pools[i].New = func() any {
+			return &Buf{b: make([]byte, size), class: class}
+		}
+	}
+}
+
+// Get returns a buffer of length n with one reference. Contents are NOT
+// zeroed — callers that need zero bytes (alignment padding) must clear
+// them. n larger than the biggest class is served by a one-off
+// allocation whose Release is a no-op beyond refcount bookkeeping.
+func Get(n int) *Buf {
+	for i, size := range classSizes {
+		if n <= size {
+			u := pools[i].Get().(*Buf)
+			u.n = n
+			u.refs.Store(1)
+			return u
+		}
+	}
+	u := &Buf{b: make([]byte, n), n: n, class: -1}
+	u.refs.Store(1)
+	return u
+}
+
+// Bytes returns the buffer's payload slice. Valid only while the caller
+// holds a live reference.
+func (u *Buf) Bytes() []byte { return u.b[:u.n] }
+
+// Cap returns the backing capacity (the class size).
+func (u *Buf) Cap() int { return len(u.b) }
+
+// Retain adds a reference. The holder must pair it with Release.
+func (u *Buf) Retain() {
+	if u.refs.Add(1) <= 1 {
+		panic("bufpool: Retain of released buffer")
+	}
+}
+
+// Refs returns the current reference count (for tests and assertions).
+func (u *Buf) Refs() int32 { return u.refs.Load() }
+
+// Release drops one reference; the last one returns the buffer to its
+// pool. Releasing an already-dead buffer panics rather than silently
+// corrupting whoever got the buffer next.
+func (u *Buf) Release() {
+	switch refs := u.refs.Add(-1); {
+	case refs > 0:
+		return
+	case refs < 0:
+		panic(fmt.Sprintf("bufpool: Release of dead buffer (refs %d)", refs))
+	}
+	if poison.Load() {
+		b := u.b[:u.n]
+		for i := range b {
+			b[i] = PoisonByte
+		}
+	}
+	if u.class >= 0 {
+		pools[u.class].Put(u)
+	}
+}

@@ -102,8 +102,16 @@ type Client struct {
 
 	mu    sync.Mutex
 	conn  net.Conn
+	fw    *netproto.FrameWriter // frame assembly for the current conn
 	rng   *rand.Rand
 	stats Stats
+
+	// Encode scratch, reused across requests under mu: batchBuf holds
+	// the encoded batch wire (the frame's vectored tail), headBuf the
+	// small fixed body prefix. The steady-state flush path allocates
+	// neither a body nor a frame.
+	batchBuf []byte
+	headBuf  []byte
 }
 
 // Dial connects to an eleosd address. The initial connect retries with
@@ -162,7 +170,10 @@ func (c *Client) OpenSession() (uint64, error) {
 // already applied reports ErrUnknownSession; callers that retried can
 // treat that as success (Session.Close does).
 func (c *Client) CloseSession(sid uint64) error {
-	_, err := c.call(netproto.MsgCloseSession, netproto.U64Body(sid), netproto.MsgRespCloseSession, true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.headBuf = netproto.AppendU64(c.headBuf[:0], sid)
+	_, err := c.callLocked(netproto.MsgCloseSession, c.headBuf, nil, netproto.MsgRespCloseSession, true)
 	return err
 }
 
@@ -172,16 +183,17 @@ func (c *Client) CloseSession(sid uint64) error {
 // is 0 — and retries are NOT idempotent, so unordered flushes are
 // attempted once.
 func (c *Client) Flush(sid, wsn uint64, pages []core.LPage) (uint64, error) {
-	return c.FlushWire(sid, wsn, core.EncodeBatch(pages))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batchBuf = core.AppendBatch(c.batchBuf[:0], pages)
+	return c.flushLocked(netproto.MsgFlushBatch, 0, sid, wsn, c.batchBuf)
 }
 
 // FlushWire is Flush for an already-encoded batch buffer.
 func (c *Client) FlushWire(sid, wsn uint64, wire []byte) (uint64, error) {
-	rbody, err := c.call(netproto.MsgFlushBatch, netproto.FlushBody(sid, wsn, wire), netproto.MsgRespFlushBatch, sid != 0)
-	if err != nil {
-		return 0, err
-	}
-	return netproto.ParseU64(rbody)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked(netproto.MsgFlushBatch, 0, sid, wsn, wire)
 }
 
 // FlushTraced is Flush carrying a caller-chosen trace ID, so the batch's
@@ -189,12 +201,26 @@ func (c *Client) FlushWire(sid, wsn uint64, wire []byte) (uint64, error) {
 // request (trace ID 0 lets the server assign one). Same idempotence
 // rules as Flush.
 func (c *Client) FlushTraced(traceID, sid, wsn uint64, pages []core.LPage) (uint64, error) {
-	return c.FlushWireTraced(traceID, sid, wsn, core.EncodeBatch(pages))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batchBuf = core.AppendBatch(c.batchBuf[:0], pages)
+	return c.flushLocked(netproto.MsgFlushBatchTraced, traceID, sid, wsn, c.batchBuf)
 }
 
 // FlushWireTraced is FlushTraced for an already-encoded batch buffer.
 func (c *Client) FlushWireTraced(traceID, sid, wsn uint64, wire []byte) (uint64, error) {
-	rbody, err := c.call(netproto.MsgFlushBatchTraced, netproto.FlushTracedBody(traceID, sid, wsn, wire), netproto.MsgRespFlushBatch, sid != 0)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked(netproto.MsgFlushBatchTraced, traceID, sid, wsn, wire)
+}
+
+// flushLocked sends one flush as a [head, wire] vectored frame: the
+// fixed prefix goes into reused scratch and the batch bytes ride the
+// frame's tail without ever being concatenated into a request body.
+func (c *Client) flushLocked(typ byte, traceID, sid, wsn uint64, wire []byte) (uint64, error) {
+	traced := typ == netproto.MsgFlushBatchTraced
+	c.headBuf = netproto.AppendFlushHead(c.headBuf[:0], traced, traceID, sid, wsn)
+	rbody, err := c.callLocked(typ, c.headBuf, wire, netproto.MsgRespFlushBatch, sid != 0)
 	if err != nil {
 		return 0, err
 	}
@@ -203,7 +229,10 @@ func (c *Client) FlushWireTraced(traceID, sid, wsn uint64, wire []byte) (uint64,
 
 // Read returns the stored (alignment-padded) content of an LPAGE.
 func (c *Client) Read(lpid addr.LPID) ([]byte, error) {
-	return c.call(netproto.MsgRead, netproto.U64Body(uint64(lpid)), netproto.MsgRespRead, true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.headBuf = netproto.AppendU64(c.headBuf[:0], uint64(lpid))
+	return c.callLocked(netproto.MsgRead, c.headBuf, nil, netproto.MsgRespRead, true)
 }
 
 // ControllerStats fetches the server's controller statistics.
@@ -313,9 +342,16 @@ func (s *Session) Close() error {
 func (c *Client) call(typ byte, body []byte, wantResp byte, idempotent bool) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.callLocked(typ, body, nil, wantResp, idempotent)
+}
+
+// callLocked is call with mu already held and the request body split as
+// head||tail (either may be nil); flushes pass the encoded batch as the
+// tail so it is never copied into a combined body.
+func (c *Client) callLocked(typ byte, head, tail []byte, wantResp byte, idempotent bool) ([]byte, error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		rbody, err := c.roundTripLocked(typ, body, wantResp)
+		rbody, err := c.roundTripLocked(typ, head, tail, wantResp)
 		if err == nil {
 			return rbody, nil
 		}
@@ -350,7 +386,7 @@ var errNotSent = errors.New("client: request not sent")
 
 // roundTripLocked performs one send+receive on the current connection,
 // (re)connecting first if needed.
-func (c *Client) roundTripLocked(typ byte, body []byte, wantResp byte) ([]byte, error) {
+func (c *Client) roundTripLocked(typ byte, head, tail []byte, wantResp byte) ([]byte, error) {
 	if c.conn == nil {
 		if err := c.connectLocked(); err != nil {
 			return nil, fmt.Errorf("%w: %v", errNotSent, err)
@@ -359,7 +395,7 @@ func (c *Client) roundTripLocked(typ byte, body []byte, wantResp byte) ([]byte, 
 	c.stats.Requests++
 	deadline := time.Now().Add(c.opts.RequestTimeout)
 	_ = c.conn.SetDeadline(deadline)
-	if err := netproto.WriteFrame(c.conn, typ, body); err != nil {
+	if err := c.fw.WriteFrame2(typ, head, tail); err != nil {
 		c.noteTimeout(err)
 		_ = c.dropConnLocked()
 		return nil, fmt.Errorf("client: send: %w", err)
@@ -397,6 +433,7 @@ func (c *Client) connectLocked() error {
 		_ = tc.SetNoDelay(true)
 	}
 	c.conn = conn
+	c.fw = netproto.NewFrameWriter(conn)
 	c.stats.Dials++
 	return nil
 }

@@ -176,6 +176,8 @@ type Stats struct {
 	LogRecords       int64
 	LogForces        int64
 	StaleWrites      int64
+	GroupWrites      int64 // actions that merged ≥2 coalesced flushes
+	GroupedFlushes   int64 // flushes written as part of such actions
 	AbortedActions   int64
 	GCRounds         int64
 	GCPagesMoved     int64

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"math/rand"
 	"testing"
+	"unsafe"
 )
 
 // TestDecodeBatchNeverPanics hammers the wire-batch parser (§IX-A2) with
@@ -129,4 +130,49 @@ func TestDecodeCkptNeverPanics(t *testing.T) {
 			t.Fatal("nil record with nil error")
 		}
 	}
+}
+
+// FuzzAppendBatchView pins the zero-copy decode to the copying one: on
+// every input the two must agree on error-ness, and on success the
+// views must carry identical content while aliasing the wire buffer
+// (the coalesced path feeds AppendBatchView straight from pooled
+// request frames, so a divergence here is silent data corruption).
+func FuzzAppendBatchView(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeBatch(nil))
+	f.Add(EncodeBatch([]LPage{{LPID: 1, Data: []byte("x")}}))
+	f.Add(EncodeBatch([]LPage{
+		{LPID: 7, Data: make([]byte, 100)},
+		{LPID: 9, Data: []byte("variable size")},
+	}))
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		copied, cerr := DecodeBatch(wire)
+		scratch := make([]LPage, 0, 4)
+		views, verr := AppendBatchView(scratch, wire)
+		if (cerr == nil) != (verr == nil) {
+			t.Fatalf("decoders disagree: copy=%v view=%v", cerr, verr)
+		}
+		if cerr != nil {
+			if !errors.Is(verr, ErrBadBatch) {
+				t.Fatalf("non-ErrBadBatch failure: %v", verr)
+			}
+			return
+		}
+		if len(views) != len(copied) {
+			t.Fatalf("page count: view %d, copy %d", len(views), len(copied))
+		}
+		for i := range views {
+			if views[i].LPID != copied[i].LPID || !bytes.Equal(views[i].Data, copied[i].Data) {
+				t.Fatalf("page %d differs between view and copy decode", i)
+			}
+			// Non-empty view data must alias wire, not a fresh allocation.
+			if len(views[i].Data) > 0 {
+				base := uintptr(unsafe.Pointer(&wire[0]))
+				d := uintptr(unsafe.Pointer(&views[i].Data[0]))
+				if d < base || d >= base+uintptr(len(wire)) {
+					t.Fatalf("page %d view does not alias the wire buffer", i)
+				}
+			}
+		}
+	})
 }

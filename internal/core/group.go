@@ -1,0 +1,203 @@
+package core
+
+import (
+	"time"
+
+	"eleos/internal/bufpool"
+	"eleos/internal/provision"
+	"eleos/internal/session"
+	"eleos/internal/trace"
+)
+
+// SubFlush is one host flush submitted as part of a coalesced group:
+// the network front-end merges small pending flushes from different
+// connections into one controller batch, and each keeps its own
+// (SID, WSN) ack semantics, trace attribution and error through Err.
+// Pages may be zero-copy views into pooled frames; the caller keeps
+// those frames alive until WriteBatchGroup returns.
+type SubFlush struct {
+	SID     uint64
+	WSN     uint64
+	TraceID uint64 // flight-recorder trace ID (0 = assign when tracing)
+	Pages   []LPage
+	Err     error // per-sub outcome, valid after WriteBatchGroup returns
+}
+
+// WriteBatchGroup durably writes several independent flushes as one
+// system action sharing a single provision/program/commit cycle — the
+// server-side analogue of the paper's batched-write interface, applied
+// across connections. Each sub-flush keeps its own semantics:
+//
+//   - WSN claims are taken per sub, exactly as WriteBatch takes them. A
+//     stale WSN is re-ACKed (Err = nil) without joining the group; an
+//     early WSN, or a duplicate of an in-flight one, is deferred to the
+//     individual path after the group — a gap in one session must never
+//     stall every other connection's flush.
+//   - One Commit record is appended per sub, all under the group's
+//     action id, so every merged (sid, wsn) commits atomically with the
+//     group and recovery advances each session independently.
+//   - A malformed sub is rejected alone (its Err set, claim released);
+//     its groupmates still write.
+//
+// On return every sub's Err is set. The group's media failures and
+// crash outcomes apply to all merged subs — they shared the action.
+func (c *Controller) WriteBatchGroup(subs []*SubFlush) {
+	switch len(subs) {
+	case 0:
+		return
+	case 1:
+		s := subs[0]
+		s.Err = c.WriteBatchTraced(s.SID, s.WSN, s.TraceID, s.Pages)
+		return
+	}
+	tracing := c.trc.Enabled()
+	if tracing {
+		for _, s := range subs {
+			if s.TraceID == 0 {
+				s.TraceID = c.trc.NewTraceID()
+			}
+			c.trc.Emit(trace.KBatchStart, s.TraceID, s.SID, s.WSN, int64(len(s.Pages)), 0)
+		}
+	}
+	included, deferred := c.claimGroup(subs)
+	if len(included) > 0 {
+		c.writeGroup(included)
+	}
+	for _, s := range deferred {
+		s.Err = c.writeBatch(s.SID, s.WSN, s.TraceID, s.Pages)
+	}
+	if tracing {
+		for _, s := range subs {
+			var fail int64
+			if s.Err != nil {
+				fail = 1
+			}
+			c.trc.Emit(trace.KBatchEnd, s.TraceID, s.SID, s.WSN, fail, 0)
+		}
+	}
+}
+
+// claimGroup runs WSN admission for every sub under one lock
+// acquisition. It partitions the subs into those claimed for the group
+// write and those deferred to the individual (waiting) path; stale and
+// erroneous subs are finished in place.
+func (c *Controller) claimGroup(subs []*SubFlush) (included, deferred []*SubFlush) {
+	timed := c.met.on || c.trc.Enabled()
+	var tClaim time.Time
+	if timed {
+		tClaim = time.Now()
+	}
+	c.mu.Lock()
+	if c.crashed {
+		c.mu.Unlock()
+		for _, s := range subs {
+			s.Err = ErrCrashed
+		}
+		return nil, nil
+	}
+	for _, s := range subs {
+		if len(s.Pages) == 0 {
+			s.Err = ErrEmptyBatch
+			continue
+		}
+		if s.SID == 0 {
+			included = append(included, s)
+			continue
+		}
+		v, _, err := c.sess.Check(s.SID, s.WSN)
+		if err != nil {
+			s.Err = err
+			continue
+		}
+		key := [2]uint64{s.SID, s.WSN}
+		switch {
+		case v == session.Stale:
+			// Already applied; the re-ACK is the success path (§III-A2).
+			c.stats.StaleWrites++
+			c.met.staleWrites.Inc()
+			s.Err = nil
+		case v == session.Apply && !c.wsnInflight[key]:
+			c.wsnInflight[key] = true
+			included = append(included, s)
+		default:
+			deferred = append(deferred, s)
+		}
+	}
+	c.mu.Unlock()
+	if timed {
+		if c.met.on {
+			c.met.claimNS.ObserveDuration(time.Since(tClaim))
+		}
+		for _, s := range included {
+			c.trc.Span(trace.KClaim, s.TraceID, s.SID, s.WSN, tClaim, 0, 0)
+		}
+	}
+	return included, deferred
+}
+
+// writeGroup lays the claimed subs into one pooled program buffer and
+// runs them as a single action. Validation is per sub so one malformed
+// flush drops out alone; everything after layout is shared.
+func (c *Controller) writeGroup(subs []*SubFlush) {
+	valid := make([]*SubFlush, 0, len(subs))
+	total, npages := 0, 0
+	for _, s := range subs {
+		n, err := validatePages(s.Pages)
+		if err != nil {
+			s.Err = err
+			c.releaseClaim(s)
+			continue
+		}
+		total += n
+		npages += len(s.Pages)
+		valid = append(valid, s)
+	}
+	if len(valid) == 0 {
+		return
+	}
+
+	a := &action{}
+	a.pb = bufpool.Get(total)
+	a.buf = a.pb.Bytes()
+	a.bps = make([]provision.BatchPage, 0, npages)
+	a.subs = make([]flushRef, len(valid))
+	off := 0
+	for i, s := range valid {
+		a.subs[i] = flushRef{sid: s.SID, wsn: s.WSN, tid: s.TraceID, pages: len(s.Pages), bytes: logicalBytes(s.Pages)}
+		a.bps, off = layoutPages(a.buf, a.bps, off, s.Pages)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	if c.crashed {
+		err = ErrCrashed
+	} else {
+		err = c.writeUser(a)
+	}
+	a.pb.Release()
+	a.pb = nil
+	for _, s := range valid {
+		s.Err = err
+		if s.SID != 0 {
+			delete(c.wsnInflight, [2]uint64{s.SID, s.WSN})
+		}
+	}
+	c.wsnCond.Broadcast()
+	if err == nil {
+		c.maybeGCLocked()
+		c.maybeCheckpointLocked()
+	}
+}
+
+// releaseClaim drops a claimed (sid, wsn) whose sub failed after
+// admission, so a retry of the same WSN can be admitted again.
+func (c *Controller) releaseClaim(s *SubFlush) {
+	if s.SID == 0 {
+		return
+	}
+	c.mu.Lock()
+	delete(c.wsnInflight, [2]uint64{s.SID, s.WSN})
+	c.wsnCond.Broadcast()
+	c.mu.Unlock()
+}

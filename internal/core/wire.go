@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"eleos/internal/addr"
 )
@@ -29,19 +30,40 @@ func EncodeBatch(pages []LPage) []byte {
 	for _, p := range pages {
 		n += 12 + len(p.Data)
 	}
-	buf := make([]byte, 0, n)
-	buf = binary.LittleEndian.AppendUint32(buf, batchMagic)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pages)))
-	for _, p := range pages {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.LPID))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Data)))
-		buf = append(buf, p.Data...)
-	}
-	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return AppendBatch(make([]byte, 0, n), pages)
 }
 
-// DecodeBatch parses a wire batch back into pages.
+// AppendBatch is EncodeBatch appending into caller scratch, so a client
+// encoding batches in a loop reuses one buffer instead of allocating
+// per flush.
+func AppendBatch(dst []byte, pages []LPage) []byte {
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, batchMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pages)))
+	for _, p := range pages {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(p.LPID))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Data)))
+		dst = append(dst, p.Data...)
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// DecodeBatch parses a wire batch back into pages. Page data is copied,
+// so the result outlives the wire buffer.
 func DecodeBatch(wire []byte) ([]LPage, error) {
+	return decodeBatch(wire, nil, true)
+}
+
+// AppendBatchView parses a wire batch appending into dst, with each
+// page's Data aliasing wire — the zero-copy decode of the network hot
+// path. The views are valid only while the caller keeps the wire buffer
+// alive (for pooled frames: until the frame's refcount is released,
+// which the server does only after the flash programs complete).
+func AppendBatchView(dst []LPage, wire []byte) ([]LPage, error) {
+	return decodeBatch(wire, dst, false)
+}
+
+func decodeBatch(wire []byte, dst []LPage, copyData bool) ([]LPage, error) {
 	if len(wire) < 12 {
 		return nil, fmt.Errorf("%w: short", ErrBadBatch)
 	}
@@ -60,7 +82,12 @@ func DecodeBatch(wire []byte) ([]LPage, error) {
 	if count > (len(body)-8)/12 {
 		return nil, fmt.Errorf("%w: count %d exceeds buffer capacity", ErrBadBatch, count)
 	}
-	pages := make([]LPage, 0, count)
+	pages := dst
+	if cap(pages)-len(pages) < count {
+		grown := make([]LPage, len(pages), len(pages)+count)
+		copy(grown, pages)
+		pages = grown
+	}
 	off := 8
 	for i := 0; i < count; i++ {
 		if off+12 > len(body) {
@@ -74,7 +101,11 @@ func DecodeBatch(wire []byte) ([]LPage, error) {
 		if l < 0 || l > len(body)-off {
 			return nil, fmt.Errorf("%w: truncated page payload", ErrBadBatch)
 		}
-		pages = append(pages, LPage{LPID: lpid, Data: append([]byte(nil), body[off:off+l]...)})
+		data := body[off : off+l : off+l]
+		if copyData {
+			data = append([]byte(nil), data...)
+		}
+		pages = append(pages, LPage{LPID: lpid, Data: data})
 		off += l
 	}
 	if off != len(body) {
@@ -82,6 +113,10 @@ func DecodeBatch(wire []byte) ([]LPage, error) {
 	}
 	return pages, nil
 }
+
+// viewPool recycles the page-view slices WriteBatchWire decodes into,
+// so the wire entry point allocates no per-batch slice in steady state.
+var viewPool = sync.Pool{New: func() any { return new([]LPage) }}
 
 // WriteBatchWire is flush_batch as it crosses the transport: the
 // controller parses the buffer's in-batch metadata, then executes the
@@ -91,11 +126,22 @@ func (c *Controller) WriteBatchWire(sid, wsn uint64, wire []byte) error {
 }
 
 // WriteBatchWireTraced is WriteBatchWire carrying the flush frame's
-// trace ID (see WriteBatchTraced).
+// trace ID (see WriteBatchTraced). The wire buffer is borrowed, not
+// copied: its bytes are read (through page views) up to the moment the
+// batch's flash programs are submitted, so callers passing a pooled
+// frame may release it as soon as the call returns.
 func (c *Controller) WriteBatchWireTraced(sid, wsn, traceID uint64, wire []byte) error {
-	pages, err := DecodeBatch(wire)
-	if err != nil {
-		return err
+	vp := viewPool.Get().(*[]LPage)
+	pages, err := AppendBatchView((*vp)[:0], wire)
+	if err == nil {
+		err = c.WriteBatchTraced(sid, wsn, traceID, pages)
 	}
-	return c.WriteBatchTraced(sid, wsn, traceID, pages)
+	// Drop the data views before pooling the slice: a pooled slice must
+	// not pin the caller's wire buffer (or a recycled pooled frame).
+	if pages != nil {
+		clear(pages)
+		*vp = pages[:0]
+	}
+	viewPool.Put(vp)
+	return err
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"eleos/internal/addr"
+	"eleos/internal/bufpool"
 	"eleos/internal/flash"
 	"eleos/internal/provision"
 	"eleos/internal/record"
@@ -14,21 +15,34 @@ import (
 	"eleos/internal/trace"
 )
 
+// flushRef identifies one (sid, wsn) flush carried by an action. A
+// plain WriteBatch action carries exactly one; a coalesced group action
+// (WriteBatchGroup) carries one per merged sub-flush, and the commit,
+// session-advance and trace machinery fan out over them.
+type flushRef struct {
+	sid   uint64
+	wsn   uint64
+	tid   uint64 // flight-recorder trace ID (0 = untraced)
+	pages int    // logical page count of this flush
+	bytes int64  // logical byte count of this flush
+}
+
 // action carries one batched write's state through the pipeline phases.
 // Keeping it explicit (instead of controller fields) lets many actions be
 // in flight at once: each runs its own init/execute/commit/install sequence
 // and c.mu is held only for the sections that touch shared state.
 type action struct {
 	id   uint64
-	sid  uint64
-	wsn  uint64
-	tid  uint64     // flight-recorder trace ID (0 = untraced)
 	hint record.LSN // lsnHint at init; pins the truncation LSN while active
 
 	buf  []byte                // aligned page images, back to back
+	pb   *bufpool.Buf          // pooled backing of buf; released by the caller after writeUser
 	bps  []provision.BatchPage // layout handed to the provisioner
 	plan *provision.Plan
 	lsns []record.LSN // per-page Update record LSNs
+
+	subs    []flushRef   // the flushes this action carries (≥1)
+	subsArr [1]flushRef  // inline storage for the single-flush case
 }
 
 // WriteBatch durably writes a buffer of variable-size logical pages as one
@@ -107,9 +121,11 @@ func (c *Controller) writeBatch(sid, wsn, traceID uint64, pages []LPage) error {
 
 	// Build the aligned write buffer outside the lock: validating, copying
 	// and padding the batch is per-action work.
-	a := &action{sid: sid, wsn: wsn, tid: traceID}
+	a := &action{}
+	a.subs = a.subsArr[:1]
+	a.subs[0] = flushRef{sid: sid, wsn: wsn, tid: traceID, pages: len(pages), bytes: logicalBytes(pages)}
 	var err error
-	a.buf, a.bps, err = buildBatch(pages)
+	a.buf, a.pb, a.bps, err = buildBatch(pages)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -117,7 +133,14 @@ func (c *Controller) writeBatch(sid, wsn, traceID uint64, pages []LPage) error {
 		err = ErrCrashed
 	}
 	if err == nil {
-		err = c.writeUser(a, pages)
+		err = c.writeUser(a)
+	}
+	if a.pb != nil {
+		// The flash programs have completed (or were never submitted):
+		// the pooled program buffer goes back to the pool here and
+		// nowhere else.
+		a.pb.Release()
+		a.pb = nil
 	}
 	if sid != 0 {
 		delete(c.wsnInflight, [2]uint64{sid, wsn})
@@ -128,6 +151,15 @@ func (c *Controller) writeBatch(sid, wsn, traceID uint64, pages []LPage) error {
 		c.maybeCheckpointLocked()
 	}
 	return err
+}
+
+// logicalBytes sums the pages' logical (pre-alignment) sizes.
+func logicalBytes(pages []LPage) int64 {
+	var n int64
+	for _, p := range pages {
+		n += int64(len(p.Data))
+	}
+	return n
 }
 
 // admitWSNLocked gates a batch on its session's write sequence number
@@ -158,37 +190,72 @@ func (c *Controller) admitWSNLocked(sid, wsn uint64) (bool, error) {
 }
 
 // buildBatch lays the pages out back to back (64-byte aligned) in one
-// preallocated write buffer, exactly as the batch arrives over the wire.
-// The single allocation is zero-filled by the runtime, so each page's
-// alignment padding needs no per-page scratch slice.
-func buildBatch(pages []LPage) ([]byte, []provision.BatchPage, error) {
+// pooled write buffer, exactly as the batch arrives over the wire. The
+// buffer is borrowed from bufpool — the caller releases it once the
+// flash programs have completed (after writeUser returns) — so the
+// steady-state write path allocates no per-batch program buffer.
+func buildBatch(pages []LPage) ([]byte, *bufpool.Buf, []provision.BatchPage, error) {
+	total, err := validatePages(pages)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pb := bufpool.Get(total)
+	buf := pb.Bytes()
+	bps, _ := layoutPages(buf, make([]provision.BatchPage, 0, len(pages)), 0, pages)
+	return buf, pb, bps, nil
+}
+
+// validatePages rejects empty or non-user pages and returns the total
+// aligned buffer size the batch needs. Split from layoutPages so a
+// coalesced group can validate each sub-flush in isolation before
+// laying all of them into one shared buffer.
+func validatePages(pages []LPage) (alignedTotal int, err error) {
 	total := 0
 	for _, p := range pages {
 		if len(p.Data) == 0 {
-			return nil, nil, fmt.Errorf("%w: LPID %d has no data", ErrEmptyBatch, p.LPID)
+			return 0, fmt.Errorf("%w: LPID %d has no data", ErrEmptyBatch, p.LPID)
 		}
 		if !p.LPID.IsUser() {
-			return nil, nil, fmt.Errorf("%w: %d", ErrBadLPID, p.LPID)
+			return 0, fmt.Errorf("%w: %d", ErrBadLPID, p.LPID)
 		}
 		total += addr.AlignUp(len(p.Data))
 	}
-	buf := make([]byte, total)
-	bps := make([]provision.BatchPage, 0, len(pages))
-	off := 0
+	return total, nil
+}
+
+// layoutPages copies already-validated pages into buf starting at off,
+// zeroing each page's alignment padding (pooled buffers arrive dirty),
+// and appends the provisioning layout to bps. It returns the extended
+// layout and the next free offset.
+func layoutPages(buf []byte, bps []provision.BatchPage, off int, pages []LPage) ([]provision.BatchPage, int) {
 	for _, p := range pages {
 		n := addr.AlignUp(len(p.Data))
 		bps = append(bps, provision.BatchPage{LPID: p.LPID, Type: addr.PageUser, Length: n, BufOff: off})
 		copy(buf[off:], p.Data)
+		clear(buf[off+len(p.Data) : off+n])
 		off += n
 	}
-	return buf, bps, nil
+	return bps, off
 }
 
-// writeUser runs one user system action. Called and returned with c.mu
-// held; the lock is released while flash programs execute and while the
-// commit record is forced.
-func (c *Controller) writeUser(a *action, pages []LPage) error {
-	c.updateSeq += uint64(len(pages))
+// spanSubs emits one span per flush the action carries, so every
+// merged sub-flush of a coalesced group (and the single flush of a
+// plain batch) sees the action's stage under its own trace ID.
+func (c *Controller) spanSubs(k trace.Kind, a *action, t0 time.Time) {
+	for i := range a.subs {
+		s := &a.subs[i]
+		c.trc.Span(k, s.tid, s.sid, s.wsn, t0, 0, 0)
+	}
+}
+
+// writeUser runs one user system action — one flush, or a coalesced
+// group of them sharing the provision/program/commit machinery. Called
+// and returned with c.mu held; the lock is released while flash
+// programs execute and while the commit record is forced. The caller
+// owns a.pb and releases it after writeUser returns: every read of
+// a.buf (the flash programs included) has completed by then.
+func (c *Controller) writeUser(a *action) error {
+	c.updateSeq += uint64(len(a.bps))
 	timed := c.met.on || c.trc.Enabled()
 	var tInit time.Time
 	if timed {
@@ -253,7 +320,7 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 		if c.met.on {
 			c.met.initNS.ObserveDuration(tExec.Sub(tInit))
 		}
-		c.trc.Span(trace.KInit, a.tid, a.sid, a.wsn, tInit, 0, 0)
+		c.spanSubs(trace.KInit, a, tInit)
 	}
 	c.mu.Unlock()
 	res := batch.Wait()
@@ -262,7 +329,7 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 		if c.met.on {
 			c.met.programWaitNS.ObserveDuration(time.Since(tExec))
 		}
-		c.trc.Span(trace.KProgramWait, a.tid, a.sid, a.wsn, tExec, 0, 0)
+		c.spanSubs(trace.KProgramWait, a, tExec)
 	}
 	c.finishPlanLocked(plan, res)
 	if c.crashed {
@@ -273,10 +340,13 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 	}
 	if len(res.FailedEBlocks) > 0 {
 		c.met.mediaAborts.Inc()
-		c.trc.Emit(trace.KMediaAbort, a.tid, a.sid, a.wsn, int64(len(res.FailedEBlocks)), 0)
+		for i := range a.subs {
+			s := &a.subs[i]
+			c.trc.Emit(trace.KMediaAbort, s.tid, s.sid, s.wsn, int64(len(res.FailedEBlocks)), 0)
+		}
 		c.abortActionLocked(a.id, plan)
 		unpin()
-		c.migrateFailedLocked(res.FailedEBlocks, a.tid)
+		c.migrateFailedLocked(res.FailedEBlocks, a.subs[0].tid)
 		return fmt.Errorf("%w: action %d", ErrWriteFailed, a.id)
 	}
 
@@ -290,9 +360,16 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 	if err := c.crashIf("commit.before-force"); err != nil {
 		return err
 	}
-	if _, err := c.append(record.Commit{Action: a.id, AKind: record.ActionUser, SID: a.sid, WSN: a.wsn}); err != nil {
-		c.abortActionLocked(a.id, plan)
-		return err
+	// One Commit record per carried flush, all sharing the action id.
+	// Recovery treats repeated commits of one action idempotently and
+	// replays each record's session advance independently, so a coalesced
+	// group commits every merged (sid, wsn) atomically with the action.
+	for i := range a.subs {
+		s := &a.subs[i]
+		if _, err := c.append(record.Commit{Action: a.id, AKind: record.ActionUser, SID: s.sid, WSN: s.wsn}); err != nil {
+			c.abortActionLocked(a.id, plan)
+			return err
+		}
 	}
 	var tForce time.Time
 	if timed {
@@ -307,7 +384,7 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 		if c.met.on {
 			c.met.forceWaitNS.ObserveDuration(tInstall.Sub(tForce))
 		}
-		c.trc.Span(trace.KForceWait, a.tid, a.sid, a.wsn, tForce, 0, 0)
+		c.spanSubs(trace.KForceWait, a, tForce)
 	}
 	if err := c.crashIf("commit.after-force"); err != nil {
 		return err
@@ -331,32 +408,41 @@ func (c *Controller) writeUser(a *action, pages []LPage) error {
 			}
 		}
 	}
-	if a.sid != 0 {
-		if err := c.sess.Advance(a.sid, a.wsn); err != nil {
-			return err
+	var totalPages int64
+	for i := range a.subs {
+		s := &a.subs[i]
+		if s.sid != 0 {
+			if err := c.sess.Advance(s.sid, s.wsn); err != nil {
+				return err
+			}
 		}
+		totalPages += int64(s.pages)
+		c.stats.BytesAccepted += s.bytes
 	}
 	if err := c.lazyGarbageLocked(a.id, garbage); err != nil {
 		return err
 	}
 	delete(c.active, a.id)
 
-	c.stats.BatchesWritten++
-	c.stats.PagesWritten += int64(len(pages))
-	for _, p := range pages {
-		c.stats.BytesAccepted += int64(len(p.Data))
+	c.stats.BatchesWritten += int64(len(a.subs))
+	if len(a.subs) > 1 {
+		c.stats.GroupWrites++
+		c.stats.GroupedFlushes += int64(len(a.subs))
 	}
+	c.stats.PagesWritten += totalPages
 	for _, bp := range a.bps {
 		c.stats.BytesStored += int64(bp.Length)
 	}
 	if timed {
 		if c.met.on {
 			c.met.installNS.ObserveDuration(time.Since(tInstall))
-			c.met.batches.Inc()
-			c.met.pages.Add(int64(len(pages)))
-			c.met.batchPages.Observe(int64(len(pages)))
+			c.met.batches.Add(int64(len(a.subs)))
+			c.met.pages.Add(totalPages)
+			for i := range a.subs {
+				c.met.batchPages.Observe(int64(a.subs[i].pages))
+			}
 		}
-		c.trc.Span(trace.KInstall, a.tid, a.sid, a.wsn, tInstall, 0, 0)
+		c.spanSubs(trace.KInstall, a, tInstall)
 	}
 	return nil
 }

@@ -146,9 +146,18 @@ var (
 	ErrDataTooLarge   = errors.New("flash: data larger than a wblock")
 )
 
+// eblockState keeps each WBLOCK's backing array across erases: the
+// sequential-program rule makes "programmed" equivalent to
+// wb < nextWBlock, so Erase only resets the position and the stale
+// entries beyond it are unobservable (reads of unprogrammed WBLOCKs
+// return zeroes by construction, exactly as an erased cell would).
+// Each array is sized to the payload it stores — reads treat bytes
+// past len as zero padding, so programs never zero-fill a WBLOCK tail
+// — and its capacity survives erase, so a warmed device reprograms a
+// recycled WBLOCK by re-slicing in place, allocating nothing.
 type eblockState struct {
-	wblocks    [][]byte // nil entry = erased/unwritten; allocated lazily
-	nextWBlock int      // next sequential program position
+	wblocks    [][]byte // stored payloads, len = last program's size; capacity outlives erases
+	nextWBlock int      // next sequential program position; wb < nextWBlock ⇔ programmed
 	eraseCount int
 	failed     bool // a program failed; block unwritable until erase
 	bad        bool // exceeded erase limit
@@ -391,7 +400,7 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 	if ebs.failed {
 		return fmt.Errorf("%w: ch=%d eb=%d", ErrEBlockDisabled, ch, eb)
 	}
-	if ebs.wblocks[wb] != nil {
+	if wb < ebs.nextWBlock {
 		return fmt.Errorf("%w: ch=%d eb=%d wb=%d", ErrWriteTwice, ch, eb, wb)
 	}
 	if wb != ebs.nextWBlock {
@@ -419,7 +428,12 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 		trc.Span(trace.KFlashProgram, 0, 0, 0, t0, int64(ch), int64(eb))
 		return fmt.Errorf("%w: ch=%d eb=%d wb=%d", ErrWriteFailed, ch, eb, wb)
 	}
-	buf := make([]byte, len(data))
+	buf := ebs.wblocks[wb]
+	if cap(buf) < len(data) {
+		buf = make([]byte, len(data))
+	} else {
+		buf = buf[:len(data)]
+	}
 	copy(buf, data)
 	ebs.wblocks[wb] = buf
 	ebs.nextWBlock = wb + 1
@@ -449,20 +463,21 @@ func (d *Device) ReadRBlocks(ch, eb, start, n int) ([]byte, error) {
 	cs.mu.Lock()
 	out := make([]byte, n*d.geo.RBlockBytes)
 	rPerW := d.geo.RBlocksPerWBlock()
+	ebs := &cs.eblocks[eb]
 	for i := 0; i < n; i++ {
 		r := start + i
 		wb, rInW := r/rPerW, r%rPerW
-		src := cs.eblocks[eb].wblocks[wb]
-		if src == nil {
-			continue // erased: zeroes
+		if wb >= ebs.nextWBlock {
+			continue // not programmed since the last erase: zeroes
 		}
+		src := ebs.wblocks[wb]
 		lo := rInW * d.geo.RBlockBytes
 		if lo < len(src) {
 			hi := lo + d.geo.RBlockBytes
 			if hi > len(src) {
 				hi = len(src)
 			}
-			copy(out[i*d.geo.RBlockBytes:], src[lo:hi])
+			copy(out[i*d.geo.RBlockBytes:], src[lo:hi]) // tail past len(src) stays zero
 		}
 	}
 	cs.busy += time.Duration(n) * d.lat.ReadRBlock
@@ -507,7 +522,7 @@ func (d *Device) IsWritten(ch, eb, wb int) (bool, error) {
 	cs := &d.channels[ch]
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	return cs.eblocks[eb].wblocks[wb] != nil, nil
+	return wb < cs.eblocks[eb].nextWBlock, nil
 }
 
 // Erase erases an EBLOCK, making all its WBLOCKs writable again. It fails
@@ -529,9 +544,10 @@ func (d *Device) Erase(ch, eb int) error {
 		cs.mu.Unlock()
 		return fmt.Errorf("%w: ch=%d eb=%d after %d erases", ErrBadBlock, ch, eb, ebs.eraseCount)
 	}
-	for i := range ebs.wblocks {
-		ebs.wblocks[i] = nil
-	}
+	// The backing arrays survive the erase (see eblockState): resetting
+	// the program position makes every WBLOCK unprogrammed, and unread
+	// stale bytes cost nothing. This keeps Erase O(1) and lets a warmed
+	// device program without allocating.
 	ebs.nextWBlock = 0
 	ebs.failed = false
 	m := d.met.Load()
@@ -794,29 +810,45 @@ func (d *Device) SubmitBatch(cmds []BatchCmd) *Batch {
 		}
 		return b
 	}
-	// Split into per-channel segments, preserving order within a channel.
-	segs := make(map[int][]BatchCmd)
-	order := make([]int, 0, d.geo.Channels)
+	// Split into per-channel segments, preserving order within a channel:
+	// a counting scatter into one backing array instead of a map of
+	// growing slices, so the split costs three fixed allocations however
+	// many commands the batch carries.
+	counts := make([]int, d.geo.Channels)
 	for _, c := range cmds {
-		if _, ok := segs[c.Channel]; !ok {
-			order = append(order, c.Channel)
-		}
-		segs[c.Channel] = append(segs[c.Channel], c)
+		counts[c.Channel]++
 	}
-	b.pending = len(order)
+	backing := make([]BatchCmd, len(cmds))
+	next := make([]int, d.geo.Channels)
+	sum := 0
+	for ch, cnt := range counts {
+		next[ch] = sum
+		sum += cnt
+		if cnt > 0 {
+			b.pending++
+		}
+	}
+	for _, c := range cmds {
+		backing[next[c.Channel]] = c
+		next[c.Channel]++
+	}
 	m := d.met.Load()
-	for _, ch := range order {
+	for ch, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		seg := backing[next[ch]-cnt : next[ch]]
 		q := d.queueFor(ch)
 		if q == nil {
 			// Closed device: run inline.
-			attempted, failed := d.runSegment(segs[ch])
+			attempted, failed := d.runSegment(seg)
 			b.finish(attempted, failed)
 			continue
 		}
 		if m != nil {
-			m.queueDepth[ch].Add(int64(len(segs[ch])))
+			m.queueDepth[ch].Add(int64(cnt))
 		}
-		q <- batchSeg{b: b, cmds: segs[ch]}
+		q <- batchSeg{b: b, cmds: seg}
 	}
 	return b
 }

@@ -65,22 +65,18 @@ func (d *Device) WriteTo(w io.Writer) (int64, error) {
 						return err
 					}
 				}
-				written := uint64(0)
-				for wb, data := range ebs.wblocks {
-					if data != nil {
-						written |= 1 << uint(wb)
-					}
-				}
 				if d.geo.WBlocksPerEBlock() > 64 {
 					return fmt.Errorf("flash: image format supports at most 64 wblocks per eblock")
 				}
+				// Programmed means wb < nextWBlock (backing arrays outlive
+				// erases, so non-nil entries no longer imply live data); the
+				// bitmap is always a prefix mask.
+				written := uint64(1)<<uint(ebs.nextWBlock) - 1
 				if err := put(written); err != nil {
 					return err
 				}
-				for _, data := range ebs.wblocks {
-					if data == nil {
-						continue
-					}
+				for wb := 0; wb < ebs.nextWBlock; wb++ {
+					data := ebs.wblocks[wb]
 					if err := put(uint64(len(data))); err != nil {
 						return err
 					}
@@ -152,6 +148,9 @@ func ReadDevice(r io.Reader, lat Latency) (*Device, error) {
 			if err != nil {
 				return nil, err
 			}
+			if int(next) > geo.WBlocksPerEBlock() {
+				return nil, fmt.Errorf("%w: program position %d", ErrBadImage, next)
+			}
 			ebs.eraseCount = int(ec)
 			ebs.nextWBlock = int(next)
 			ebs.failed = flags&1 != 0
@@ -171,6 +170,9 @@ func ReadDevice(r io.Reader, lat Latency) (*Device, error) {
 				if length > uint64(geo.WBlockBytes) {
 					return nil, fmt.Errorf("%w: wblock length %d", ErrBadImage, length)
 				}
+				// Arrays are sized to the stored payload; reads treat
+				// bytes past len as zero padding (and a programmed index
+				// the bitmap omitted reads as all zeroes).
 				data := make([]byte, length)
 				if _, err := io.ReadFull(br, data); err != nil {
 					return nil, fmt.Errorf("%w: %v", ErrBadImage, err)

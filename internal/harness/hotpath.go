@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"eleos/internal/addr"
+	"eleos/internal/client"
+	"eleos/internal/core"
+	"eleos/internal/flash"
+	"eleos/internal/server"
+)
+
+// The hotpath experiment prices the allocation-free network write path:
+// the same CPU-bound loopback workload (zero-latency NAND, so framing,
+// copies, allocations and the WAL are all that's left) runs against
+// three server configurations —
+//
+//   - copy:      the legacy request loop (per-frame allocation, copying
+//     batch decode, copying response writes), kept behind
+//     server.Config.LegacyCopyPath exactly for this comparison;
+//   - pooled:    the pooled zero-copy path (refcounted request frames,
+//     borrowed page views, vectored replies);
+//   - coalesced: the pooled path plus server-side batch coalescing, the
+//     eligibility threshold raised so this workload's flushes merge.
+//
+// Reported next to throughput is the process-wide allocation rate per
+// flush (runtime.MemStats deltas — client and server share the
+// process, so the number is a before/after story, not a per-layer
+// claim; the per-call zero-alloc claims are pinned by
+// testing.AllocsPerRun gates in netproto). The CI gate is the
+// pooled-vs-copy throughput ratio: both arms run in the same process on
+// the same machine, so the ratio survives hardware changes that
+// absolute MB/s would not.
+
+const (
+	hotClients       = 8 // enough concurrent flushes for deep coalescing rounds
+	hotPagesPerBatch = 8
+	hotPageBytes     = 16384 // 128 KB wire batches: big enough that copies dominate
+	hotWorkingSet    = 1000
+)
+
+// HotpathArm is one configuration's measurement.
+type HotpathArm struct {
+	Mode           string
+	Batches        int
+	Elapsed        time.Duration
+	MBPerSec       float64
+	AllocsPerFlush float64 // process-wide heap objects per flush
+	BytesPerFlush  float64 // process-wide heap bytes per flush
+	GroupWrites    int64   // coalesced controller actions (coalesced arm)
+}
+
+// HotpathResult is the three-arm comparison.
+type HotpathResult struct {
+	Clients          int
+	BatchesPerClient int
+	Trials           int
+	Copy             HotpathArm
+	Pooled           HotpathArm
+	Coalesced        HotpathArm
+	SpeedupPooled    float64 // pooled vs copy throughput
+	SpeedupCoalesced float64 // coalesced vs copy throughput
+}
+
+// RunHotpath runs all arms trials times, interleaved so thermal and
+// scheduler noise spreads evenly, and keeps each arm's best-throughput
+// trial.
+func RunHotpath(batchesPerClient, trials int) (HotpathResult, error) {
+	res := HotpathResult{Clients: hotClients, BatchesPerClient: batchesPerClient, Trials: trials}
+	arms := []struct {
+		mode string
+		cfg  server.Config
+	}{
+		{"copy", server.Config{LegacyCopyPath: true, MaxConns: hotClients + 4}},
+		{"pooled", server.Config{MaxConns: hotClients + 4}},
+		{"coalesced", server.Config{MaxConns: hotClients + 4, Coalesce: server.CoalesceConfig{
+			Enabled:        true,
+			Window:         200 * time.Microsecond,
+			MaxFlushes:     hotClients,
+			MaxBytes:       4 << 20,
+			ThresholdBytes: 1 << 20, // admit this workload's 128 KB flushes
+		}}},
+	}
+	best := map[string]HotpathArm{}
+	for trial := 0; trial < trials; trial++ {
+		for _, arm := range arms {
+			row, err := runHotpathOne(arm.mode, arm.cfg, batchesPerClient)
+			if err != nil {
+				return res, fmt.Errorf("hotpath (%s, trial %d): %w", arm.mode, trial, err)
+			}
+			if b, ok := best[arm.mode]; !ok || row.MBPerSec > b.MBPerSec {
+				best[arm.mode] = row
+			}
+		}
+	}
+	res.Copy, res.Pooled, res.Coalesced = best["copy"], best["pooled"], best["coalesced"]
+	if res.Copy.MBPerSec > 0 {
+		res.SpeedupPooled = res.Pooled.MBPerSec / res.Copy.MBPerSec
+		res.SpeedupCoalesced = res.Coalesced.MBPerSec / res.Copy.MBPerSec
+	}
+	return res, nil
+}
+
+func runHotpathOne(mode string, scfg server.Config, batchesPerClient int) (HotpathArm, error) {
+	geo := flash.Geometry{
+		Channels: 8, EBlocksPerChannel: 64,
+		EBlockBytes: 4 << 20, WBlockBytes: 64 << 10, RBlockBytes: 4 << 10,
+	}
+	dev := flash.MustNewDevice(geo, flash.Latency{}) // zero latency: CPU-bound
+	cfg := core.DefaultConfig()
+	cfg.AutoCheckpointLogBytes = 1 << 30 // keep checkpoints out of the measurement
+	ctl, err := core.Format(dev, cfg)
+	if err != nil {
+		return HotpathArm{}, err
+	}
+	srv := server.New(ctl, scfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return HotpathArm{}, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	}()
+
+	data := make([]byte, hotPageBytes)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	errs := make(chan error, hotClients)
+	var wg sync.WaitGroup
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for w := 0; w < hotClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := client.Dial(ln.Addr().String(), client.Options{Seed: int64(w + 1)})
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", w, err)
+				return
+			}
+			defer cl.Close()
+			sess, err := cl.NewSession()
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", w, err)
+				return
+			}
+			base := uint64(w+1) * 1_000_000
+			batch := make([]core.LPage, hotPagesPerBatch)
+			for i := 0; i < batchesPerClient; i++ {
+				for j := range batch {
+					lpid := base + uint64((i*hotPagesPerBatch+j)%hotWorkingSet)
+					batch[j] = core.LPage{LPID: addr.LPID(lpid), Data: data}
+				}
+				if err := sess.Flush(batch); err != nil {
+					errs <- fmt.Errorf("client %d batch %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	close(errs)
+	for err := range errs {
+		return HotpathArm{}, err
+	}
+
+	total := hotClients * batchesPerClient
+	bytes := float64(total) * hotPagesPerBatch * hotPageBytes
+	return HotpathArm{
+		Mode:           mode,
+		Batches:        total,
+		Elapsed:        elapsed,
+		MBPerSec:       bytes / (1 << 20) / elapsed.Seconds(),
+		AllocsPerFlush: float64(m1.Mallocs-m0.Mallocs) / float64(total),
+		BytesPerFlush:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(total),
+		GroupWrites:    ctl.Stats().GroupWrites,
+	}, nil
+}
+
+// PrintHotpath renders the comparison.
+func PrintHotpath(w io.Writer, r HotpathResult) {
+	fmt.Fprintln(w, "Network hot path (CPU-bound loopback TCP, best of trials; allocs are process-wide per flush)")
+	fmt.Fprintf(w, "%10s %9s %12s %10s %9s %13s %13s %8s\n",
+		"mode", "batches", "elapsed", "MB/s", "speedup", "allocs/flush", "KB/flush", "groups")
+	for _, arm := range []HotpathArm{r.Copy, r.Pooled, r.Coalesced} {
+		speedup := 1.0
+		if r.Copy.MBPerSec > 0 {
+			speedup = arm.MBPerSec / r.Copy.MBPerSec
+		}
+		fmt.Fprintf(w, "%10s %9d %12s %10.2f %8.2fx %13.1f %13.1f %8d\n",
+			arm.Mode, arm.Batches, arm.Elapsed.Round(time.Millisecond), arm.MBPerSec,
+			speedup, arm.AllocsPerFlush, arm.BytesPerFlush/1024, arm.GroupWrites)
+	}
+	fmt.Fprintf(w, "pooled path speedup %.2fx, with coalescing %.2fx (flush = %d pages x %d B)\n",
+		r.SpeedupPooled, r.SpeedupCoalesced, hotPagesPerBatch, hotPageBytes)
+}
+
+// WriteHotpathJSON emits the result as a BENCH_-style document so the
+// hot-path rework joins the recorded perf trajectory.
+func WriteHotpathJSON(path string, r HotpathResult) error {
+	type armJSON struct {
+		Mode           string  `json:"mode"`
+		Batches        int     `json:"batches"`
+		ElapsedMS      float64 `json:"elapsed_ms"`
+		MBPerSec       float64 `json:"mb_per_sec"`
+		AllocsPerFlush float64 `json:"allocs_per_flush"`
+		BytesPerFlush  float64 `json:"bytes_alloc_per_flush"`
+		GroupWrites    int64   `json:"group_writes"`
+	}
+	arm := func(a HotpathArm) armJSON {
+		return armJSON{
+			Mode:           a.Mode,
+			Batches:        a.Batches,
+			ElapsedMS:      float64(a.Elapsed.Microseconds()) / 1000,
+			MBPerSec:       a.MBPerSec,
+			AllocsPerFlush: a.AllocsPerFlush,
+			BytesPerFlush:  a.BytesPerFlush,
+			GroupWrites:    a.GroupWrites,
+		}
+	}
+	doc := struct {
+		Experiment       string    `json:"experiment"`
+		Transport        string    `json:"transport"`
+		Clients          int       `json:"clients"`
+		BatchesPerClient int       `json:"batches_per_client"`
+		PagesPerBatch    int       `json:"pages_per_batch"`
+		PageBytes        int       `json:"page_bytes"`
+		Trials           int       `json:"trials"`
+		Arms             []armJSON `json:"arms"`
+		SpeedupPooled    float64   `json:"speedup_pooled_vs_copy"`
+		SpeedupCoalesced float64   `json:"speedup_coalesced_vs_copy"`
+	}{
+		Experiment:       "hotpath",
+		Transport:        "tcp-loopback",
+		Clients:          r.Clients,
+		BatchesPerClient: r.BatchesPerClient,
+		PagesPerBatch:    hotPagesPerBatch,
+		PageBytes:        hotPageBytes,
+		Trials:           r.Trials,
+		Arms:             []armJSON{arm(r.Copy), arm(r.Pooled), arm(r.Coalesced)},
+		SpeedupPooled:    r.SpeedupPooled,
+		SpeedupCoalesced: r.SpeedupCoalesced,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,31 @@
+package harness
+
+import "testing"
+
+// TestHotpathSmoke runs a miniature hotpath comparison — every arm must
+// complete, move the expected bytes, and the coalesced arm must really
+// merge flushes. Speedups are hardware truths the CI ratchet gate
+// checks at full scale; here only sanity is asserted.
+func TestHotpathSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP experiment")
+	}
+	res, err := RunHotpath(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []HotpathArm{res.Copy, res.Pooled, res.Coalesced} {
+		if arm.Batches != hotClients*20 {
+			t.Fatalf("%s: %d batches, want %d", arm.Mode, arm.Batches, hotClients*20)
+		}
+		if arm.MBPerSec <= 0 {
+			t.Fatalf("%s: nonpositive throughput", arm.Mode)
+		}
+	}
+	if res.Coalesced.GroupWrites == 0 {
+		t.Fatal("coalesced arm merged nothing")
+	}
+	if res.SpeedupPooled <= 0 || res.SpeedupCoalesced <= 0 {
+		t.Fatalf("speedups not computed: %+v", res)
+	}
+}

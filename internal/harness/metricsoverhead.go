@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"eleos/internal/metrics"
@@ -22,8 +23,8 @@ import (
 type OverheadArm struct {
 	Mode     string        // "disabled" or "enabled"
 	Batches  int           // total batches across all writers
-	Elapsed  time.Duration // best trial's wall clock
-	MBPerSec float64       // best trial's throughput
+	Elapsed  time.Duration // median trial's wall clock
+	MBPerSec float64       // median trial's throughput
 }
 
 // OverheadResult is the paired measurement.
@@ -38,12 +39,20 @@ type OverheadResult struct {
 }
 
 // RunMetricsOverhead runs both arms trials times, interleaved to spread
-// thermal and scheduler noise evenly, and keeps each arm's best trial.
+// thermal and scheduler noise evenly, reports each arm's median trial,
+// and gates on the median of per-trial paired overheads (see
+// medianPairedOverhead).
 func RunMetricsOverhead(writers, batchesPerWriter, trials int) (OverheadResult, error) {
 	res := OverheadResult{Writers: writers, BatchesPerWriter: batchesPerWriter, Trials: trials}
-	best := map[string]ConcurrentRow{}
+	rows := map[string][]ConcurrentRow{}
 	for trial := 0; trial < trials; trial++ {
-		for _, mode := range []string{"disabled", "enabled"} {
+		// Alternate which arm runs first so slow drift in host capacity
+		// lands on both arms evenly across the pairs.
+		modes := []string{"disabled", "enabled"}
+		if trial%2 == 1 {
+			modes[0], modes[1] = modes[1], modes[0]
+		}
+		for _, mode := range modes {
 			reg := metrics.NewDisabled()
 			if mode == "enabled" {
 				reg = metrics.New()
@@ -52,28 +61,60 @@ func RunMetricsOverhead(writers, batchesPerWriter, trials int) (OverheadResult, 
 			if err != nil {
 				return res, fmt.Errorf("metrics overhead (%s, trial %d): %w", mode, trial, err)
 			}
-			if b, ok := best[mode]; !ok || row.MBPerSec > b.MBPerSec {
-				best[mode] = row
-			}
+			rows[mode] = append(rows[mode], row)
 			if mode == "enabled" && trial == 0 {
 				snap := reg.Snapshot()
 				res.Instruments = len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms)
 			}
 		}
 	}
-	res.Disabled = OverheadArm{Mode: "disabled", Batches: best["disabled"].Batches,
-		Elapsed: best["disabled"].Elapsed, MBPerSec: best["disabled"].MBPerSec}
-	res.Enabled = OverheadArm{Mode: "enabled", Batches: best["enabled"].Batches,
-		Elapsed: best["enabled"].Elapsed, MBPerSec: best["enabled"].MBPerSec}
-	if res.Disabled.MBPerSec > 0 {
-		res.OverheadPct = 100 * (res.Disabled.MBPerSec - res.Enabled.MBPerSec) / res.Disabled.MBPerSec
+	med := map[string]ConcurrentRow{
+		"disabled": medianRow(rows["disabled"]),
+		"enabled":  medianRow(rows["enabled"]),
 	}
+	res.Disabled = OverheadArm{Mode: "disabled", Batches: med["disabled"].Batches,
+		Elapsed: med["disabled"].Elapsed, MBPerSec: med["disabled"].MBPerSec}
+	res.Enabled = OverheadArm{Mode: "enabled", Batches: med["enabled"].Batches,
+		Elapsed: med["enabled"].Elapsed, MBPerSec: med["enabled"].MBPerSec}
+	res.OverheadPct = medianPairedOverhead(rows["disabled"], rows["enabled"])
 	return res, nil
+}
+
+// medianRow returns the trial with the median throughput (the upper
+// middle for an even trial count). Shared by both overhead experiments.
+func medianRow(rows []ConcurrentRow) ConcurrentRow {
+	s := append([]ConcurrentRow(nil), rows...)
+	sort.Slice(s, func(i, j int) bool { return s[i].MBPerSec < s[j].MBPerSec })
+	return s[len(s)/2]
+}
+
+// medianPairedOverhead computes the overhead percentage per trial pair
+// (trial i's disabled run against trial i's enabled run — the two ran
+// back to back, so minutes-scale host drift cancels inside each pair)
+// and returns the median pair. Comparing arm-wide aggregates instead
+// lets that drift land asymmetrically on the arms and swing the ratio
+// by more than the gate's whole budget on a busy host.
+func medianPairedOverhead(disabled, enabled []ConcurrentRow) float64 {
+	n := len(disabled)
+	if len(enabled) < n {
+		n = len(enabled)
+	}
+	pcts := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if d := disabled[i].MBPerSec; d > 0 {
+			pcts = append(pcts, 100*(d-enabled[i].MBPerSec)/d)
+		}
+	}
+	if len(pcts) == 0 {
+		return 0
+	}
+	sort.Float64s(pcts)
+	return pcts[len(pcts)/2]
 }
 
 // PrintMetricsOverhead renders the comparison.
 func PrintMetricsOverhead(w io.Writer, r OverheadResult) {
-	fmt.Fprintln(w, "Metrics overhead (CPU-bound concurrent write workload, best of trials)")
+	fmt.Fprintln(w, "Metrics overhead (CPU-bound concurrent write workload, median of trials)")
 	fmt.Fprintf(w, "%10s %9s %12s %10s\n", "mode", "batches", "elapsed", "MB/s")
 	for _, arm := range []OverheadArm{r.Disabled, r.Enabled} {
 		fmt.Fprintf(w, "%10s %9d %12s %10.2f\n",

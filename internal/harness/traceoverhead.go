@@ -18,15 +18,26 @@ import (
 // and once with a live DefaultSize ring recording every write-path span.
 // Both arms run with metrics disabled so the measured delta is the
 // recorder's alone. The recorder's claim to "always on" rests on this
-// number staying under the CI gate (5%).
+// number staying small (~2-3% on a quiet host; CI backstops the
+// paired-median at 15%, since shared runners drift by more than that
+// cost, and pins the per-event cost with TestTraceEmitAllocFree).
 
 // RunTraceOverhead runs both arms trials times, interleaved to spread
-// thermal and scheduler noise evenly, and keeps each arm's best trial.
+// thermal and scheduler noise evenly, reports each arm's median trial,
+// and gates on the median of per-trial paired overheads (see
+// medianPairedOverhead — aggregate-vs-aggregate statistics let host
+// drift swing the ratio).
 func RunTraceOverhead(writers, batchesPerWriter, trials int) (OverheadResult, error) {
 	res := OverheadResult{Writers: writers, BatchesPerWriter: batchesPerWriter, Trials: trials}
-	best := map[string]ConcurrentRow{}
+	rows := map[string][]ConcurrentRow{}
 	for trial := 0; trial < trials; trial++ {
-		for _, mode := range []string{"disabled", "enabled"} {
+		// Alternate which arm runs first so slow drift in host capacity
+		// lands on both arms evenly across the pairs.
+		modes := []string{"disabled", "enabled"}
+		if trial%2 == 1 {
+			modes[0], modes[1] = modes[1], modes[0]
+		}
+		for _, mode := range modes {
 			trc := trace.NewDisabled()
 			if mode == "enabled" {
 				trc = trace.New(trace.DefaultSize)
@@ -37,9 +48,7 @@ func RunTraceOverhead(writers, batchesPerWriter, trials int) (OverheadResult, er
 			if err != nil {
 				return res, fmt.Errorf("trace overhead (%s, trial %d): %w", mode, trial, err)
 			}
-			if b, ok := best[mode]; !ok || row.MBPerSec > b.MBPerSec {
-				best[mode] = row
-			}
+			rows[mode] = append(rows[mode], row)
 			if mode == "enabled" && trial == 0 {
 				// Reuse the Instruments slot for the ring capacity, the
 				// enabled arm's one size knob.
@@ -47,19 +56,21 @@ func RunTraceOverhead(writers, batchesPerWriter, trials int) (OverheadResult, er
 			}
 		}
 	}
-	res.Disabled = OverheadArm{Mode: "disabled", Batches: best["disabled"].Batches,
-		Elapsed: best["disabled"].Elapsed, MBPerSec: best["disabled"].MBPerSec}
-	res.Enabled = OverheadArm{Mode: "enabled", Batches: best["enabled"].Batches,
-		Elapsed: best["enabled"].Elapsed, MBPerSec: best["enabled"].MBPerSec}
-	if res.Disabled.MBPerSec > 0 {
-		res.OverheadPct = 100 * (res.Disabled.MBPerSec - res.Enabled.MBPerSec) / res.Disabled.MBPerSec
+	med := map[string]ConcurrentRow{
+		"disabled": medianRow(rows["disabled"]),
+		"enabled":  medianRow(rows["enabled"]),
 	}
+	res.Disabled = OverheadArm{Mode: "disabled", Batches: med["disabled"].Batches,
+		Elapsed: med["disabled"].Elapsed, MBPerSec: med["disabled"].MBPerSec}
+	res.Enabled = OverheadArm{Mode: "enabled", Batches: med["enabled"].Batches,
+		Elapsed: med["enabled"].Elapsed, MBPerSec: med["enabled"].MBPerSec}
+	res.OverheadPct = medianPairedOverhead(rows["disabled"], rows["enabled"])
 	return res, nil
 }
 
 // PrintTraceOverhead renders the comparison.
 func PrintTraceOverhead(w io.Writer, r OverheadResult) {
-	fmt.Fprintln(w, "Trace overhead (CPU-bound concurrent write workload, best of trials)")
+	fmt.Fprintln(w, "Trace overhead (CPU-bound concurrent write workload, median of trials)")
 	fmt.Fprintf(w, "%10s %9s %12s %10s\n", "mode", "batches", "elapsed", "MB/s")
 	for _, arm := range []OverheadArm{r.Disabled, r.Enabled} {
 		fmt.Fprintf(w, "%10s %9d %12s %10.2f\n",

@@ -1,0 +1,161 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"eleos/internal/bufpool"
+)
+
+// The pooled frame path: the allocation-free twins of ReadFrame and
+// WriteFrame. A request's bytes are read from the socket once, into a
+// reference-counted pooled buffer, and borrowed — never copied — by the
+// decode, coalescing and program stages downstream (bufpool documents
+// the ownership rules). Responses are emitted through a per-connection
+// FrameWriter that assembles small frames in reused scratch and sends
+// large bodies as vectored [header, body] writes (writev on TCP), so
+// the steady-state frame loop performs zero heap allocations.
+
+// hdrPool recycles the 4-byte length-header scratch: a stack array
+// would escape through the io.Reader interface call and cost one
+// allocation per frame.
+var hdrPool = sync.Pool{New: func() any { return new([4]byte) }}
+
+// ReadFrameBuf is ReadFrame into a pooled buffer. The returned body
+// aliases buf's storage; the caller owns one reference and must
+// buf.Release() when every borrower of body is done. On error no buffer
+// is retained.
+func ReadFrameBuf(r io.Reader, max int) (typ byte, body []byte, buf *bufpool.Buf, err error) {
+	if max <= 0 {
+		max = DefaultMaxFrameBytes
+	}
+	hdr := hdrPool.Get().(*[4]byte)
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		hdrPool.Put(hdr)
+		return 0, nil, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	hdrPool.Put(hdr)
+	if n < 1 {
+		return 0, nil, nil, ErrShortBody
+	}
+	if int64(n) > int64(max) {
+		return 0, nil, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	buf = bufpool.Get(int(n))
+	payload := buf.Bytes()
+	if _, err := io.ReadFull(r, payload); err != nil {
+		buf.Release()
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, nil, err
+	}
+	return payload[0], payload[1:], buf, nil
+}
+
+// AppendFrame appends a whole frame (header, type, body) to dst and
+// returns the extended slice — the allocation-free WriteFrame shape for
+// callers batching frames into reused scratch.
+func AppendFrame(dst []byte, typ byte, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+len(body)))
+	dst = append(dst, typ)
+	return append(dst, body...)
+}
+
+// vecCopyLimit is the body size below which a vectored write degrades
+// into a copy: one writev costs more in setup than the memcpy it
+// saves, and tiny acks dominate the reply mix.
+const vecCopyLimit = 1024
+
+// FrameWriter emits frames over one connection from reused internal
+// scratch. Not safe for concurrent use; each connection handler owns
+// one. Frame bodies totalling at most vecCopyLimit are copied after the
+// header and written as one Write (one TCP segment, like WriteFrame);
+// larger bodies go out as a vectored [header, body] write with no copy.
+//
+// Body slices passed in are read synchronously and not retained, but
+// they must not alias the writer's own scratch (callers build bodies in
+// their own buffers; the writer only ever assembles frames).
+type FrameWriter struct {
+	w       io.Writer
+	scratch []byte
+	// The vectored write's net.Buffers lives in vecs (a field: a local
+	// would escape through WriteTo's pointer receiver and allocate its
+	// header per call) backed by vecArr (WriteTo consumes the slice it
+	// advances over, so the header is rebuilt over this fixed array each
+	// write rather than relying on surviving capacity).
+	vecs   net.Buffers
+	vecArr [2][]byte
+}
+
+// NewFrameWriter wraps a connection. The scratch grows to the largest
+// copied frame and stays.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: w, scratch: make([]byte, 0, 512)}
+}
+
+// WriteFrame writes one frame with the given body.
+func (fw *FrameWriter) WriteFrame(typ byte, body []byte) error {
+	return fw.WriteFrame2(typ, body, nil)
+}
+
+// WriteFrame2 writes one frame whose body is the concatenation
+// head||tail, without materialising the concatenation: small frames are
+// copied into scratch and written once; for large frames the header and
+// head are copied and the tail rides the vectored write untouched. The
+// split fits flush requests exactly — a small fixed prefix (sid, wsn)
+// ahead of a large borrowed batch buffer.
+func (fw *FrameWriter) WriteFrame2(typ byte, head, tail []byte) error {
+	n := len(head) + len(tail)
+	if n <= vecCopyLimit {
+		frame := fw.frameBuf(5 + n)
+		binary.LittleEndian.PutUint32(frame, uint32(1+n))
+		frame[4] = typ
+		copy(frame[5:], head)
+		copy(frame[5+len(head):], tail)
+		_, err := fw.w.Write(frame)
+		return err
+	}
+	pre := fw.frameBuf(5 + len(head))
+	binary.LittleEndian.PutUint32(pre, uint32(1+n))
+	pre[4] = typ
+	copy(pre[5:], head)
+	fw.vecArr[0], fw.vecArr[1] = pre, tail
+	fw.vecs = net.Buffers(fw.vecArr[:])
+	_, err := fw.vecs.WriteTo(fw.w)
+	// Drop the tail references: the writer must not pin a caller's
+	// (possibly pooled) buffer past the write.
+	fw.vecs = nil
+	fw.vecArr[0], fw.vecArr[1] = nil, nil
+	return err
+}
+
+// frameBuf returns the scratch resized to n bytes, growing as needed.
+func (fw *FrameWriter) frameBuf(n int) []byte {
+	if cap(fw.scratch) < n {
+		fw.scratch = make([]byte, 0, n)
+	}
+	return fw.scratch[:n]
+}
+
+// AppendErrorBody is ErrorBody appending into caller scratch.
+func AppendErrorBody(dst []byte, code uint16, msg string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, code)
+	return append(dst, msg...)
+}
+
+// AppendFlushHead appends the fixed flush_batch body prefix to dst: the
+// trace ID when traced (the frame type must then be
+// MsgFlushBatchTraced), then sid and wsn. The batch wire bytes travel
+// separately (WriteFrame2 tail).
+func AppendFlushHead(dst []byte, traced bool, traceID, sid, wsn uint64) []byte {
+	if traced {
+		dst = AppendU64(dst, traceID)
+	}
+	dst = AppendU64(dst, sid)
+	return AppendU64(dst, wsn)
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"eleos/internal/core"
+)
+
+// CoalesceConfig tunes server-side batch coalescing: merging small
+// pending flushes from different connections into one controller batch,
+// so they share a single provision/program/commit cycle (the
+// cross-connection analogue of the paper's batched-write interface, in
+// the spirit of WAL group commit). Off by default — it trades up to
+// Window of added latency per small flush for fewer forced log pages
+// and larger, better-striped program batches.
+type CoalesceConfig struct {
+	// Enabled turns coalescing on.
+	Enabled bool
+	// Window bounds how long a round's leader waits for companion
+	// flushes before writing the group. Default 100µs.
+	Window time.Duration
+	// MaxFlushes closes a round early once this many flushes joined.
+	// Default 16.
+	MaxFlushes int
+	// MaxBytes closes a round early once the joined flushes' wire bytes
+	// reach it. Default 1 MB.
+	MaxBytes int64
+	// ThresholdBytes is the eligibility bound: only flushes whose wire
+	// body is at most this big coalesce — a large flush already fills
+	// the pipeline by itself and would only delay its round. Default
+	// 64 KB.
+	ThresholdBytes int64
+}
+
+func (c CoalesceConfig) withDefaults() CoalesceConfig {
+	if c.Window == 0 {
+		c.Window = 100 * time.Microsecond
+	}
+	if c.MaxFlushes == 0 {
+		c.MaxFlushes = 16
+	}
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 1 << 20
+	}
+	if c.ThresholdBytes == 0 {
+		c.ThresholdBytes = 64 << 10
+	}
+	return c
+}
+
+// pendingFlush is one connection's seat in a coalescing round. Each
+// connection owns exactly one and reuses it across requests: done is
+// buffered and receives exactly one token per round the seat joined as
+// a follower, so no allocation happens per coalesced flush.
+type pendingFlush struct {
+	sub  core.SubFlush
+	done chan struct{}
+}
+
+// coalescer gathers eligible flushes into rounds with the leader /
+// follower pattern of group commit: the first flush to arrive at an
+// empty queue becomes the round's leader, waits out the window (or an
+// early fill), and writes everything gathered as one controller group.
+// Followers park on their seat's done channel; the leader wakes them
+// after the group completes, each finding its outcome in sub.Err.
+type coalescer struct {
+	ctl *core.Controller
+	cfg CoalesceConfig
+
+	mu      sync.Mutex
+	pending []*pendingFlush
+	bytes   int64
+	filled  chan struct{} // open round's early-close signal
+	isFull  bool
+}
+
+func newCoalescer(ctl *core.Controller, cfg CoalesceConfig) *coalescer {
+	cfg = cfg.withDefaults()
+	return &coalescer{ctl: ctl, cfg: cfg, pending: make([]*pendingFlush, 0, cfg.MaxFlushes)}
+}
+
+// submit enters pf into the current round and blocks until the round's
+// group write has completed; pf.sub.Err then holds this flush's
+// outcome. The caller must keep pf.sub.Pages' backing bytes (the pooled
+// request frame) alive until submit returns.
+func (co *coalescer) submit(pf *pendingFlush, wireBytes int64) {
+	co.mu.Lock()
+	if len(co.pending) > 0 {
+		// Follower: take a seat, close the round if this filled it, park.
+		co.pending = append(co.pending, pf)
+		co.bytes += wireBytes
+		if !co.isFull && (len(co.pending) >= co.cfg.MaxFlushes || co.bytes >= co.cfg.MaxBytes) {
+			co.isFull = true
+			close(co.filled)
+		}
+		co.mu.Unlock()
+		<-pf.done
+		return
+	}
+
+	// Leader: open the round, wait for companions, write the group.
+	co.pending = append(co.pending, pf)
+	co.bytes = wireBytes
+	filled := make(chan struct{})
+	co.filled = filled
+	co.isFull = false
+	alreadyFull := co.cfg.MaxFlushes <= 1 || wireBytes >= co.cfg.MaxBytes
+	co.mu.Unlock()
+
+	if !alreadyFull {
+		t := time.NewTimer(co.cfg.Window)
+		select {
+		case <-filled:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+
+	co.mu.Lock()
+	batch := co.pending
+	// The next arrival after this unlock elects a new leader; its round
+	// may run concurrently with this group write, which the controller
+	// handles like any concurrent batches.
+	co.pending = make([]*pendingFlush, 0, co.cfg.MaxFlushes)
+	co.bytes = 0
+	co.filled = nil
+	co.mu.Unlock()
+
+	subs := make([]*core.SubFlush, len(batch))
+	for i, p := range batch {
+		subs[i] = &p.sub
+	}
+	co.ctl.WriteBatchGroup(subs)
+	for _, p := range batch {
+		if p != pf {
+			p.done <- struct{}{}
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"eleos/internal/addr"
+	"eleos/internal/bufpool"
 	"eleos/internal/core"
 	"eleos/internal/metrics"
 	"eleos/internal/netproto"
@@ -62,6 +63,15 @@ type Config struct {
 	// batch's trace ID and its per-stage breakdown pulled from the flight
 	// recorder. Zero (the default) disables the log.
 	SlowBatchThreshold time.Duration
+	// Coalesce opts into server-side batch coalescing: small flushes
+	// from different connections merge into one controller batch (see
+	// CoalesceConfig). Off by default.
+	Coalesce CoalesceConfig
+	// LegacyCopyPath restores the pre-pooling request loop — allocating
+	// frame reads, copying batch decode, per-reply body allocations —
+	// as the baseline arm of A/B benchmarks (benchrunner hotpath). Not
+	// for production use.
+	LegacyCopyPath bool
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +162,7 @@ type Server struct {
 	cfg Config
 	met srvMetrics
 	trc *trace.Recorder // the controller's flight recorder (nil-safe)
+	co  *coalescer      // nil unless Config.Coalesce.Enabled
 
 	connSeq atomic.Uint64 // connection serials for trace attribution
 
@@ -176,6 +187,9 @@ func New(ctl *core.Controller, cfg Config) *Server {
 	s.met = newSrvMetrics(ctl.Metrics())
 	s.trc = ctl.Tracer()
 	s.slowLogf = log.Printf
+	if s.cfg.Coalesce.Enabled {
+		s.co = newCoalescer(ctl, s.cfg.Coalesce)
+	}
 	return s
 }
 
@@ -310,6 +324,23 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // --- connection handling ---------------------------------------------------
 
+// connState is one connection's reusable hot-path machinery: the frame
+// writer with its scratch, the reply-body scratch the dispatch cases
+// append into, the zero-copy page views of the coalesced flush path,
+// and the connection's coalescing seat. One goroutine owns all of it.
+type connState struct {
+	fw      *netproto.FrameWriter
+	scratch []byte       // reply bodies are appended here
+	views   []core.LPage // batch views for coalesced flushes
+	pf      pendingFlush // reusable coalescing seat
+}
+
+// u64 builds a one-u64 reply body in the connection's scratch.
+func (cn *connState) u64(v uint64) []byte {
+	cn.scratch = netproto.AppendU64(cn.scratch[:0], v)
+	return cn.scratch
+}
+
 func (s *Server) handle(conn net.Conn) {
 	// The connection serial is the span root: every request event on this
 	// connection carries it in SID, bracketed by conn_open/conn_close
@@ -330,6 +361,8 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		s.met.activeConns.Add(-1)
 	}()
+	cn := &connState{fw: netproto.NewFrameWriter(conn), pf: pendingFlush{done: make(chan struct{}, 1)}}
+	legacy := s.cfg.LegacyCopyPath
 	for {
 		s.mu.Lock()
 		draining := s.draining
@@ -338,12 +371,24 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		typ, body, err := netproto.ReadFrame(conn, s.cfg.MaxFrameBytes)
+		var (
+			typ  byte
+			body []byte
+			fbuf *bufpool.Buf
+			err  error
+		)
+		if legacy {
+			typ, body, err = netproto.ReadFrame(conn, s.cfg.MaxFrameBytes)
+		} else {
+			typ, body, fbuf, err = netproto.ReadFrameBuf(conn, s.cfg.MaxFrameBytes)
+		}
 		if err != nil {
 			// EOF and deadline pokes are routine; anything else malformed
 			// costs the peer its connection.
 			if !isExpectedReadErr(err) {
-				s.count(func(st *Stats) { st.BadFrames++ })
+				s.mu.Lock()
+				s.stats.BadFrames++
+				s.mu.Unlock()
 				s.met.badFrames.Inc()
 			}
 			return
@@ -356,16 +401,34 @@ func (s *Server) handle(conn net.Conn) {
 		if s.met.on || s.trc.Enabled() {
 			t0 = time.Now()
 		}
-		s.count(func(st *Stats) { st.Requests++; st.BytesIn += int64(5 + len(body)) })
+		inBytes := int64(5 + len(body))
+		s.mu.Lock()
+		s.stats.Requests++
+		s.stats.BytesIn += inBytes
+		s.mu.Unlock()
 		s.met.requests.Inc()
-		s.met.bytesIn.Add(int64(5 + len(body)))
-		rtyp, rbody := s.dispatch(typ, body)
+		s.met.bytesIn.Add(inBytes)
+		rtyp, rbody := s.dispatch(cn, typ, body)
+		// Every borrower of the request's bytes (batch decode, the group
+		// write's page views, the flash programs) finished inside
+		// dispatch; the frame goes back to the pool before the reply I/O.
+		if fbuf != nil {
+			fbuf.Release()
+		}
 		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
-		if err := netproto.WriteFrame(conn, rtyp, rbody); err != nil {
+		if legacy {
+			err = netproto.WriteFrame(conn, rtyp, rbody)
+		} else {
+			err = cn.fw.WriteFrame(rtyp, rbody)
+		}
+		if err != nil {
 			return
 		}
-		s.count(func(st *Stats) { st.BytesOut += int64(5 + len(rbody)) })
-		s.met.bytesOut.Add(int64(5 + len(rbody)))
+		outBytes := int64(5 + len(rbody))
+		s.mu.Lock()
+		s.stats.BytesOut += outBytes
+		s.mu.Unlock()
+		s.met.bytesOut.Add(outBytes)
 		if s.met.on {
 			s.met.requestNS.ObserveDuration(time.Since(t0))
 		}
@@ -389,55 +452,57 @@ func (s *Server) count(f func(*Stats)) {
 	s.mu.Unlock()
 }
 
-// dispatch executes one request and builds its reply frame.
-func (s *Server) dispatch(typ byte, body []byte) (byte, []byte) {
+// dispatch executes one request and builds its reply frame. Small reply
+// bodies are appended into cn's scratch; the caller consumes them
+// before the next dispatch.
+func (s *Server) dispatch(cn *connState, typ byte, body []byte) (byte, []byte) {
 	switch typ {
 	case netproto.MsgOpenSession:
 		sid, err := s.ctl.OpenSession()
 		if err != nil {
-			return s.errFrame(err)
+			return s.errFrame(cn, err)
 		}
-		return netproto.MsgRespOpenSession, netproto.U64Body(sid)
+		return netproto.MsgRespOpenSession, cn.u64(sid)
 
 	case netproto.MsgCloseSession:
 		sid, err := netproto.ParseU64(body)
 		if err != nil {
-			return s.badRequest(err)
+			return s.badRequest(cn, err)
 		}
 		if err := s.ctl.CloseSession(sid); err != nil {
-			return s.errFrame(err)
+			return s.errFrame(cn, err)
 		}
 		return netproto.MsgRespCloseSession, nil
 
 	case netproto.MsgFlushBatch:
 		sid, wsn, wire, err := netproto.ParseFlush(body)
 		if err != nil {
-			return s.badRequest(err)
+			return s.badRequest(cn, err)
 		}
-		return s.flush(sid, wsn, 0, wire)
+		return s.flush(cn, sid, wsn, 0, wire)
 
 	case netproto.MsgFlushBatchTraced:
 		traceID, sid, wsn, wire, err := netproto.ParseFlushTraced(body)
 		if err != nil {
-			return s.badRequest(err)
+			return s.badRequest(cn, err)
 		}
-		return s.flush(sid, wsn, traceID, wire)
+		return s.flush(cn, sid, wsn, traceID, wire)
 
 	case netproto.MsgRead:
 		lpid, err := netproto.ParseU64(body)
 		if err != nil {
-			return s.badRequest(err)
+			return s.badRequest(cn, err)
 		}
 		data, err := s.ctl.Read(addr.LPID(lpid))
 		if err != nil {
-			return s.errFrame(err)
+			return s.errFrame(cn, err)
 		}
 		return netproto.MsgRespRead, data
 
 	case netproto.MsgStats:
 		raw, err := json.Marshal(s.ctl.Stats())
 		if err != nil {
-			return s.errFrame(err)
+			return s.errFrame(cn, err)
 		}
 		return netproto.MsgRespStats, raw
 
@@ -448,7 +513,7 @@ func (s *Server) dispatch(typ byte, body []byte) (byte, []byte) {
 		return netproto.MsgRespTraceDump, netproto.EncodeTraceDump(s.ctl.TraceDump())
 
 	default:
-		return s.badRequest(fmt.Errorf("unknown message type 0x%02x", typ))
+		return s.badRequest(cn, fmt.Errorf("unknown message type 0x%02x", typ))
 	}
 }
 
@@ -458,19 +523,32 @@ func (s *Server) dispatch(typ byte, body []byte) (byte, []byte) {
 // flush_batch, or a traced one from a client that declined to pick an
 // ID) gets a server-assigned ID so the slow-batch log and the flight
 // recorder can still name the batch.
-func (s *Server) flush(sid, wsn, traceID uint64, wire []byte) (byte, []byte) {
+func (s *Server) flush(cn *connState, sid, wsn, traceID uint64, wire []byte) (byte, []byte) {
 	if traceID == 0 && s.trc.Enabled() {
 		traceID = s.trc.NewTraceID()
 	}
 	n := int64(len(wire))
 	if err := s.admit(n); err != nil {
-		return s.errCode(netproto.CodeShuttingDown, err.Error())
+		return s.errCode(cn, netproto.CodeShuttingDown, err.Error())
 	}
 	var t0 time.Time
 	if s.cfg.SlowBatchThreshold > 0 {
 		t0 = time.Now()
 	}
-	err := s.ctl.WriteBatchWireTraced(sid, wsn, traceID, wire)
+	var err error
+	switch {
+	case s.co != nil && n <= s.co.cfg.ThresholdBytes:
+		err = s.coalescedFlush(cn, sid, wsn, traceID, wire)
+	case s.cfg.LegacyCopyPath:
+		// The pre-pooling shape: copying decode, then the page-slice
+		// write path.
+		var pages []core.LPage
+		if pages, err = core.DecodeBatch(wire); err == nil {
+			err = s.ctl.WriteBatchTraced(sid, wsn, traceID, pages)
+		}
+	default:
+		err = s.ctl.WriteBatchWireTraced(sid, wsn, traceID, wire)
+	}
 	s.release(n)
 	if s.cfg.SlowBatchThreshold > 0 {
 		if elapsed := time.Since(t0); elapsed > s.cfg.SlowBatchThreshold {
@@ -478,17 +556,43 @@ func (s *Server) flush(sid, wsn, traceID uint64, wire []byte) (byte, []byte) {
 		}
 	}
 	if err != nil {
-		return s.errFrame(err)
+		return s.errFrame(cn, err)
 	}
-	s.count(func(st *Stats) { st.Batches++ })
+	s.mu.Lock()
+	s.stats.Batches++
+	s.mu.Unlock()
 	s.met.batches.Inc()
 	var highest uint64
 	if sid != 0 {
 		if highest, err = s.ctl.SessionHighestWSN(sid); err != nil {
-			return s.errFrame(err)
+			return s.errFrame(cn, err)
 		}
 	}
-	return netproto.MsgRespFlushBatch, netproto.U64Body(highest)
+	return netproto.MsgRespFlushBatch, cn.u64(highest)
+}
+
+// coalescedFlush runs one eligible flush through the coalescer: decode
+// to zero-copy views in the connection's scratch, take a seat in the
+// current round, and wait for the round's group write. The views alias
+// the pooled request frame, which the connection goroutine keeps
+// referenced until after dispatch returns — and it is parked here for
+// the whole group write, so every view the leader reads stays alive.
+func (s *Server) coalescedFlush(cn *connState, sid, wsn, traceID uint64, wire []byte) error {
+	pages, err := core.AppendBatchView(cn.views[:0], wire)
+	if err != nil {
+		cn.views = cn.views[:0]
+		return err
+	}
+	pf := &cn.pf
+	pf.sub = core.SubFlush{SID: sid, WSN: wsn, TraceID: traceID, Pages: pages}
+	s.co.submit(pf, int64(len(wire)))
+	err = pf.sub.Err
+	// Drop the frame aliases before the seat is reused: a parked view
+	// must never outlive its frame's reference.
+	clear(pages)
+	cn.views = pages[:0]
+	pf.sub.Pages = nil
+	return err
 }
 
 // logSlowBatch emits one structured (JSON) log line for a flush_batch
@@ -564,16 +668,19 @@ func (s *Server) release(n int64) {
 	s.met.inflightBytes.Add(-n)
 }
 
-func (s *Server) errFrame(err error) (byte, []byte) {
-	return s.errCode(netproto.CodeFor(err), err.Error())
+func (s *Server) errFrame(cn *connState, err error) (byte, []byte) {
+	return s.errCode(cn, netproto.CodeFor(err), err.Error())
 }
 
-func (s *Server) badRequest(err error) (byte, []byte) {
-	return s.errCode(netproto.CodeBadRequest, err.Error())
+func (s *Server) badRequest(cn *connState, err error) (byte, []byte) {
+	return s.errCode(cn, netproto.CodeBadRequest, err.Error())
 }
 
-func (s *Server) errCode(code uint16, msg string) (byte, []byte) {
-	s.count(func(st *Stats) { st.Errors++ })
+func (s *Server) errCode(cn *connState, code uint16, msg string) (byte, []byte) {
+	s.mu.Lock()
+	s.stats.Errors++
+	s.mu.Unlock()
 	s.met.errors.Inc()
-	return netproto.MsgRespError, netproto.ErrorBody(code, msg)
+	cn.scratch = netproto.AppendErrorBody(cn.scratch[:0], code, msg)
+	return netproto.MsgRespError, cn.scratch
 }
