@@ -7,19 +7,22 @@
 //
 // Experiments: fig1, fig9, table2, fig10a, fig10b, fig10c, readheavy,
 // durability, ablation, concurrent, network, metricsoverhead,
-// traceoverhead, hotpath, all. All but concurrent, network, hotpath and
-// the overhead pair replay single-threaded and report virtual device
-// time; concurrent exercises the parallel write pipeline in-process and
-// network drives it over loopback TCP through eleosd's front-end, both
-// reporting wall-clock scaling. network records its rows to a JSON file
-// (-netjson) so the service path joins the perf trajectory;
-// metricsoverhead and traceoverhead compare the CPU-bound write path
-// with the metrics registry (respectively the flight recorder) disabled
-// vs enabled, record the delta (-mojson / -tojson), and can gate CI
-// with -maxoverhead / -maxtraceoverhead. hotpath compares the legacy
-// copying request loop against the pooled zero-copy path (and the
-// coalescing variant), records the ratio (-hotjson), and gates CI with
-// -minhotspeedup.
+// traceoverhead, hotpath, chaos, all. All but concurrent, network,
+// hotpath, chaos and the overhead pair replay single-threaded and report
+// virtual device time; concurrent exercises the parallel write pipeline
+// in-process and network drives it over loopback TCP through eleosd's
+// front-end, both reporting wall-clock scaling. network records its rows
+// to a JSON file (-netjson) so the service path joins the perf
+// trajectory; metricsoverhead and traceoverhead compare the CPU-bound
+// write path with the metrics registry (respectively the flight
+// recorder) disabled vs enabled, record the delta (-mojson / -tojson),
+// and can gate CI with -maxoverhead / -maxtraceoverhead. hotpath
+// compares the legacy copying request loop against the pooled zero-copy
+// path (and the coalescing variant), records the ratio (-hotjson), and
+// gates CI with -minhotspeedup. chaos executes the seeded fault-schedule
+// corpus (seeds 1..-chaosseeds) from internal/chaos, records per-seed
+// coverage (-chaosjson), and exits nonzero — printing the one-command
+// replay — if any schedule violates an invariant.
 //
 // The experiments run at a laptop scale (seconds each) by default; raise
 // -txns / -records / -ops to approach the paper's scale. Reported
@@ -55,9 +58,11 @@ func main() {
 		hotTrials   = flag.Int("hottrials", 3, "trials per arm, best kept (hotpath)")
 		hotJSON     = flag.String("hotjson", "BENCH_hotpath.json", "JSON output file for the hotpath experiment (empty disables)")
 		minHotRatio = flag.Float64("minhotspeedup", 0, "fail if the best pooled-path speedup vs the copy path falls below this ratio (0 disables the gate)")
+		chaosSeeds  = flag.Int("chaosseeds", 4, "generated schedules to execute, seeds 1..N (chaos)")
+		chaosJSON   = flag.String("chaosjson", "BENCH_chaos.json", "JSON output file for the chaos experiment (empty disables)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|traceoverhead|hotpath|all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|traceoverhead|hotpath|chaos|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -73,7 +78,8 @@ func main() {
 	mo := overheadFlags{batches: *moBatches, trials: *moTrials, json: *moJSON, maxPct: *maxOverhead}
 	to := overheadFlags{batches: *toBatches, trials: *toTrials, json: *toJSON, maxPct: *maxTraceOH}
 	hot := hotpathFlags{batches: *hotBatches, trials: *hotTrials, json: *hotJSON, minRatio: *minHotRatio}
-	if err := run(exp, scale, *netBatches, *netJSON, mo, to, hot); err != nil {
+	ch := chaosFlags{seeds: *chaosSeeds, json: *chaosJSON}
+	if err := run(exp, scale, *netBatches, *netJSON, mo, to, hot, ch); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(1)
 	}
@@ -97,7 +103,15 @@ type hotpathFlags struct {
 	minRatio float64 // >0: exit nonzero if pooled/copy falls below
 }
 
-func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to overheadFlags, hot hotpathFlags) error {
+// chaosFlags carries the chaos corpus experiment's knobs. It always
+// gates: any schedule violating an invariant exits nonzero with the
+// replay command printed.
+type chaosFlags struct {
+	seeds int
+	json  string
+}
+
+func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to overheadFlags, hot hotpathFlags, ch chaosFlags) error {
 	needTrace := exp == "fig9" || exp == "table2" || exp == "all"
 	var tr *tpcc.Trace
 	if needTrace {
@@ -219,6 +233,24 @@ func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to
 		}
 		if best := max(res.SpeedupPooled, res.SpeedupCoalesced); hot.minRatio > 0 && best < hot.minRatio {
 			return fmt.Errorf("hotpath speedup %.2fx below minimum %.2fx", best, hot.minRatio)
+		}
+	case "chaos":
+		rep, err := harness.RunChaos(ch.seeds, func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		harness.PrintChaos(os.Stdout, rep)
+		if ch.json != "" {
+			if err := harness.WriteChaosJSON(ch.json, rep); err != nil {
+				return err
+			}
+			fmt.Printf("report written to %s\n", ch.json)
+		}
+		if rep.Failed() {
+			return fmt.Errorf("chaos: %d of %d schedules violated invariants", rep.Seeds-rep.Passed, rep.Seeds)
 		}
 	case "all":
 		harness.PrintFig1(os.Stdout)

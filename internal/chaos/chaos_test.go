@@ -1,0 +1,234 @@
+package chaos_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eleos/internal/chaos"
+	"eleos/internal/trace"
+)
+
+var (
+	flagSeed   = flag.Int64("chaos.seed", 0, "replay one chaos seed (TestChaosReplay)")
+	flagSeeds  = flag.Int("chaos.seeds", 0, "run generated seeds 1..N (TestChaosLong)")
+	flagForce  = flag.Bool("chaos.force", false, "force an invariant violation to demonstrate the red path")
+	flagUpdate = flag.Bool("chaos.update", false, "rewrite golden files")
+)
+
+// runAndReport executes a schedule and, on failure, prints everything an
+// operator needs: the violations, the seed replay command, the greedily
+// minimized schedule, and a Chrome trace of the doomed run.
+func runAndReport(t *testing.T, s chaos.Schedule, opts chaos.Options) chaos.Result {
+	t.Helper()
+	r := chaos.Run(s, opts)
+	if !r.Failed() {
+		return r
+	}
+	t.Errorf("chaos schedule (seed %d) failed:\n  %s", s.Seed, strings.Join(r.Violations, "\n  "))
+	t.Logf("replay: go test ./internal/chaos -run TestChaosReplay -chaos.seed=%d", s.Seed)
+	t.Logf("failing schedule:\n%s", s.Encode())
+	if r.Trace != nil {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("chaos-seed%d.trace.json", s.Seed))
+		if f, err := os.Create(path); err == nil {
+			if trace.ChromeJSON(f, *r.Trace) == nil {
+				t.Logf("chrome trace: %s", path)
+			}
+			_ = f.Close()
+		}
+	}
+	min, runs := chaos.Minimize(s, opts, 20)
+	t.Logf("minimized after %d runs:\n%s", runs, min.Encode())
+	return r
+}
+
+// corpusSeeds is the fixed CI smoke corpus. Pinned: the golden schedule
+// test keeps the generator stable, so these replay the same schedules on
+// every run.
+var corpusSeeds = []int64{1, 2, 3, 4}
+
+// TestChaosCorpus runs the fixed seed corpus — the chaos-smoke CI job.
+func TestChaosCorpus(t *testing.T) {
+	for _, seed := range corpusSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			s := chaos.Generate(seed)
+			r := runAndReport(t, s, chaos.Options{})
+			t.Logf("seed %d: %d writers × %d batches, %d fault kinds, fired %d pfaults %d efaults, %d kills, %d recoveries",
+				seed, s.Writers, s.Batches, s.FaultKinds(),
+				r.FiredProgramFaults, r.FiredEraseFaults, r.Kills, r.Recoveries)
+		})
+	}
+}
+
+// TestChaosComposed is the acceptance schedule: all four fault types in
+// one run — program faults, an erase fault, mid-batch connection kills,
+// and a crash→recover loop — and the full invariant set still holds.
+func TestChaosComposed(t *testing.T) {
+	s := chaos.Schedule{
+		Seed:          77,
+		Writers:       3,
+		Batches:       16,
+		Pages:         2,
+		ProgramFaults: []int{7, 21},
+		EraseFaults:   []int{5},
+		Kills:         []chaos.Kill{{Writer: 0, WSN: 4}, {Writer: 2, WSN: 9}},
+		Crashes:       []int{20},
+	}
+	if s.FaultKinds() != 4 {
+		t.Fatalf("composed schedule covers %d fault kinds, want 4", s.FaultKinds())
+	}
+	r := runAndReport(t, s, chaos.Options{})
+	if r.Failed() {
+		return // runAndReport already diagnosed
+	}
+	if r.Acked != int64(s.Writers*s.Batches) {
+		t.Errorf("acked %d batches, want %d", r.Acked, s.Writers*s.Batches)
+	}
+	if r.FiredProgramFaults != 2 {
+		t.Errorf("fired %d program faults, want 2", r.FiredProgramFaults)
+	}
+	if r.FiredEraseFaults != 1 {
+		t.Errorf("fired %d erase faults, want 1", r.FiredEraseFaults)
+	}
+	if r.Kills != 2 {
+		t.Errorf("%d connection kills fired, want 2", r.Kills)
+	}
+	if r.Recoveries != 1 {
+		t.Errorf("%d crash-recover loops ran, want 1", r.Recoveries)
+	}
+}
+
+// TestChaosScheduleGolden pins the byte encoding of a fixed seed so a
+// generator refactor cannot silently change the replayed corpus. Run
+// with -chaos.update to rebless after an intentional format change.
+func TestChaosScheduleGolden(t *testing.T) {
+	enc := chaos.Generate(42).Encode()
+	parsed, err := chaos.Parse(enc)
+	if err != nil {
+		t.Fatalf("Parse(Encode): %v", err)
+	}
+	if parsed.Encode() != enc {
+		t.Fatalf("Encode/Parse not a round trip:\n%s\nvs\n%s", enc, parsed.Encode())
+	}
+	path := filepath.Join("testdata", "seed42.golden")
+	if *flagUpdate {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(enc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -chaos.update to bless): %v", err)
+	}
+	if string(want) != enc {
+		t.Fatalf("generated schedule drifted from golden.\ngolden:\n%s\ngenerated:\n%s", want, enc)
+	}
+}
+
+// TestChaosEncodeParseRoundTrip fuzz-lite: every generated schedule
+// encodes to a string Parse inverts exactly.
+func TestChaosEncodeParseRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		enc := chaos.Generate(seed).Encode()
+		p, err := chaos.Parse(enc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if p.Encode() != enc {
+			t.Fatalf("seed %d: round trip drift", seed)
+		}
+	}
+}
+
+// TestChaosDeterminism: same seed ⇒ byte-identical schedule, and the same
+// schedule executed twice yields the same pass/fail outcome.
+func TestChaosDeterminism(t *testing.T) {
+	for _, seed := range []int64{7, 1234, 987654321} {
+		if chaos.Generate(seed).Encode() != chaos.Generate(seed).Encode() {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+	}
+	s := chaos.Schedule{
+		Seed: 9, Writers: 2, Batches: 8, Pages: 1,
+		ProgramFaults: []int{6}, Kills: []chaos.Kill{{Writer: 1, WSN: 3}},
+	}
+	r1 := chaos.Run(s, chaos.Options{})
+	r2 := chaos.Run(s, chaos.Options{})
+	if r1.Failed() != r2.Failed() {
+		t.Fatalf("outcome drift: run1 failed=%v run2 failed=%v\nrun1: %v\nrun2: %v",
+			r1.Failed(), r2.Failed(), r1.Violations, r2.Violations)
+	}
+	if r1.Failed() {
+		t.Fatalf("determinism schedule unexpectedly failed: %v", r1.Violations)
+	}
+}
+
+// TestChaosForcedViolationMinimizes exercises the red path end to end
+// against a healthy store: ForceViolation corrupts one expectation, the
+// run goes red with a trace, and the minimizer shrinks the schedule while
+// the failure keeps reproducing.
+func TestChaosForcedViolationMinimizes(t *testing.T) {
+	s := chaos.Schedule{
+		Seed: 5, Writers: 2, Batches: 6, Pages: 1,
+		ProgramFaults: []int{6}, Kills: []chaos.Kill{{Writer: 1, WSN: 2}},
+	}
+	opts := chaos.Options{ForceViolation: true}
+	r := chaos.Run(s, opts)
+	if !r.Failed() {
+		t.Fatal("forced violation did not fail the run")
+	}
+	if r.Trace == nil {
+		t.Fatal("failing run captured no flight-recorder trace")
+	}
+	min, runs := chaos.Minimize(s, opts, 30)
+	if runs == 0 {
+		t.Fatal("minimizer ran nothing")
+	}
+	if min.Events() >= s.Events() && min.Batches >= s.Batches && min.Writers >= s.Writers {
+		t.Fatalf("minimizer made no progress: %d events, %d batches, %d writers", min.Events(), min.Batches, min.Writers)
+	}
+	if !chaos.Run(min, opts).Failed() {
+		t.Fatalf("minimized schedule no longer reproduces:\n%s", min.Encode())
+	}
+	t.Logf("minimized %d→%d events, %d→%d batches in %d runs", s.Events(), min.Events(), s.Batches, min.Batches, runs)
+}
+
+// TestChaosReplay replays one seed on demand:
+//
+//	go test ./internal/chaos -run TestChaosReplay -chaos.seed=N [-chaos.force]
+//
+// This is the documented one-command repro workflow: it prints the
+// decoded schedule, executes it, and on failure prints the violations,
+// the minimized schedule, and a Chrome trace path.
+func TestChaosReplay(t *testing.T) {
+	if *flagSeed == 0 {
+		t.Skip("pass -chaos.seed=N to replay a specific seed")
+	}
+	s := chaos.Generate(*flagSeed)
+	t.Logf("schedule for seed %d:\n%s", *flagSeed, s.Encode())
+	runAndReport(t, s, chaos.Options{ForceViolation: *flagForce, Logf: t.Logf})
+}
+
+// TestChaosLong runs generated seeds 1..N — the opt-in long-run mode the
+// CI workflow_dispatch job uses:
+//
+//	go test ./internal/chaos -run TestChaosLong -chaos.seeds=50 -timeout 60m
+func TestChaosLong(t *testing.T) {
+	if *flagSeeds == 0 {
+		t.Skip("pass -chaos.seeds=N to run the long corpus")
+	}
+	for seed := int64(1); seed <= int64(*flagSeeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runAndReport(t, chaos.Generate(seed), chaos.Options{})
+		})
+	}
+}

@@ -1,0 +1,213 @@
+// Package invariant holds the shared post-schedule invariant checker used
+// by the fault-schedule tests in internal/core and by the chaos harness in
+// internal/chaos. It is deliberately a leaf package (it imports only addr,
+// flash, and metrics, never core) so that package-core tests can import it
+// without a cycle, and there is exactly one implementation of the
+// invariants every fault scenario in the repo must hold:
+//
+//  1. Content integrity — every acknowledged page reads back with the
+//     exact content of its highest acknowledged version, at the aligned
+//     length, zero-padded past the logical size.
+//  2. Session monotonicity — each session's recovered high WSN is at
+//     least (or, for uncrashed runs, exactly) the highest WSN the client
+//     saw acknowledged.
+//  3. No leaked actions — the active-action table is empty once traffic
+//     quiesces, or an abort path pinned log truncation forever.
+//  4. No leaked pins — the inflight/pinned EBLOCK maps are empty after
+//     quiesce, and core.erase_while_pinned is zero: no erase ever raced a
+//     commit-force window (the PR 4 data-loss bug class).
+//  5. Exact fault accounting — the device counted exactly the injected
+//     program/erase faults, and the metrics registry agrees.
+package invariant
+
+import (
+	"bytes"
+	"fmt"
+
+	"eleos/internal/addr"
+	"eleos/internal/flash"
+	"eleos/internal/metrics"
+)
+
+// Store is the narrow view of *core.Controller the checker needs. It is
+// declared here rather than importing core so the checker stays a leaf
+// package; core.Controller satisfies it.
+type Store interface {
+	Read(lpid addr.LPID) ([]byte, error)
+	SessionHighestWSN(sid uint64) (uint64, error)
+	ActiveActions() int
+	InflightEBlocks() int
+	PinnedEBlocks() int
+	MetricsSnapshot() metrics.Snapshot
+	Device() *flash.Device
+}
+
+// Page is one acknowledged page: LPID and the exact content of its
+// highest acknowledged version.
+type Page struct {
+	LPID addr.LPID
+	Want []byte
+}
+
+// Session is one session's acknowledgement high-water mark. With Exact
+// unset the store may have recovered beyond MinWSN (a crash can lose the
+// ack but not the write); with Exact set the stored WSN must match.
+type Session struct {
+	SID    uint64
+	MinWSN uint64
+	Exact  bool
+}
+
+// Skip disables an exact-count expectation.
+const Skip = -1
+
+// Expect parameterizes the schedule-specific half of the invariant set.
+// The structural invariants (no leaked actions, no leaked pins, zero
+// erase-while-pinned) are always checked.
+type Expect struct {
+	// ProgramFaults / EraseFaults are the exact number of injected faults
+	// that fired, checked against the device's persistent Stats counters.
+	// Skip to ignore (e.g. when a prior run on the same device already
+	// consumed faults that this Expect does not account for).
+	ProgramFaults int64
+	EraseFaults   int64
+
+	// MetricsProgramFaults / MetricsEraseFaults are the same counts as
+	// seen by the metrics registry. These reset when a registry is
+	// (re)installed on the device — across a crash→Open recovery, pass
+	// Skip here while keeping the device-side counts exact.
+	MetricsProgramFaults int64
+	MetricsEraseFaults   int64
+
+	// MinPrograms, when > 0, requires flash.programs >= MinPrograms —
+	// a sanity floor proving the schedule actually generated traffic.
+	MinPrograms int64
+
+	// MinMediaAborts requires core.write.media_aborts >= this. Clients
+	// can observe fewer aborts than injected faults (GC and checkpoints
+	// absorb some), but core must have counted every abort it returned.
+	MinMediaAborts int64
+
+	Sessions []Session
+	Pages    []Page
+}
+
+// maxPageViolations caps per-page violation reports so a totally corrupt
+// store yields a readable summary instead of thousands of lines.
+const maxPageViolations = 20
+
+// Check runs the full invariant set against a quiesced store and returns
+// human-readable violations; empty means every invariant holds. It never
+// mutates the store beyond reads.
+func Check(s Store, e Expect) []string {
+	var v []string
+	fail := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	// Structural invariants: always on.
+	if n := s.ActiveActions(); n != 0 {
+		fail("active actions: %d entries leaked after quiesce", n)
+	}
+	if n := s.InflightEBlocks(); n != 0 {
+		fail("inflight eblocks: %d entries leaked after quiesce", n)
+	}
+	if n := s.PinnedEBlocks(); n != 0 {
+		fail("pinned eblocks: %d entries leaked after quiesce", n)
+	}
+	snap := s.MetricsSnapshot()
+	if n := snap.Counter("core.erase_while_pinned"); n != 0 {
+		fail("erase while pinned: %d erases raced a commit-force window", n)
+	}
+
+	// Fault accounting.
+	st := s.Device().Stats()
+	if e.ProgramFaults != Skip && st.WriteFailures != e.ProgramFaults {
+		fail("device WriteFailures = %d, want exactly %d", st.WriteFailures, e.ProgramFaults)
+	}
+	if e.EraseFaults != Skip && st.EraseFailures != e.EraseFaults {
+		fail("device EraseFailures = %d, want exactly %d", st.EraseFailures, e.EraseFaults)
+	}
+	if e.MetricsProgramFaults != Skip {
+		if got := snap.Counter("flash.program_failures"); got != e.MetricsProgramFaults {
+			fail("flash.program_failures = %d, want exactly %d", got, e.MetricsProgramFaults)
+		}
+	}
+	if e.MetricsEraseFaults != Skip {
+		if got := snap.Counter("flash.erase_failures"); got != e.MetricsEraseFaults {
+			fail("flash.erase_failures = %d, want exactly %d", got, e.MetricsEraseFaults)
+		}
+	}
+	if e.MinPrograms > 0 {
+		if got := snap.Counter("flash.programs"); got < e.MinPrograms {
+			fail("flash.programs = %d, want at least %d", got, e.MinPrograms)
+		}
+	}
+	if got := snap.Counter("core.write.media_aborts"); got < e.MinMediaAborts {
+		fail("core.write.media_aborts = %d, below %d client-observed aborts", got, e.MinMediaAborts)
+	}
+
+	// Session monotonicity.
+	for _, sess := range e.Sessions {
+		high, err := s.SessionHighestWSN(sess.SID)
+		if err != nil {
+			fail("session %d: SessionHighestWSN: %v", sess.SID, err)
+			continue
+		}
+		if sess.Exact && high != sess.MinWSN {
+			fail("session %d: highest WSN %d, want exactly %d", sess.SID, high, sess.MinWSN)
+		} else if high < sess.MinWSN {
+			fail("session %d: highest WSN %d below acknowledged %d", sess.SID, high, sess.MinWSN)
+		}
+	}
+
+	// Content integrity.
+	pageFails := 0
+	for _, p := range e.Pages {
+		msg := checkPage(s, p)
+		if msg == "" {
+			continue
+		}
+		pageFails++
+		if pageFails <= maxPageViolations {
+			v = append(v, msg)
+		}
+	}
+	if pageFails > maxPageViolations {
+		fail("content: … and %d more page violations", pageFails-maxPageViolations)
+	}
+	return v
+}
+
+func checkPage(s Store, p Page) string {
+	got, err := s.Read(p.LPID)
+	if err != nil {
+		return fmt.Sprintf("content: Read(%d): %v", p.LPID, err)
+	}
+	if len(got) != addr.AlignUp(len(p.Want)) {
+		return fmt.Sprintf("content: Read(%d) length %d, want aligned %d", p.LPID, len(got), addr.AlignUp(len(p.Want)))
+	}
+	if !bytes.Equal(got[:len(p.Want)], p.Want) {
+		return fmt.Sprintf("content: Read(%d) differs from acknowledged version", p.LPID)
+	}
+	for _, b := range got[len(p.Want):] {
+		if b != 0 {
+			return fmt.Sprintf("content: Read(%d) padding not zero", p.LPID)
+		}
+	}
+	return ""
+}
+
+// TB is the sliver of *testing.T the test helper needs; an interface so
+// this package does not import testing (which would drag test flags into
+// non-test binaries like benchrunner).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// MustHold runs Check and reports every violation through tb.Errorf.
+func MustHold(tb TB, s Store, e Expect) {
+	tb.Helper()
+	for _, viol := range Check(s, e) {
+		tb.Errorf("invariant violated: %s", viol)
+	}
+}

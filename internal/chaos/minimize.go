@@ -1,0 +1,102 @@
+package chaos
+
+// Minimize greedily shrinks a failing schedule while the failure still
+// reproduces: it tries dropping each crash, kill, erase fault, and
+// program fault (in that order — cheapest reproductions first), then
+// halving the batch count and shedding writers. Every candidate is
+// re-executed with Run; a reduction is kept only if the reduced schedule
+// still fails. The result is the smallest schedule this greedy walk
+// finds, plus how many executions it spent.
+//
+// Minimization is itself deterministic: candidates are enumerated in a
+// fixed order and Run is seeded by the schedule, so the same failing
+// schedule always minimizes to the same repro.
+func Minimize(s Schedule, opts Options, budget int) (Schedule, int) {
+	runs := 0
+	fails := func(c Schedule) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		return Run(c, opts).Failed()
+	}
+	if !fails(s) {
+		// Not reproducible within budget (or budget exhausted): return the
+		// original so the caller still has the full failing schedule.
+		return s, runs
+	}
+	cur := s
+	for {
+		next, ok := reduceOnce(cur, fails)
+		if !ok || runs >= budget {
+			return cur, runs
+		}
+		cur = next
+	}
+}
+
+// reduceOnce tries every single-step reduction of s in canonical order
+// and returns the first one that still fails.
+func reduceOnce(s Schedule, fails func(Schedule) bool) (Schedule, bool) {
+	for i := range s.Crashes {
+		c := s.clone()
+		c.Crashes = append(c.Crashes[:i:i], c.Crashes[i+1:]...)
+		if fails(c) {
+			return c, true
+		}
+	}
+	for i := range s.Kills {
+		c := s.clone()
+		c.Kills = append(c.Kills[:i:i], c.Kills[i+1:]...)
+		if fails(c) {
+			return c, true
+		}
+	}
+	for i := range s.EraseFaults {
+		c := s.clone()
+		c.EraseFaults = append(c.EraseFaults[:i:i], c.EraseFaults[i+1:]...)
+		if fails(c) {
+			return c, true
+		}
+	}
+	for i := range s.ProgramFaults {
+		c := s.clone()
+		c.ProgramFaults = append(c.ProgramFaults[:i:i], c.ProgramFaults[i+1:]...)
+		if fails(c) {
+			return c, true
+		}
+	}
+	if s.Batches > 1 {
+		c := s.clone()
+		c.Batches = s.Batches / 2
+		c.normalize() // drops kills/crashes beyond the shrunk run
+		if fails(c) {
+			return c, true
+		}
+	}
+	if s.Writers > 1 {
+		c := s.clone()
+		c.Writers = s.Writers - 1
+		c.normalize()
+		if fails(c) {
+			return c, true
+		}
+	}
+	if s.Pages > 1 {
+		c := s.clone()
+		c.Pages = s.Pages - 1
+		if fails(c) {
+			return c, true
+		}
+	}
+	return s, false
+}
+
+func (s Schedule) clone() Schedule {
+	c := s
+	c.ProgramFaults = append([]int(nil), s.ProgramFaults...)
+	c.EraseFaults = append([]int(nil), s.EraseFaults...)
+	c.Kills = append([]Kill(nil), s.Kills...)
+	c.Crashes = append([]int(nil), s.Crashes...)
+	return c
+}

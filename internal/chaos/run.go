@@ -1,0 +1,496 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eleos/internal/addr"
+	"eleos/internal/chaos/invariant"
+	"eleos/internal/client"
+	"eleos/internal/core"
+	"eleos/internal/flash"
+	"eleos/internal/provision"
+	"eleos/internal/server"
+	"eleos/internal/trace"
+)
+
+// Options tunes one schedule execution. The zero value is usable.
+type Options struct {
+	// Deadline bounds the whole run; a writer that cannot make progress
+	// past it reports a harness violation instead of hanging. Default 90s.
+	Deadline time.Duration
+	// ForceViolation corrupts one invariant expectation on purpose so the
+	// red path — seed printing, trace capture, schedule minimization — can
+	// be demonstrated and tested against a healthy store.
+	ForceViolation bool
+	// Logf, when set, receives progress lines (crashes, recoveries).
+	Logf func(format string, args ...any)
+}
+
+// Result is the outcome of executing one schedule.
+type Result struct {
+	Schedule   Schedule
+	Violations []string // empty = every invariant held
+
+	// Coverage accounting for reports.
+	FiredProgramFaults int64
+	FiredEraseFaults   int64
+	Kills              int
+	Recoveries         int
+	Acked              int64
+	MediaAborts        int64 // client-observed ErrWriteFailed returns
+
+	// Trace is the final controller's flight-recorder dump, captured only
+	// on failure so the doomed schedule can be rendered as a Chrome trace.
+	Trace *trace.Dump
+}
+
+// Failed reports whether any invariant (or the harness itself) failed.
+func (r Result) Failed() bool { return len(r.Violations) > 0 }
+
+// RunSeed generates and executes the schedule derived from seed.
+func RunSeed(seed int64, opts Options) Result { return Run(Generate(seed), opts) }
+
+func chaosGeometry() flash.Geometry {
+	return flash.Geometry{
+		Channels: 4, EBlocksPerChannel: 48,
+		EBlockBytes: 1 << 20, WBlockBytes: 32 << 10, RBlockBytes: 4 << 10,
+	}
+}
+
+func chaosConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.AutoCheckpointLogBytes = 8 << 20
+	return cfg
+}
+
+// tolerable classifies errors that scheduled faults legitimately surface
+// through churn and drain paths: media aborts, injected erase failures
+// (which also retire the block), transient space exhaustion, and calls
+// that landed on a crashed controller.
+func tolerable(err error) bool {
+	return errors.Is(err, core.ErrWriteFailed) ||
+		errors.Is(err, core.ErrCrashed) ||
+		errors.Is(err, provision.ErrNoSpace) ||
+		errors.Is(err, flash.ErrEraseFailed) ||
+		errors.Is(err, flash.ErrBadBlock)
+}
+
+// --- deterministic workload content ----------------------------------------
+
+const churnPageSize = 4000
+
+// uniqueLPID places writer w's batch wsn page i in a private LPID range.
+func uniqueLPID(w int, wsn uint64, i int) addr.LPID {
+	return addr.LPID(uint64(w+1)<<20 | wsn<<2 | uint64(i))
+}
+
+// churnLPID is writer w's repeatedly-overwritten page; its expected final
+// content is the last acknowledged version.
+func churnLPID(w int) addr.LPID { return addr.LPID(uint64(w+1) << 20) }
+
+func pageSize(w int, wsn uint64, i int) int {
+	return 150 + int((uint64(w)*131+wsn*97+uint64(i)*53)%1900)
+}
+
+// pageData is the deterministic content for (lpid, version) — the same
+// construction as the core test suite's pageContent, re-derived here so
+// the expected bytes never depend on executor state.
+func pageData(lpid addr.LPID, version uint64, size int) []byte {
+	b := make([]byte, size)
+	rng := rand.New(rand.NewSource(int64(uint64(lpid)*1_000_003 + version)))
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+func buildBatch(s Schedule, w int, wsn uint64) []core.LPage {
+	pages := make([]core.LPage, 0, s.Pages+1)
+	for i := 0; i < s.Pages; i++ {
+		lpid := uniqueLPID(w, wsn, i)
+		pages = append(pages, core.LPage{LPID: lpid, Data: pageData(lpid, wsn, pageSize(w, wsn, i))})
+	}
+	cl := churnLPID(w)
+	pages = append(pages, core.LPage{LPID: cl, Data: pageData(cl, wsn, churnPageSize)})
+	return pages
+}
+
+func traceID(w int, wsn uint64) uint64 { return uint64(w+1)<<32 | wsn }
+
+// --- coordinator: the current controller/server pair ------------------------
+
+// coordinator owns the live controller+server pair and replaces both on a
+// crash→recover loop. Writers never see it: they dial fixed proxy
+// addresses, and the coordinator repoints the proxies after recovery.
+type coordinator struct {
+	cfg  core.Config
+	scfg server.Config
+	dev  *flash.Device
+
+	mu         sync.Mutex
+	ctl        *core.Controller
+	srv        *server.Server
+	addr       string
+	recoveries int
+}
+
+func (co *coordinator) startLocked(ctl *core.Controller) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := server.New(ctl, co.scfg)
+	go func() { _ = srv.Serve(ln) }()
+	co.ctl, co.srv, co.addr = ctl, srv, ln.Addr().String()
+	return nil
+}
+
+func (co *coordinator) current() *core.Controller {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.ctl
+}
+
+func (co *coordinator) address() string {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.addr
+}
+
+// crashAndRecover kills the volatile state, drains the dead server, and
+// reopens the device read-only into a fresh controller+server.
+func (co *coordinator) crashAndRecover() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.ctl.Crash()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_ = co.srv.Drain(ctx) // in-flight requests die on ErrCrashed; tolerated
+	cancel()
+	ctl2, err := core.Open(co.dev, co.cfg)
+	if err != nil {
+		return fmt.Errorf("recovery Open: %w", err)
+	}
+	co.recoveries++
+	return co.startLocked(ctl2)
+}
+
+func (co *coordinator) drainFinal() {
+	co.mu.Lock()
+	srv := co.srv
+	co.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = srv.Drain(ctx) // drain checkpoint may absorb a scheduled fault
+	cancel()
+}
+
+// --- the executor -----------------------------------------------------------
+
+// Run executes one schedule end to end over the real network stack and
+// checks the shared invariant set. It is safe to call concurrently with
+// itself (each run owns its device, server, proxies, and clients).
+func Run(s Schedule, opts Options) Result {
+	res := Result{Schedule: s}
+	if opts.Deadline == 0 {
+		opts.Deadline = 90 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	deadline := time.Now().Add(opts.Deadline)
+
+	var (
+		violMu  sync.Mutex
+		harness []string
+	)
+	fail := func(format string, args ...any) {
+		violMu.Lock()
+		harness = append(harness, "harness: "+fmt.Sprintf(format, args...))
+		violMu.Unlock()
+	}
+
+	dev := flash.MustNewDevice(chaosGeometry(), flash.Latency{})
+	cfg := chaosConfig()
+	ctl, err := core.Format(dev, cfg)
+	if err != nil {
+		res.Violations = []string{fmt.Sprintf("harness: format: %v", err)}
+		return res
+	}
+
+	// Arm every media fault relative to post-Format sequence points, so
+	// offsets are independent of how many programs formatting issued.
+	for _, n := range s.ProgramFaults {
+		dev.FailNthProgram(n)
+	}
+	for _, n := range s.EraseFaults {
+		dev.FailNthErase(n)
+	}
+
+	co := &coordinator{
+		cfg:  cfg,
+		scfg: server.Config{IOTimeout: 5 * time.Second, IdleTimeout: time.Minute},
+		dev:  dev,
+	}
+	co.mu.Lock()
+	err = co.startLocked(ctl)
+	co.mu.Unlock()
+	if err != nil {
+		res.Violations = []string{fmt.Sprintf("harness: start server: %v", err)}
+		return res
+	}
+
+	proxies := make([]*Proxy, s.Writers)
+	for w := range proxies {
+		px, perr := NewProxy(co.address())
+		if perr != nil {
+			res.Violations = []string{fmt.Sprintf("harness: proxy: %v", perr)}
+			return res
+		}
+		defer px.Close()
+		proxies[w] = px
+	}
+
+	killAt := make([]map[uint64]bool, s.Writers)
+	for i := range killAt {
+		killAt[i] = map[uint64]bool{}
+	}
+	for _, k := range s.Kills {
+		killAt[k.Writer][k.WSN] = true
+	}
+
+	var (
+		acked       atomic.Int64
+		mediaAborts atomic.Int64
+		sids        = make([]uint64, s.Writers)
+		ackedHigh   = make([]uint64, s.Writers)
+	)
+
+	// Crash coordinator: fires each crash→recover loop at its exact global
+	// acked threshold, then repoints every proxy at the reborn server.
+	stopCrash := make(chan struct{})
+	crashDone := make(chan struct{})
+	go func() {
+		defer close(crashDone)
+		for _, th := range s.Crashes {
+			for acked.Load() < int64(th) {
+				select {
+				case <-stopCrash:
+					return
+				default:
+				}
+				if time.Now().After(deadline) {
+					return
+				}
+				time.Sleep(500 * time.Microsecond)
+			}
+			logf("chaos: seed=%d crash at acked=%d", s.Seed, acked.Load())
+			if cerr := co.crashAndRecover(); cerr != nil {
+				fail("crash/recover: %v", cerr)
+				return
+			}
+			for _, px := range proxies {
+				px.SetBackend(co.address())
+			}
+		}
+	}()
+
+	// Background churn: checkpoint/GC pressure racing the writers, and the
+	// erase traffic that scheduled erase faults land on. Throttled to a
+	// realistic background cadence — every checkpoint rewrites dirty
+	// mapping/summary pages, and an unthrottled loop fills the device with
+	// page garbage faster than GC can relocate it.
+	stopChurn := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		geo := chaosGeometry()
+		for i := 0; ; i++ {
+			select {
+			case <-stopChurn:
+				return
+			default:
+			}
+			cur := co.current()
+			var cerr error
+			if i%8 == 0 {
+				cerr = cur.Checkpoint()
+			} else {
+				cerr = cur.GCNow(i % geo.Channels)
+			}
+			if cerr != nil && !tolerable(cerr) {
+				fail("churn: %v", cerr)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < s.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if werr := runWriter(s, w, proxies[w], killAt[w], deadline, &acked, &mediaAborts, &sids[w], &ackedHigh[w]); werr != nil {
+				fail("writer %d: %v", w, werr)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// All thresholds are ≤ total acked batches, so once the writers are
+	// done the coordinator finishes its remaining loops promptly; only a
+	// stuck harness needs the stop signal.
+	select {
+	case <-crashDone:
+	case <-time.After(time.Until(deadline)):
+	}
+	close(stopCrash)
+	<-crashDone
+	close(stopChurn)
+	<-churnDone
+
+	// Drain still-armed countdowns with checkpoint/GC rounds so the fault
+	// accounting below is exact: fired = armed − still-pending.
+	for i := 0; i < 60; i++ {
+		p, e := dev.PendingInjectedFailures()
+		if p == 0 && e == 0 {
+			break
+		}
+		cur := co.current()
+		if cerr := cur.Checkpoint(); cerr != nil && !tolerable(cerr) {
+			fail("fault drain checkpoint: %v", cerr)
+			break
+		}
+		for ch := 0; ch < chaosGeometry().Channels; ch++ {
+			if cerr := cur.GCNow(ch); cerr != nil && !tolerable(cerr) {
+				fail("fault drain gc: %v", cerr)
+				break
+			}
+		}
+	}
+	pendP, pendE := dev.PendingInjectedFailures()
+	res.FiredProgramFaults = int64(len(s.ProgramFaults) - pendP)
+	res.FiredEraseFaults = int64(len(s.EraseFaults) - pendE)
+
+	co.drainFinal()
+
+	for _, px := range proxies {
+		res.Kills += px.Kills()
+	}
+	co.mu.Lock()
+	res.Recoveries = co.recoveries
+	co.mu.Unlock()
+	res.Acked = acked.Load()
+	res.MediaAborts = mediaAborts.Load()
+
+	exp := invariant.Expect{
+		ProgramFaults:        res.FiredProgramFaults,
+		EraseFaults:          res.FiredEraseFaults,
+		MetricsProgramFaults: invariant.Skip,
+		MetricsEraseFaults:   invariant.Skip,
+		MinMediaAborts:       0,
+	}
+	if res.Recoveries == 0 {
+		// No registry reinstall happened, so the metrics view must agree
+		// with the device exactly, and the programs counter covers the
+		// whole run (every batch costs at least one program).
+		exp.MetricsProgramFaults = res.FiredProgramFaults
+		exp.MetricsEraseFaults = res.FiredEraseFaults
+		exp.MinPrograms = int64(s.Writers * s.Batches)
+	}
+	for w := 0; w < s.Writers; w++ {
+		high := ackedHigh[w]
+		if high == 0 {
+			continue // writer failed before its first ack; harness already red
+		}
+		exp.Sessions = append(exp.Sessions, invariant.Session{
+			SID: sids[w], MinWSN: high, Exact: high == uint64(s.Batches),
+		})
+		for wsn := uint64(1); wsn <= high; wsn++ {
+			for i := 0; i < s.Pages; i++ {
+				lpid := uniqueLPID(w, wsn, i)
+				exp.Pages = append(exp.Pages, invariant.Page{LPID: lpid, Want: pageData(lpid, wsn, pageSize(w, wsn, i))})
+			}
+		}
+		cl := churnLPID(w)
+		exp.Pages = append(exp.Pages, invariant.Page{LPID: cl, Want: pageData(cl, high, churnPageSize)})
+	}
+	if opts.ForceViolation {
+		// Deliberately wrong expectation: the store is healthy, the check
+		// goes red, and the seed/minimize/replay pipeline can be exercised.
+		exp.ProgramFaults++
+	}
+
+	res.Violations = append(res.Violations, invariant.Check(co.current(), exp)...)
+	violMu.Lock()
+	res.Violations = append(res.Violations, harness...)
+	violMu.Unlock()
+	if res.Failed() {
+		d := co.current().TraceDump()
+		res.Trace = &d
+	}
+	return res
+}
+
+// runWriter drives one session over its proxy: sequential WSNs, arming
+// its scheduled connection kills, retrying every failure with the same
+// WSN (the retry contract WSN dedup makes idempotent) until the deadline.
+func runWriter(s Schedule, w int, px *Proxy, killAt map[uint64]bool, deadline time.Time,
+	acked, mediaAborts *atomic.Int64, sidOut, ackedOut *uint64) error {
+	copts := client.Options{
+		DialTimeout:    2 * time.Second,
+		RequestTimeout: 5 * time.Second,
+		MaxAttempts:    4,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+		Seed:           s.Seed*1000 + int64(w) + 1,
+	}
+	cl, err := client.Dial(px.Addr(), copts)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer cl.Close()
+
+	var sid uint64
+	for {
+		sid, err = cl.OpenSession()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("open session: %w", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	*sidOut = sid
+
+	for wsn := uint64(1); wsn <= uint64(s.Batches); wsn++ {
+		pages := buildBatch(s, w, wsn)
+		if killAt[wsn] {
+			px.ArmKill()
+		}
+		for {
+			_, err = cl.FlushTraced(traceID(w, wsn), sid, wsn, pages)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, core.ErrWriteFailed) {
+				mediaAborts.Add(1)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("wsn %d: %w", wsn, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		*ackedOut = wsn
+		acked.Add(1)
+	}
+	return nil
+}

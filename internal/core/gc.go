@@ -360,6 +360,12 @@ func dbg(format string, args ...any) {
 func (c *Controller) eraseAndFreeLocked(ch, eb int) error {
 	d, _ := c.st.Desc(ch, eb)
 	dbg("eraseAndFree (%d,%d) state=%v stream=%v ts=%d trunc=%d hint=%d", ch, eb, d.State, d.Stream, d.Timestamp, c.lastTruncLSN, c.lsnHint())
+	if c.inflight[[2]int{ch, eb}] > 0 || c.pinned[[2]int{ch, eb}] > 0 {
+		// Should be unreachable: victim selection skips these. Counted
+		// rather than panicking so a chaos schedule that finds a hole in
+		// the protocol fails its invariant check with a replayable seed.
+		c.met.eraseWhilePinned.Inc()
+	}
 	if err := c.dev.Erase(ch, eb); err != nil {
 		_ = c.st.MarkBad(ch, eb, c.lsnHint())
 		return err

@@ -40,6 +40,11 @@ type coreMetrics struct {
 
 	checkpoints  *metrics.Counter
 	checkpointNS *metrics.Histogram
+
+	// eraseWhilePinned counts erases issued against an EBLOCK that a
+	// concurrent action still had inflight or pinned — the PR 4 data-loss
+	// bug class. It must stay zero; the chaos invariant checker asserts it.
+	eraseWhilePinned *metrics.Counter
 }
 
 func newCoreMetrics(reg *metrics.Registry) coreMetrics {
@@ -67,6 +72,8 @@ func newCoreMetrics(reg *metrics.Registry) coreMetrics {
 
 		checkpoints:  reg.Counter("core.checkpoints"),
 		checkpointNS: reg.Histogram("core.checkpoint_ns", metrics.DurationBounds()),
+
+		eraseWhilePinned: reg.Counter("core.erase_while_pinned"),
 	}
 }
 
@@ -95,4 +102,22 @@ func (c *Controller) ActiveActions() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.active)
+}
+
+// InflightEBlocks returns the number of EBLOCKs with programs still queued
+// on the device workers. Zero after traffic quiesces.
+func (c *Controller) InflightEBlocks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inflight)
+}
+
+// PinnedEBlocks returns the number of EBLOCKs pinned by actions in their
+// commit-force window (programs landed, mapping install pending). Zero
+// after traffic quiesces; a leak here re-opens the GC-erases-fresh-EBLOCK
+// bug that the pinning protocol closed.
+func (c *Controller) PinnedEBlocks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pinned)
 }

@@ -1,0 +1,95 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"eleos/internal/metrics"
+)
+
+// TestFailNthErase mirrors TestFailNthProgram for the erase twin: armed
+// countdowns fire on exactly the n-th erase attempts, the device and
+// metrics counters account exactly, and a failed erase leaves the
+// EBLOCK's content and program position intact so a retry succeeds.
+func TestFailNthErase(t *testing.T) {
+	d := MustNewDevice(SmallGeometry(), Latency{})
+	reg := metrics.New()
+	d.SetMetrics(reg)
+
+	data := []byte("survives a failed erase pulse")
+	if err := d.Program(0, 0, 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the 2nd and 3rd erase attempts from now.
+	d.FailNthErase(2)
+	d.FailNthErase(3)
+	if p, e := d.PendingInjectedFailures(); p != 0 || e != 2 {
+		t.Fatalf("pending = (%d,%d), want (0,2)", p, e)
+	}
+
+	if err := d.Erase(1, 0); err != nil { // 1st: clean
+		t.Fatalf("1st erase: %v", err)
+	}
+	if err := d.Erase(0, 0); !errors.Is(err, ErrEraseFailed) { // 2nd: armed
+		t.Fatalf("2nd erase: %v, want ErrEraseFailed", err)
+	}
+	// The failed erase left the block un-erased: content readable,
+	// position unchanged (re-programming wb 0 is still a write-twice).
+	got, _, err := d.ReadExtent(0, 0, 0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("content after failed erase = %q, want %q", got, data)
+	}
+	if err := d.Program(0, 0, 0, data); !errors.Is(err, ErrWriteTwice) {
+		t.Fatalf("reprogram after failed erase: %v, want ErrWriteTwice", err)
+	}
+	if err := d.Erase(2, 0); !errors.Is(err, ErrEraseFailed) { // 3rd: armed
+		t.Fatalf("3rd erase: %v, want ErrEraseFailed", err)
+	}
+	if err := d.Erase(0, 0); err != nil { // 4th: retry succeeds
+		t.Fatalf("retry erase: %v", err)
+	}
+	if err := d.Program(0, 0, 0, data); err != nil {
+		t.Fatalf("program after successful retry: %v", err)
+	}
+
+	st := d.Stats()
+	if st.EraseFailures != 2 {
+		t.Fatalf("EraseFailures = %d, want 2", st.EraseFailures)
+	}
+	if st.EBlocksErased != 2 {
+		t.Fatalf("EBlocksErased = %d, want 2 (failures must not count)", st.EBlocksErased)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("flash.erase_failures"); got != 2 {
+		t.Fatalf("flash.erase_failures = %d, want 2", got)
+	}
+	if got := snap.Counter("flash.erases"); got != 4 {
+		t.Fatalf("flash.erases = %d, want 4 attempts", got)
+	}
+	if p, e := d.PendingInjectedFailures(); p != 0 || e != 0 {
+		t.Fatalf("pending after drain = (%d,%d), want (0,0)", p, e)
+	}
+}
+
+// TestFailNthEraseCountsAgainstLimit: the failed pulse consumes an
+// erase-limit cycle, so endurance accounting cannot be gamed by faults.
+func TestFailNthEraseCountsAgainstLimit(t *testing.T) {
+	geo := SmallGeometry()
+	geo.EraseLimit = 2
+	d := MustNewDevice(geo, Latency{})
+	d.FailNthErase(1)
+	if err := d.Erase(0, 0); !errors.Is(err, ErrEraseFailed) {
+		t.Fatalf("armed erase: %v", err)
+	}
+	if err := d.Erase(0, 0); err != nil {
+		t.Fatalf("2nd erase: %v", err)
+	}
+	if err := d.Erase(0, 0); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("over-limit erase: %v, want ErrBadBlock", err)
+	}
+}

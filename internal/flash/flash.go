@@ -133,6 +133,7 @@ type Stats struct {
 	BytesRead      int64
 	BytesWritten   int64
 	WriteFailures  int64
+	EraseFailures  int64
 }
 
 // Errors returned by device operations.
@@ -141,6 +142,7 @@ var (
 	ErrWriteTwice     = errors.New("flash: wblock already programmed since last erase")
 	ErrWriteOrder     = errors.New("flash: wblocks must be programmed sequentially within an eblock")
 	ErrWriteFailed    = errors.New("flash: program operation failed")
+	ErrEraseFailed    = errors.New("flash: erase operation failed")
 	ErrEBlockDisabled = errors.New("flash: eblock unwritable after earlier program failure; erase first")
 	ErrBadBlock       = errors.New("flash: eblock has exceeded its erase limit")
 	ErrDataTooLarge   = errors.New("flash: data larger than a wblock")
@@ -179,12 +181,14 @@ type Device struct {
 	statsMu sync.Mutex
 	stats   Stats
 
-	injectMu   sync.Mutex
-	failNext   map[[3]int]bool // explicit one-shot program failures
-	failProb   float64
-	rng        *rand.Rand
-	programSeq int64          // program attempts seen by shouldFail
-	failAtSeq  map[int64]bool // programSeq values that must fail (FailNthProgram)
+	injectMu       sync.Mutex
+	failNext       map[[3]int]bool // explicit one-shot program failures
+	failProb       float64
+	rng            *rand.Rand
+	programSeq     int64          // program attempts seen by shouldFail
+	failAtSeq      map[int64]bool // programSeq values that must fail (FailNthProgram)
+	eraseSeq       int64          // erase attempts seen by shouldFailErase
+	failEraseAtSeq map[int64]bool // eraseSeq values that must fail (FailNthErase)
 
 	// met is the instrument-handle set installed by SetMetrics; nil means
 	// uninstrumented, so the hot path pays one atomic pointer load and a
@@ -233,13 +237,15 @@ type devMetrics struct {
 	programs        *metrics.Counter
 	programFailures *metrics.Counter
 	erases          *metrics.Counter
+	eraseFailures   *metrics.Counter
 	programNS       *metrics.Histogram
 	eraseNS         *metrics.Histogram
 	queueDepth      []*metrics.Gauge // per channel, in queued commands
 }
 
 // SetMetrics installs instrument handles from reg: "flash.programs",
-// "flash.program_failures", "flash.erases" counters, the
+// "flash.program_failures", "flash.erases", "flash.erase_failures"
+// counters, the
 // "flash.program_ns"/"flash.erase_ns" wall-clock histograms, and one
 // "flash.chan<i>.queue_depth" gauge per channel counting commands queued
 // on the channel's submission worker. A nil or disabled registry
@@ -254,6 +260,7 @@ func (d *Device) SetMetrics(reg *metrics.Registry) {
 		programs:        reg.Counter("flash.programs"),
 		programFailures: reg.Counter("flash.program_failures"),
 		erases:          reg.Counter("flash.erases"),
+		eraseFailures:   reg.Counter("flash.erase_failures"),
 		programNS:       reg.Histogram("flash.program_ns", metrics.DurationBounds()),
 		eraseNS:         reg.Histogram("flash.erase_ns", metrics.DurationBounds()),
 		queueDepth:      make([]*metrics.Gauge, d.geo.Channels),
@@ -348,6 +355,36 @@ func (d *Device) FailNthProgram(n int) {
 	d.failAtSeq[d.programSeq+int64(n)] = true
 }
 
+// FailNthErase arranges for the n-th erase attempt from now (n=1 is the
+// very next) to fail, whichever EBLOCK it targets — the erase twin of
+// FailNthProgram, sharing its countdown design: each armed countdown
+// fires on exactly one erase attempt, so EraseFailures (and the
+// "flash.erase_failures" metric) grows by exactly the number of armed
+// countdowns once that many erases have been attempted. A failed erase
+// leaves the EBLOCK un-erased (its programmed content intact and its
+// program position unchanged); the erase attempt still counts against
+// the erase limit, as a real NAND erase pulse would.
+func (d *Device) FailNthErase(n int) {
+	if n < 1 {
+		return
+	}
+	d.injectMu.Lock()
+	defer d.injectMu.Unlock()
+	if d.failEraseAtSeq == nil {
+		d.failEraseAtSeq = make(map[int64]bool)
+	}
+	d.failEraseAtSeq[d.eraseSeq+int64(n)] = true
+}
+
+// PendingInjectedFailures reports how many armed FailNthProgram and
+// FailNthErase countdowns have not fired yet. Chaos schedules use it to
+// account exactly for injected faults: fired = armed - pending.
+func (d *Device) PendingInjectedFailures() (programs, erases int) {
+	d.injectMu.Lock()
+	defer d.injectMu.Unlock()
+	return len(d.failAtSeq), len(d.failEraseAtSeq)
+}
+
 // SetFailureProbability makes every program fail independently with
 // probability p, using the device's seeded RNG (deterministic runs).
 // A non-zero probability also switches SubmitBatch to synchronous
@@ -375,6 +412,18 @@ func (d *Device) shouldFail(ch, eb, wb int) bool {
 		return true
 	}
 	return d.failProb > 0 && d.rng.Float64() < d.failProb
+}
+
+// shouldFailErase decides fault injection for one erase.
+func (d *Device) shouldFailErase() bool {
+	d.injectMu.Lock()
+	defer d.injectMu.Unlock()
+	d.eraseSeq++
+	if d.failEraseAtSeq[d.eraseSeq] {
+		delete(d.failEraseAtSeq, d.eraseSeq)
+		return true
+	}
+	return false
 }
 
 // Program writes data into a WBLOCK. len(data) must not exceed the WBLOCK
@@ -543,6 +592,22 @@ func (d *Device) Erase(ch, eb int) error {
 		ebs.bad = true
 		cs.mu.Unlock()
 		return fmt.Errorf("%w: ch=%d eb=%d after %d erases", ErrBadBlock, ch, eb, ebs.eraseCount)
+	}
+	if d.shouldFailErase() {
+		// The failed pulse consumes time and an erase-limit cycle but
+		// changes nothing else: the EBLOCK keeps its programmed content
+		// and position, so a caller may retry or retire it.
+		cs.busy += d.lat.EraseEBlock
+		d.wallWait(d.lat.EraseEBlock)
+		cs.mu.Unlock()
+		d.statsMu.Lock()
+		d.stats.EraseFailures++
+		d.statsMu.Unlock()
+		if m := d.met.Load(); m != nil {
+			m.erases.Inc()
+			m.eraseFailures.Inc()
+		}
+		return fmt.Errorf("%w: ch=%d eb=%d", ErrEraseFailed, ch, eb)
 	}
 	// The backing arrays survive the erase (see eblockState): resetting
 	// the program position makes every WBLOCK unprogrammed, and unread
