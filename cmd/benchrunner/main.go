@@ -7,7 +7,7 @@
 //
 // Experiments: fig1, fig9, table2, fig10a, fig10b, fig10c, readheavy,
 // durability, ablation, concurrent, network, metricsoverhead,
-// traceoverhead, hotpath, chaos, all. All but concurrent, network,
+// traceoverhead, hotpath, chaos, ycsbnet, all. All but concurrent, network,
 // hotpath, chaos and the overhead pair replay single-threaded and report
 // virtual device time; concurrent exercises the parallel write pipeline
 // in-process and network drives it over loopback TCP through eleosd's
@@ -22,7 +22,11 @@
 // gates CI with -minhotspeedup. chaos executes the seeded fault-schedule
 // corpus (seeds 1..-chaosseeds) from internal/chaos, records per-seed
 // coverage (-chaosjson), and exits nonzero — printing the one-command
-// replay — if any schedule violates an invariant.
+// replay — if any schedule violates an invariant. ycsbnet runs the YCSB
+// A/B/C mixes over loopback TCP through the read_page/read_batch wire
+// path with the tiered read cache, plus an in-process concurrent-reader
+// microbench against the global-lock baseline; it records both
+// (-ynjson) and can gate CI with -minreadspeedup.
 //
 // The experiments run at a laptop scale (seconds each) by default; raise
 // -txns / -records / -ops to approach the paper's scale. Reported
@@ -60,9 +64,17 @@ func main() {
 		minHotRatio = flag.Float64("minhotspeedup", 0, "fail if the best pooled-path speedup vs the copy path falls below this ratio (0 disables the gate)")
 		chaosSeeds  = flag.Int("chaosseeds", 4, "generated schedules to execute, seeds 1..N (chaos)")
 		chaosJSON   = flag.String("chaosjson", "BENCH_chaos.json", "JSON output file for the chaos experiment (empty disables)")
+		ynRecords   = flag.Uint64("ynrecords", 2000, "YCSB working-set records, all preloaded (ycsbnet)")
+		ynOps       = flag.Int("ynops", 4000, "operations per mix (ycsbnet)")
+		ynClients   = flag.Int("ynclients", 4, "client connections (ycsbnet)")
+		ynCacheMB   = flag.Int("yncachemb", 8, "server read-cache capacity in MB (ycsbnet)")
+		ynReaders   = flag.Int("ynreaders", 8, "goroutines in the concurrent-reader microbench (ycsbnet)")
+		ynReads     = flag.Int("ynreadsperarm", 2000, "reads per microbench arm (ycsbnet)")
+		ynJSON      = flag.String("ynjson", "BENCH_ycsbnet.json", "JSON output file for the ycsbnet experiment (empty disables)")
+		minReadSpd  = flag.Float64("minreadspeedup", 0, "fail if the concurrent-reader speedup vs the global-lock baseline falls below this ratio (0 disables the gate)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|traceoverhead|hotpath|chaos|all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|traceoverhead|hotpath|chaos|ycsbnet|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -79,7 +91,10 @@ func main() {
 	to := overheadFlags{batches: *toBatches, trials: *toTrials, json: *toJSON, maxPct: *maxTraceOH}
 	hot := hotpathFlags{batches: *hotBatches, trials: *hotTrials, json: *hotJSON, minRatio: *minHotRatio}
 	ch := chaosFlags{seeds: *chaosSeeds, json: *chaosJSON}
-	if err := run(exp, scale, *netBatches, *netJSON, mo, to, hot, ch); err != nil {
+	yn := ycsbnetFlags{records: *ynRecords, ops: *ynOps, clients: *ynClients,
+		cacheBytes: int64(*ynCacheMB) << 20, readers: *ynReaders, readsPerArm: *ynReads,
+		json: *ynJSON, minSpeedup: *minReadSpd}
+	if err := run(exp, scale, *netBatches, *netJSON, mo, to, hot, ch, yn); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(1)
 	}
@@ -111,7 +126,20 @@ type chaosFlags struct {
 	json  string
 }
 
-func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to overheadFlags, hot hotpathFlags, ch chaosFlags) error {
+// ycsbnetFlags carries the ycsbnet experiment's knobs; its gate is the
+// concurrent-reader speedup over the global-lock baseline.
+type ycsbnetFlags struct {
+	records     uint64
+	ops         int
+	clients     int
+	cacheBytes  int64
+	readers     int
+	readsPerArm int
+	json        string
+	minSpeedup  float64 // >0: exit nonzero if serial/concurrent falls below
+}
+
+func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to overheadFlags, hot hotpathFlags, ch chaosFlags, yn ycsbnetFlags) error {
 	needTrace := exp == "fig9" || exp == "table2" || exp == "all"
 	var tr *tpcc.Trace
 	if needTrace {
@@ -233,6 +261,25 @@ func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to
 		}
 		if best := max(res.SpeedupPooled, res.SpeedupCoalesced); hot.minRatio > 0 && best < hot.minRatio {
 			return fmt.Errorf("hotpath speedup %.2fx below minimum %.2fx", best, hot.minRatio)
+		}
+	case "ycsbnet":
+		rows, err := harness.RunYCSBNet(yn.records, yn.ops, yn.clients, yn.cacheBytes)
+		if err != nil {
+			return err
+		}
+		sp, err := harness.RunReadSpeedup(yn.readers, yn.readsPerArm)
+		if err != nil {
+			return err
+		}
+		harness.PrintYCSBNet(os.Stdout, rows, sp)
+		if yn.json != "" {
+			if err := harness.WriteYCSBNetJSON(yn.json, yn.records, yn.clients, yn.cacheBytes, rows, sp); err != nil {
+				return err
+			}
+			fmt.Printf("rows written to %s\n", yn.json)
+		}
+		if yn.minSpeedup > 0 && sp.Speedup < yn.minSpeedup {
+			return fmt.Errorf("concurrent-reader speedup %.2fx below minimum %.2fx", sp.Speedup, yn.minSpeedup)
 		}
 	case "chaos":
 		rep, err := harness.RunChaos(ch.seeds, func(format string, args ...any) {

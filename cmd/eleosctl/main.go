@@ -12,6 +12,7 @@
 //	eleosctl -img dev.img gc [-channel N]
 //	eleosctl -img dev.img checkpoint
 //	eleosctl -img dev.img stats [-json]
+//	eleosctl get -addr HOST:PORT <lpid> [...]
 //
 // Every invocation recovers the controller from the image (Open — the
 // paper's §VIII recovery path runs each time), applies the operation, and
@@ -68,6 +69,9 @@ commands:
   session-status -sid S               show a session's highest applied WSN
   trace [-addr HOST:PORT] [-chrome F] dump a running eleosd's flight recorder
                                       (text timeline, or Chrome trace_event JSON with -chrome)
+  get [-addr HOST:PORT] [-raw] <lpid> ...
+                                      read pages from a running eleosd (one lpid uses
+                                      read_page; several use one read_batch round trip)
 `)
 }
 
@@ -80,6 +84,11 @@ func run(img string, args []string) error {
 		// Network command: talks to a running eleosd, never touches the
 		// image file.
 		return doTrace(rest)
+	}
+	if cmd == "get" {
+		// Network command: read pages from a running eleosd over the
+		// read_page/read_batch wire protocol.
+		return doGet(rest)
 	}
 	dev, err := flash.LoadFile(img, flash.Latency{})
 	if err != nil {
@@ -183,6 +192,79 @@ func doTrace(args []string) error {
 		return err
 	}
 	return renderTrace(os.Stdout, d, *chrome)
+}
+
+// doGet reads pages from a running eleosd: one LPID uses read_page, two
+// or more use a single read_batch round trip (scatter-gathered across
+// the server's flash channels). Unmapped LPIDs are reported per page,
+// not as a command failure.
+func doGet(args []string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	addrFlag := fs.String("addr", "127.0.0.1:9420", "eleosd address")
+	raw := fs.Bool("raw", false, "write the raw page bytes of a single LPID to stdout")
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("get needs lpid arguments")
+	}
+	var lpids []addr.LPID
+	for _, a := range fs.Args() {
+		lpid, err := strconv.ParseUint(a, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad lpid %q: %v", a, err)
+		}
+		lpids = append(lpids, addr.LPID(lpid))
+	}
+	cl, err := client.Dial(*addrFlag, client.Options{
+		DialTimeout:    3 * time.Second,
+		RequestTimeout: 10 * time.Second,
+		MaxAttempts:    3,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	var pages [][]byte
+	if len(lpids) == 1 {
+		data, err := cl.Read(lpids[0])
+		switch {
+		case core.IsNotFound(err):
+			pages = [][]byte{nil}
+		case err != nil:
+			return err
+		default:
+			pages = [][]byte{data}
+		}
+	} else {
+		if pages, err = cl.ReadBatch(lpids); err != nil {
+			return err
+		}
+	}
+	return renderGet(os.Stdout, lpids, pages, *raw)
+}
+
+// renderGet prints fetched pages; split from doGet so tests can feed
+// fixture pages without a server.
+func renderGet(stdout io.Writer, lpids []addr.LPID, pages [][]byte, raw bool) error {
+	if raw {
+		if len(lpids) != 1 {
+			return fmt.Errorf("-raw needs exactly one lpid")
+		}
+		if pages[0] == nil {
+			return fmt.Errorf("lpid %d not found", lpids[0])
+		}
+		_, err := stdout.Write(pages[0])
+		return err
+	}
+	for i, lpid := range lpids {
+		if pages[i] == nil {
+			fmt.Fprintf(stdout, "lpid %d: not found\n", lpid)
+			continue
+		}
+		fmt.Fprintf(stdout, "lpid %d (%d bytes stored): %q\n",
+			lpid, len(pages[i]), strings.TrimRight(string(pages[i]), "\x00"))
+	}
+	return nil
 }
 
 // renderTrace writes the dump in the selected format; split from doTrace

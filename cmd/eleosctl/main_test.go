@@ -25,8 +25,16 @@ func fixtureSnapshot() metrics.Snapshot {
 	reg.Counter("core.write.pages").Add(512)
 	reg.Counter("flash.programs").Add(300)
 	reg.Counter("wal.appends").Add(900)
+	reg.Counter("read.reads").Add(2048)
+	reg.Counter("read.cache_hits").Add(1500)
+	reg.Counter("read.flash_loads").Add(548)
 	reg.Gauge("server.active_conns").Set(3)
 	reg.Gauge("flash.chan0.queue_depth").Set(-1)
+	reg.Gauge("read.cached_bytes").Set(262144)
+	rh := reg.Histogram("read.ns", metrics.DurationBounds())
+	for _, v := range []int64{800, 1200, 4500, 250_000} {
+		rh.Observe(v)
+	}
 	h := reg.Histogram("core.write.init_ns", metrics.DurationBounds())
 	for _, v := range []int64{1500, 2100, 9000, 60_000, 1 << 45} {
 		h.Observe(v)

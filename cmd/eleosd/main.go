@@ -48,16 +48,17 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "HTTP debug listen address (pprof, /metrics, /debug/trace; empty: off)")
 		slowBatch  = flag.Duration("slow-batch", 0, "log flush_batch requests slower than this with their trace breakdown (0: off)")
 		coalesce   = flag.Duration("coalesce", 0, "merge small concurrent flushes into one controller batch, waiting up to this window (0: off)")
+		readCache  = flag.Int("read-cache-mb", 0, "byte-sized tiered read cache capacity in MB (0: off)")
 	)
 	flag.Parse()
-	if err := run(*addr, *img, *format, *channels, *eblocks, *maxConns, *inflightMB, *drainSecs, *debugAddr, *slowBatch, *coalesce); err != nil {
+	if err := run(*addr, *img, *format, *channels, *eblocks, *maxConns, *inflightMB, *drainSecs, *readCache, *debugAddr, *slowBatch, *coalesce); err != nil {
 		fmt.Fprintf(os.Stderr, "eleosd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, img string, format bool, channels, eblocks, maxConns, inflightMB, drainSecs int, debugAddr string, slowBatch, coalesce time.Duration) error {
-	dev, ctl, err := openDevice(img, format, channels, eblocks)
+func run(addr, img string, format bool, channels, eblocks, maxConns, inflightMB, drainSecs, readCacheMB int, debugAddr string, slowBatch, coalesce time.Duration) error {
+	dev, ctl, err := openDevice(img, format, channels, eblocks, readCacheMB)
 	if err != nil {
 		return err
 	}
@@ -116,9 +117,10 @@ func run(addr, img string, format bool, channels, eblocks, maxConns, inflightMB,
 	return nil
 }
 
-func openDevice(img string, format bool, channels, eblocks int) (*flash.Device, *core.Controller, error) {
+func openDevice(img string, format bool, channels, eblocks, readCacheMB int) (*flash.Device, *core.Controller, error) {
 	cfg := core.DefaultConfig()
 	cfg.AutoCheckpointLogBytes = 16 << 20
+	cfg.ReadCacheBytes = int64(readCacheMB) << 20
 	if img != "" && !format {
 		dev, err := flash.LoadFile(img, flash.TypicalNANDLatency())
 		if err != nil {

@@ -18,6 +18,9 @@
 //     commit-force window (the PR 4 data-loss bug class).
 //  5. Exact fault accounting — the device counted exactly the injected
 //     program/erase faults, and the metrics registry agrees.
+//  6. Cache coherence — every content check reads twice; with the tiered
+//     read cache enabled the second read is served from cache and must
+//     agree byte-for-byte with the first (flash-backed) read.
 package invariant
 
 import (
@@ -178,6 +181,14 @@ func Check(s Store, e Expect) []string {
 }
 
 func checkPage(s Store, p Page) string {
+	// Read twice: on a controller with the tiered read cache enabled the
+	// first read fills (or already hits) the cache and the second is
+	// near-certainly served from it, so the pair checks cache coherence —
+	// a cached entry that survived an install or GC relocation it should
+	// not have shows up as the second read disagreeing with the first, or
+	// with the acknowledged bytes. On cacheless controllers both reads
+	// take the flash path and the check degrades to plain content
+	// integrity.
 	got, err := s.Read(p.LPID)
 	if err != nil {
 		return fmt.Sprintf("content: Read(%d): %v", p.LPID, err)
@@ -192,6 +203,13 @@ func checkPage(s Store, p Page) string {
 		if b != 0 {
 			return fmt.Sprintf("content: Read(%d) padding not zero", p.LPID)
 		}
+	}
+	again, err := s.Read(p.LPID)
+	if err != nil {
+		return fmt.Sprintf("content: cached re-Read(%d): %v", p.LPID, err)
+	}
+	if !bytes.Equal(again, got) {
+		return fmt.Sprintf("content: cached re-Read(%d) disagrees with flash read", p.LPID)
 	}
 	return ""
 }

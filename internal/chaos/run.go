@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -45,6 +46,7 @@ type Result struct {
 	Recoveries         int
 	Acked              int64
 	MediaAborts        int64 // client-observed ErrWriteFailed returns
+	VerifiedReads      int64 // reader-verified byte-exact reads of acked pages
 
 	// Trace is the final controller's flight-recorder dump, captured only
 	// on failure so the doomed schedule can be rendered as a Chrome trace.
@@ -67,6 +69,10 @@ func chaosGeometry() flash.Geometry {
 func chaosConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.AutoCheckpointLogBytes = 8 << 20
+	// The tiered read cache runs through the whole corpus: every reader
+	// verification and every invariant content check below exercises
+	// cache coherence under faults, kills, and crash→recover loops.
+	cfg.ReadCacheBytes = 4 << 20
 	return cfg
 }
 
@@ -257,6 +263,17 @@ func Run(s Schedule, opts Options) Result {
 		proxies[w] = px
 	}
 
+	readerProxies := make([]*Proxy, s.Writers)
+	for w := range readerProxies {
+		px, perr := NewProxy(co.address())
+		if perr != nil {
+			res.Violations = []string{fmt.Sprintf("harness: reader proxy: %v", perr)}
+			return res
+		}
+		defer px.Close()
+		readerProxies[w] = px
+	}
+
 	killAt := make([]map[uint64]bool, s.Writers)
 	for i := range killAt {
 		killAt[i] = map[uint64]bool{}
@@ -269,7 +286,7 @@ func Run(s Schedule, opts Options) Result {
 		acked       atomic.Int64
 		mediaAborts atomic.Int64
 		sids        = make([]uint64, s.Writers)
-		ackedHigh   = make([]uint64, s.Writers)
+		ackedHigh   = make([]atomic.Uint64, s.Writers)
 	)
 
 	// Crash coordinator: fires each crash→recover loop at its exact global
@@ -296,6 +313,9 @@ func Run(s Schedule, opts Options) Result {
 				return
 			}
 			for _, px := range proxies {
+				px.SetBackend(co.address())
+			}
+			for _, px := range readerProxies {
 				px.SetBackend(co.address())
 			}
 		}
@@ -332,6 +352,27 @@ func Run(s Schedule, opts Options) Result {
 		}
 	}()
 
+	// Reader goroutines (one per writer) race the whole fault schedule:
+	// each continuously re-reads pages its writer has already seen acked —
+	// unique pages are immutable once acknowledged, so their bytes are
+	// pinned for the rest of the run, through connection kills, media
+	// faults, and crash→recover loops. The readers dial their own proxies
+	// (repointed on recovery like the writers') and go through the wire
+	// read path and the tiered cache, so a stale cache entry or a torn
+	// concurrent read surfaces as a content violation, not a flake.
+	var verifiedReads atomic.Int64
+	stopRead := make(chan struct{})
+	var rwg sync.WaitGroup
+	for w := 0; w < s.Writers; w++ {
+		rwg.Add(1)
+		go func(w int) {
+			defer rwg.Done()
+			if rerr := runReader(s, w, readerProxies[w], stopRead, deadline, &ackedHigh[w], &verifiedReads); rerr != nil {
+				fail("reader %d: %v", w, rerr)
+			}
+		}(w)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < s.Writers; w++ {
 		wg.Add(1)
@@ -343,6 +384,8 @@ func Run(s Schedule, opts Options) Result {
 		}(w)
 	}
 	wg.Wait()
+	close(stopRead)
+	rwg.Wait()
 
 	// All thresholds are ≤ total acked batches, so once the writers are
 	// done the coordinator finishes its remaining loops promptly; only a
@@ -389,6 +432,7 @@ func Run(s Schedule, opts Options) Result {
 	co.mu.Unlock()
 	res.Acked = acked.Load()
 	res.MediaAborts = mediaAborts.Load()
+	res.VerifiedReads = verifiedReads.Load()
 
 	exp := invariant.Expect{
 		ProgramFaults:        res.FiredProgramFaults,
@@ -406,7 +450,7 @@ func Run(s Schedule, opts Options) Result {
 		exp.MinPrograms = int64(s.Writers * s.Batches)
 	}
 	for w := 0; w < s.Writers; w++ {
-		high := ackedHigh[w]
+		high := ackedHigh[w].Load()
 		if high == 0 {
 			continue // writer failed before its first ack; harness already red
 		}
@@ -443,7 +487,7 @@ func Run(s Schedule, opts Options) Result {
 // its scheduled connection kills, retrying every failure with the same
 // WSN (the retry contract WSN dedup makes idempotent) until the deadline.
 func runWriter(s Schedule, w int, px *Proxy, killAt map[uint64]bool, deadline time.Time,
-	acked, mediaAborts *atomic.Int64, sidOut, ackedOut *uint64) error {
+	acked, mediaAborts *atomic.Int64, sidOut *uint64, ackedOut *atomic.Uint64) error {
 	copts := client.Options{
 		DialTimeout:    2 * time.Second,
 		RequestTimeout: 5 * time.Second,
@@ -489,8 +533,110 @@ func runWriter(s Schedule, w int, px *Proxy, killAt map[uint64]bool, deadline ti
 			}
 			time.Sleep(2 * time.Millisecond)
 		}
-		*ackedOut = wsn
+		ackedOut.Store(wsn)
 		acked.Add(1)
 	}
 	return nil
+}
+
+// runReader continuously verifies its writer's acknowledged pages over
+// the wire while the schedule's faults fire. Unique pages are immutable
+// once acked, so for any wsn ≤ the writer's published high-water mark
+// the expected bytes are fully determined; a mismatch is a coherence
+// violation (stale cache, torn concurrent read, or lost acked write),
+// while connection kills, crash windows, and draining servers are
+// tolerated churn the retry loop rides out. Every fourth verification
+// goes through read_batch so the scatter-gather path runs under faults
+// too.
+func runReader(s Schedule, w int, px *Proxy, stop <-chan struct{}, deadline time.Time,
+	high *atomic.Uint64, verified *atomic.Int64) error {
+	copts := client.Options{
+		DialTimeout:    2 * time.Second,
+		RequestTimeout: 5 * time.Second,
+		MaxAttempts:    3,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+		Seed:           s.Seed*2000 + int64(w) + 1,
+	}
+	cl, err := client.Dial(px.Addr(), copts)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(s.Seed*3000 + int64(w)))
+	check := func(lpid addr.LPID, got []byte, want []byte) error {
+		if len(got) != addr.AlignUp(len(want)) {
+			return fmt.Errorf("read %d: length %d, want aligned %d", lpid, len(got), addr.AlignUp(len(want)))
+		}
+		if !bytes.Equal(got[:len(want)], want) {
+			return fmt.Errorf("read %d: content differs from acknowledged version", lpid)
+		}
+		return nil
+	}
+	for n := 0; ; n++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		h := high.Load()
+		if h == 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if n%4 == 3 {
+			// One read_batch over up to 4 distinct acked pages.
+			count := 4
+			if int(h)*s.Pages < count {
+				count = int(h) * s.Pages
+			}
+			lpids := make([]addr.LPID, 0, count)
+			wants := make([][]byte, 0, count)
+			for len(lpids) < count {
+				wsn := uint64(rng.Intn(int(h))) + 1
+				i := rng.Intn(s.Pages)
+				lpid := uniqueLPID(w, wsn, i)
+				lpids = append(lpids, lpid)
+				wants = append(wants, pageData(lpid, wsn, pageSize(w, wsn, i)))
+			}
+			pages, rerr := cl.ReadBatch(lpids)
+			if rerr != nil {
+				if errors.Is(rerr, core.ErrNotFound) {
+					return fmt.Errorf("read_batch: acked pages reported missing: %w", rerr)
+				}
+				time.Sleep(time.Millisecond) // kill/crash churn; retry
+				continue
+			}
+			for i, got := range pages {
+				if got == nil {
+					return fmt.Errorf("read_batch: acked page %d missing", lpids[i])
+				}
+				if cerr := check(lpids[i], got, wants[i]); cerr != nil {
+					return cerr
+				}
+				verified.Add(1)
+			}
+			continue
+		}
+		wsn := uint64(rng.Intn(int(h))) + 1
+		i := rng.Intn(s.Pages)
+		lpid := uniqueLPID(w, wsn, i)
+		want := pageData(lpid, wsn, pageSize(w, wsn, i))
+		got, rerr := cl.Read(lpid)
+		if rerr != nil {
+			if errors.Is(rerr, core.ErrNotFound) {
+				return fmt.Errorf("read: acked page %d not found: %w", lpid, rerr)
+			}
+			time.Sleep(time.Millisecond) // kill/crash churn; retry
+			continue
+		}
+		if cerr := check(lpid, got, want); cerr != nil {
+			return cerr
+		}
+		verified.Add(1)
+	}
 }

@@ -235,6 +235,29 @@ func (c *Client) Read(lpid addr.LPID) ([]byte, error) {
 	return c.callLocked(netproto.MsgRead, c.headBuf, nil, netproto.MsgRespRead, true)
 }
 
+// ReadBatch fetches many LPAGEs in one round trip; the server
+// scatter-gathers them across flash channels. The result is indexed
+// like lpids, with nil entries for LPIDs that are not mapped —
+// per-page absence is data, not an error. Reads are idempotent and
+// always retried across reconnects.
+func (c *Client) ReadBatch(lpids []addr.LPID) ([][]byte, error) {
+	if len(lpids) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lp64 := make([]uint64, len(lpids))
+	for i, lpid := range lpids {
+		lp64[i] = uint64(lpid)
+	}
+	c.batchBuf = netproto.AppendReadBatchBody(c.batchBuf[:0], lp64)
+	rbody, err := c.callLocked(netproto.MsgReadBatch, c.batchBuf, nil, netproto.MsgRespReadBatch, true)
+	if err != nil {
+		return nil, err
+	}
+	return netproto.ParseReadBatchResp(rbody)
+}
+
 // ControllerStats fetches the server's controller statistics.
 func (c *Client) ControllerStats() (core.Stats, error) {
 	var st core.Stats

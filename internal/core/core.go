@@ -29,6 +29,7 @@ import (
 	"eleos/internal/mapping"
 	"eleos/internal/metrics"
 	"eleos/internal/provision"
+	"eleos/internal/readcache"
 	"eleos/internal/record"
 	"eleos/internal/session"
 	"eleos/internal/summary"
@@ -91,6 +92,18 @@ type Config struct {
 	// page — so truncation keeps pace with log growth (0 disables auto
 	// checkpointing). Values below a few WBLOCKs checkpoint every write.
 	AutoCheckpointLogBytes int
+	// ReadCacheBytes sizes the server-side read cache
+	// (internal/readcache) in bytes. 0 — the default — disables caching:
+	// every Read goes to flash, and the paper-fidelity read-amplification
+	// stats (Stats.ReadRBlocks) count exactly the media transfers the
+	// paper's §V model predicts. A caching controller still counts only
+	// real media transfers there, so warm workloads show ReadRBlocks ≪
+	// reads — that gap is the cache's proof of work.
+	ReadCacheBytes int64
+	// SerialReads forces the pre-concurrent read path that holds the
+	// global controller lock across the flash transfer. It exists only as
+	// the A/B baseline for the concurrent-reader benchmark; leave false.
+	SerialReads bool
 	// Metrics is the registry every layer (core, flash, wal) records
 	// into. Nil gets a private enabled registry; pass
 	// metrics.NewDisabled() to strip instrumentation entirely (the
@@ -255,12 +268,21 @@ type Controller struct {
 	inCheckpoint   bool
 
 	crashed     bool
+	crashedA    atomic.Bool // lock-free mirror of crashed for the cache-hit read path
 	crashPoints map[string]bool
 
 	stats Stats
 	reg   *metrics.Registry
 	met   coreMetrics
 	trc   *trace.Recorder
+
+	// rcache is the optional byte-budget read cache (nil when
+	// Config.ReadCacheBytes is 0). Coherence is the controller's job: the
+	// cache is invalidated on every user-page mapping install and GC
+	// relocation under c.mu, and crash→Open builds a fresh controller —
+	// and therefore a fresh, empty cache. Lock order: c.mu before the
+	// cache's internal mutex, never the reverse.
+	rcache *readcache.Cache
 }
 
 func newController(dev *flash.Device, cfg Config) (*Controller, error) {
@@ -303,6 +325,12 @@ func newController(dev *flash.Device, cfg Config) (*Controller, error) {
 		c.reg = metrics.New()
 	}
 	c.met = newCoreMetrics(c.reg)
+	if cfg.ReadCacheBytes > 0 {
+		c.rcache = readcache.New(readcache.Config{
+			CapacityBytes: cfg.ReadCacheBytes,
+			Metrics:       c.reg,
+		})
+	}
 	dev.SetMetrics(c.reg)
 	c.trc = cfg.Trace
 	if c.trc == nil {
@@ -380,6 +408,7 @@ func (c *Controller) Crash() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.crashed = true
+	c.crashedA.Store(true)
 	c.wsnCond.Broadcast()
 }
 
@@ -395,6 +424,7 @@ func (c *Controller) crashIf(point string) error {
 	if c.crashPoints[point] {
 		delete(c.crashPoints, point)
 		c.crashed = true
+		c.crashedA.Store(true)
 		c.wsnCond.Broadcast()
 		return fmt.Errorf("%w: at %q", ErrCrashed, point)
 	}

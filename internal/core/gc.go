@@ -208,7 +208,14 @@ func (c *Controller) currentAddrLocked(e summary.MetaEntry) (addr.PhysAddr, erro
 func (c *Controller) installRelocationLocked(e summary.MetaEntry, old, new addr.PhysAddr, lsn record.LSN) (bool, error) {
 	switch e.Type {
 	case addr.PageUser:
-		return c.mt.SetIf(e.LPID, old, new, lsn)
+		ok, err := c.mt.SetIf(e.LPID, old, new, lsn)
+		if ok {
+			// Relocation preserves content but retires the old address;
+			// invalidating keeps the cache's coherence rule uniform: any
+			// mapping change drops the entry and poisons in-flight fills.
+			c.invalidateRead(e.LPID)
+		}
+		return ok, err
 	case addr.PageMap:
 		return c.mt.SetPageAddrIf(int(e.LPID.TableIndex()), old, new, lsn), nil
 	case addr.PageSmallMap:

@@ -41,6 +41,17 @@ type coreMetrics struct {
 	checkpoints  *metrics.Counter
 	checkpointNS *metrics.Histogram
 
+	// Read-path instruments. reads counts every Read/ReadBatch page
+	// served (hits and misses alike); flashLoads counts only the pages
+	// that went to the media, so a warm cache shows flashLoads ≪ reads.
+	// readNS is the wall-clock service time of one page read, whichever
+	// way it was served.
+	reads          *metrics.Counter
+	readBatches    *metrics.Counter
+	readFlashLoads *metrics.Counter
+	readNotFound   *metrics.Counter
+	readNS         *metrics.Histogram
+
 	// eraseWhilePinned counts erases issued against an EBLOCK that a
 	// concurrent action still had inflight or pinned — the PR 4 data-loss
 	// bug class. It must stay zero; the chaos invariant checker asserts it.
@@ -72,6 +83,12 @@ func newCoreMetrics(reg *metrics.Registry) coreMetrics {
 
 		checkpoints:  reg.Counter("core.checkpoints"),
 		checkpointNS: reg.Histogram("core.checkpoint_ns", metrics.DurationBounds()),
+
+		reads:          reg.Counter("read.reads"),
+		readBatches:    reg.Counter("read.batches"),
+		readFlashLoads: reg.Counter("read.flash_loads"),
+		readNotFound:   reg.Counter("read.not_found"),
+		readNS:         reg.Histogram("read.ns", metrics.DurationBounds()),
 
 		eraseWhilePinned: reg.Counter("core.erase_while_pinned"),
 	}

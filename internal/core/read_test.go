@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"eleos/internal/addr"
+	"eleos/internal/flash"
+)
+
+func cachedConfig() Config {
+	cfg := testConfig()
+	cfg.ReadCacheBytes = 1 << 20
+	return cfg
+}
+
+func newFormattedCfg(t *testing.T, cfg Config) (*Controller, *flash.Device) {
+	t.Helper()
+	dev := flash.MustNewDevice(flash.SmallGeometry(), flash.Latency{})
+	c, err := Format(dev, cfg)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	return c, dev
+}
+
+func TestReadBatchScatterGather(t *testing.T) {
+	c, _ := newFormatted(t)
+	var pages []LPage
+	sizes := []int{100, 1920, 64, 4000, 777, 2048}
+	for i, sz := range sizes {
+		pages = append(pages, LPage{LPID: addr.LPID(i + 1), Data: pageContent(uint64(i+1), 1, sz)})
+	}
+	mustWrite(t, c, pages...)
+
+	lpids := []addr.LPID{3, 1, 99, 6, 2, 4, 5} // out of order, one unmapped
+	got, err := c.ReadBatch(lpids)
+	if err != nil {
+		t.Fatalf("ReadBatch: %v", err)
+	}
+	if len(got) != len(lpids) {
+		t.Fatalf("ReadBatch returned %d results, want %d", len(got), len(lpids))
+	}
+	if got[2] != nil {
+		t.Fatalf("unmapped LPID should yield nil, got %d bytes", len(got[2]))
+	}
+	for gi, lpid := range lpids {
+		if lpid == 99 {
+			continue
+		}
+		want := pageContent(uint64(lpid), 1, sizes[int(lpid)-1])
+		if !bytes.Equal(got[gi][:len(want)], want) {
+			t.Fatalf("ReadBatch entry for LPID %d differs", lpid)
+		}
+	}
+}
+
+func TestReadBatchEmptyAndAllMissing(t *testing.T) {
+	c, _ := newFormatted(t)
+	if got, err := c.ReadBatch(nil); err != nil || got != nil {
+		t.Fatalf("empty batch: got %v, %v", got, err)
+	}
+	got, err := c.ReadBatch([]addr.LPID{7, 8, 9})
+	if err != nil {
+		t.Fatalf("all-missing batch must not error: %v", err)
+	}
+	for i, d := range got {
+		if d != nil {
+			t.Fatalf("entry %d should be nil", i)
+		}
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		cfg := testConfig()
+		if cached {
+			name = "cached"
+			cfg = cachedConfig()
+		}
+		t.Run(name, func(t *testing.T) {
+			c, _ := newFormattedCfg(t, cfg)
+			const nPages = 32
+			for i := 1; i <= nPages; i++ {
+				mustWrite(t, c, LPage{LPID: addr.LPID(i), Data: pageContent(uint64(i), 1, 500+i)})
+			}
+			var wg, wwg sync.WaitGroup
+			stop := make(chan struct{})
+			// Writers keep overwriting a disjoint LPID range to force
+			// GC/install churn under the readers.
+			wwg.Add(1)
+			go func() {
+				defer wwg.Done()
+				v := uint64(2)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for i := nPages + 1; i <= nPages+8; i++ {
+						c.WriteBatch(0, 0, []LPage{{LPID: addr.LPID(i), Data: pageContent(uint64(i), v, 900)}})
+					}
+					v++
+				}
+			}()
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 400; i++ {
+						lpid := addr.LPID(1 + (w*7+i)%nPages)
+						want := pageContent(uint64(lpid), 1, 500+int(lpid))
+						got, err := c.Read(lpid)
+						if err != nil {
+							t.Errorf("Read(%d): %v", lpid, err)
+							return
+						}
+						if !bytes.Equal(got[:len(want)], want) {
+							t.Errorf("Read(%d) content differs", lpid)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait() // readers finish
+			close(stop)
+			wwg.Wait()
+			if n := c.PinnedEBlocks(); n != 0 {
+				t.Fatalf("reader pins leaked: %d", n)
+			}
+		})
+	}
+}
+
+func TestCacheHitsSkipFlash(t *testing.T) {
+	c, dev := newFormattedCfg(t, cachedConfig())
+	data := pageContent(1, 1, 3000)
+	mustWrite(t, c, LPage{LPID: 1, Data: data})
+
+	if _, err := c.Read(1); err != nil { // cold: goes to flash
+		t.Fatalf("Read: %v", err)
+	}
+	before := dev.Stats().RBlocksRead
+	for i := 0; i < 50; i++ {
+		got, err := c.Read(1)
+		if err != nil || !bytes.Equal(got[:len(data)], data) {
+			t.Fatalf("warm Read: %v", err)
+		}
+	}
+	if after := dev.Stats().RBlocksRead; after != before {
+		t.Fatalf("warm reads touched flash: %d extra RBLOCKs", after-before)
+	}
+	snap := c.MetricsSnapshot()
+	if snap.Counter("read.cache_hits") < 50 {
+		t.Fatalf("cache_hits = %d, want >= 50", snap.Counter("read.cache_hits"))
+	}
+}
+
+func TestCacheInvalidatedOnOverwrite(t *testing.T) {
+	c, _ := newFormattedCfg(t, cachedConfig())
+	v1 := pageContent(1, 1, 1000)
+	v2 := pageContent(1, 2, 1200)
+	mustWrite(t, c, LPage{LPID: 1, Data: v1})
+	if _, err := c.Read(1); err != nil {
+		t.Fatalf("Read v1: %v", err)
+	}
+	mustWrite(t, c, LPage{LPID: 1, Data: v2}) // install must invalidate
+	got, err := c.Read(1)
+	if err != nil {
+		t.Fatalf("Read v2: %v", err)
+	}
+	if !bytes.Equal(got[:len(v2)], v2) {
+		t.Fatalf("read returned stale bytes after overwrite")
+	}
+}
+
+func TestCacheCoherentAcrossGC(t *testing.T) {
+	c, _ := newFormattedCfg(t, cachedConfig())
+	// Warm the cache, then churn overwrites until GC relocates, then
+	// verify every surviving page re-reads exactly.
+	const keep = 8
+	for i := 1; i <= keep; i++ {
+		mustWrite(t, c, LPage{LPID: addr.LPID(i), Data: pageContent(uint64(i), 1, 2000)})
+		if _, err := c.Read(addr.LPID(i)); err != nil {
+			t.Fatalf("warm Read(%d): %v", i, err)
+		}
+	}
+	for v := uint64(1); v < 40; v++ {
+		for i := 0; i < 8; i++ {
+			lpid := addr.LPID(100 + i)
+			if err := c.WriteBatch(0, 0, []LPage{{LPID: lpid, Data: pageContent(uint64(lpid), v, 8000)}}); err != nil {
+				t.Fatalf("churn write: %v", err)
+			}
+		}
+	}
+	if c.Stats().GCEBlocksFreed == 0 {
+		t.Skipf("churn did not trigger GC in this geometry")
+	}
+	for i := 1; i <= keep; i++ {
+		want := pageContent(uint64(i), 1, 2000)
+		got, err := c.Read(addr.LPID(i))
+		if err != nil {
+			t.Fatalf("post-GC Read(%d): %v", i, err)
+		}
+		if !bytes.Equal(got[:len(want)], want) {
+			t.Fatalf("post-GC Read(%d) content differs", i)
+		}
+	}
+}
+
+func TestLengthExistsShortLockAndTypedErrors(t *testing.T) {
+	c, _ := newFormatted(t)
+	data := pageContent(5, 1, 999)
+	mustWrite(t, c, LPage{LPID: 5, Data: data})
+
+	n, err := c.Length(5)
+	if err != nil || n != addr.AlignUp(len(data)) {
+		t.Fatalf("Length = %d, %v", n, err)
+	}
+	if _, err := c.Length(6); !errors.Is(err, ErrNotFound) || !IsNotFound(err) {
+		t.Fatalf("Length(unmapped) err = %v, want ErrNotFound", err)
+	}
+	if _, err := c.Read(6); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read(unmapped) err = %v, want ErrNotFound", err)
+	}
+	ok, err := c.Exists(5)
+	if err != nil || !ok {
+		t.Fatalf("Exists(5) = %v, %v", ok, err)
+	}
+	ok, err = c.Exists(6)
+	if err != nil || ok {
+		t.Fatalf("Exists(6) = %v, %v (want false, nil)", ok, err)
+	}
+}
+
+func TestReadAfterCrashRejected(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		cfg := testConfig()
+		if cached {
+			cfg = cachedConfig()
+		}
+		c, _ := newFormattedCfg(t, cfg)
+		mustWrite(t, c, LPage{LPID: 1, Data: pageContent(1, 1, 100)})
+		if _, err := c.Read(1); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		c.Crash()
+		if _, err := c.Read(1); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("cached=%v: Read after crash err = %v, want ErrCrashed", cached, err)
+		}
+		if _, err := c.ReadBatch([]addr.LPID{1}); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("cached=%v: ReadBatch after crash err = %v, want ErrCrashed", cached, err)
+		}
+	}
+}
+
+func TestSerialReadsBaselineStillCorrect(t *testing.T) {
+	cfg := testConfig()
+	cfg.SerialReads = true
+	c, _ := newFormattedCfg(t, cfg)
+	data := pageContent(3, 1, 1234)
+	mustWrite(t, c, LPage{LPID: 3, Data: data})
+	got, err := c.Read(3)
+	if err != nil || !bytes.Equal(got[:len(data)], data) {
+		t.Fatalf("serial Read: %v", err)
+	}
+}

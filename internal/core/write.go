@@ -401,6 +401,10 @@ func (c *Controller) writeUser(a *action) error {
 		if err := c.mt.Set(pg.LPID, pg.Addr, a.lsns[i]); err != nil {
 			return err
 		}
+		// Mapping install under c.mu: drop any cached copy and poison
+		// in-flight fills so the read cache can never serve pre-install
+		// bytes (see internal/readcache).
+		c.invalidateRead(pg.LPID)
 		if old.IsValid() {
 			garbage = append(garbage, record.AddrPair{LPID: pg.LPID, Addr: old})
 			if err := c.st.AddAvail(old.Channel(), old.EBlock(), old.Length(), a.lsns[i]); err != nil {
@@ -478,6 +482,7 @@ func (c *Controller) forceCommitLocked(id uint64) error {
 		return ErrCrashed
 	}
 	c.crashed = true
+	c.crashedA.Store(true)
 	c.wsnCond.Broadcast()
 	delete(c.active, id)
 	c.stats.AbortedActions++

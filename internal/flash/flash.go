@@ -751,6 +751,9 @@ type Batch struct {
 type batchSeg struct {
 	b    *Batch
 	cmds []BatchCmd
+	// A segment carries either programs (above) or reads (below), never both.
+	rb    *ReadBatch
+	rcmds []ReadCmd
 }
 
 // Wait blocks until all of the batch's commands have completed and returns
@@ -816,6 +819,14 @@ func (d *Device) runSegment(cmds []BatchCmd) (attempted int, failed [][2]int) {
 
 func (d *Device) workerLoop(q chan batchSeg) {
 	for seg := range q {
+		if seg.rb != nil {
+			d.runReadSegment(seg.rb, seg.rcmds)
+			if m := d.met.Load(); m != nil && len(seg.rcmds) > 0 {
+				m.queueDepth[seg.rcmds[0].Channel].Add(-int64(len(seg.rcmds)))
+			}
+			seg.rb.finish()
+			continue
+		}
 		attempted, failed := d.runSegment(seg.cmds)
 		if m := d.met.Load(); m != nil && len(seg.cmds) > 0 {
 			m.queueDepth[seg.cmds[0].Channel].Add(-int64(len(seg.cmds)))
@@ -916,6 +927,121 @@ func (d *Device) SubmitBatch(cmds []BatchCmd) *Batch {
 		q <- batchSeg{b: b, cmds: seg}
 	}
 	return b
+}
+
+// ReadCmd is one extent read destined for a channel's submission queue.
+// Index names the result slot in the owning ReadBatch, so callers can
+// scatter commands across channels and still collect results in their
+// original order.
+type ReadCmd struct {
+	Channel int
+	EBlock  int
+	Offset  int
+	Length  int
+	Index   int
+}
+
+// ReadResult is the outcome of one ReadCmd: the extent bytes, the number
+// of RBLOCKs transferred (read-amplification accounting), and any media
+// error.
+type ReadResult struct {
+	Data    []byte
+	RBlocks int
+	Err     error
+}
+
+// ReadBatch tracks an in-flight SubmitReads until every queued command
+// has completed.
+type ReadBatch struct {
+	mu      sync.Mutex
+	done    sync.Cond
+	pending int
+	results []ReadResult
+}
+
+// Wait blocks until all of the batch's reads have completed and returns
+// the results indexed by each command's Index. The returned slice is
+// owned by the caller once Wait returns.
+func (rb *ReadBatch) Wait() []ReadResult {
+	rb.mu.Lock()
+	for rb.pending > 0 {
+		rb.done.Wait()
+	}
+	res := rb.results
+	rb.mu.Unlock()
+	return res
+}
+
+func (rb *ReadBatch) finish() {
+	rb.mu.Lock()
+	if rb.pending--; rb.pending == 0 {
+		rb.done.Broadcast()
+	}
+	rb.mu.Unlock()
+}
+
+// runReadSegment executes one channel's reads in order. Each command
+// writes only its own result slot, so segments on different channels
+// never race; Wait's lock acquisition orders the writes before the
+// caller's reads.
+func (d *Device) runReadSegment(rb *ReadBatch, cmds []ReadCmd) {
+	for _, c := range cmds {
+		data, nR, err := d.ReadExtent(c.Channel, c.EBlock, c.Offset, c.Length)
+		rb.results[c.Index] = ReadResult{Data: data, RBlocks: nR, Err: err}
+	}
+}
+
+// SubmitReads queues extent reads onto the per-channel workers — the read
+// twin of SubmitBatch — and returns a handle to wait on. n is the number
+// of result slots; every command's Index must be in [0, n). Commands for
+// the same channel execute in slice order; different channels execute
+// concurrently in wall-clock time, which is what makes a multi-channel
+// ReadBatch scatter-gather rather than a serial loop. A closed device
+// runs the reads inline in the caller's goroutine.
+func (d *Device) SubmitReads(n int, cmds []ReadCmd) *ReadBatch {
+	rb := &ReadBatch{results: make([]ReadResult, n)}
+	rb.done.L = &rb.mu
+	if len(cmds) == 0 {
+		return rb
+	}
+	// Counting scatter into one backing array, as in SubmitBatch.
+	counts := make([]int, d.geo.Channels)
+	for _, c := range cmds {
+		counts[c.Channel]++
+	}
+	backing := make([]ReadCmd, len(cmds))
+	next := make([]int, d.geo.Channels)
+	sum := 0
+	for ch, cnt := range counts {
+		next[ch] = sum
+		sum += cnt
+		if cnt > 0 {
+			rb.pending++
+		}
+	}
+	for _, c := range cmds {
+		backing[next[c.Channel]] = c
+		next[c.Channel]++
+	}
+	m := d.met.Load()
+	for ch, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		seg := backing[next[ch]-cnt : next[ch]]
+		q := d.queueFor(ch)
+		if q == nil {
+			// Closed device: run inline.
+			d.runReadSegment(rb, seg)
+			rb.finish()
+			continue
+		}
+		if m != nil {
+			m.queueDepth[ch].Add(int64(cnt))
+		}
+		q <- batchSeg{rb: rb, rcmds: seg}
+	}
+	return rb
 }
 
 // Close stops the per-channel worker goroutines. Callers must have waited

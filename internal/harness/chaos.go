@@ -32,6 +32,7 @@ type ChaosRow struct {
 	Recoveries    int
 	Acked         int64
 	MediaAborts   int64
+	VerifiedReads int64
 	Elapsed       time.Duration
 	Violations    []string // empty = passed
 }
@@ -47,6 +48,7 @@ type ChaosReport struct {
 	Kills         int
 	Recoveries    int
 	Acked         int64
+	VerifiedReads int64
 	KindCoverage  [5]int // KindCoverage[k] = schedules composing exactly k fault kinds
 	Elapsed       time.Duration
 }
@@ -80,6 +82,7 @@ func RunChaos(seeds int, logf func(format string, args ...any)) (ChaosReport, er
 			Recoveries:    res.Recoveries,
 			Acked:         res.Acked,
 			MediaAborts:   res.MediaAborts,
+			VerifiedReads: res.VerifiedReads,
 			Elapsed:       time.Since(t0),
 			Violations:    res.Violations,
 		}
@@ -96,11 +99,12 @@ func RunChaos(seeds int, logf func(format string, args ...any)) (ChaosReport, er
 		rep.Kills += res.Kills
 		rep.Recoveries += res.Recoveries
 		rep.Acked += res.Acked
+		rep.VerifiedReads += res.VerifiedReads
 		rep.KindCoverage[s.FaultKinds()]++
 		if logf != nil {
-			logf("seed %d: %dw×%db kinds=%d pfault=%d efault=%d kills=%d recov=%d acked=%d (%.1fs)",
+			logf("seed %d: %dw×%db kinds=%d pfault=%d efault=%d kills=%d recov=%d acked=%d reads=%d (%.1fs)",
 				seed, s.Writers, s.Batches, s.FaultKinds(), res.FiredProgramFaults,
-				res.FiredEraseFaults, res.Kills, res.Recoveries, res.Acked, row.Elapsed.Seconds())
+				res.FiredEraseFaults, res.Kills, res.Recoveries, res.Acked, res.VerifiedReads, row.Elapsed.Seconds())
 		}
 	}
 	rep.Elapsed = time.Since(start)
@@ -121,9 +125,9 @@ func PrintChaos(w io.Writer, rep ChaosReport) {
 			r.Seed, r.Writers, r.Batches, r.FaultKinds, r.ProgramFaults,
 			r.EraseFaults, r.Kills, r.Recoveries, r.Acked, r.Elapsed.Seconds(), result)
 	}
-	fmt.Fprintf(w, "\n%d/%d schedules passed in %.1fs; fired %d program faults, %d erase faults, %d connection kills, %d crash-recover loops; %d batches acked\n",
+	fmt.Fprintf(w, "\n%d/%d schedules passed in %.1fs; fired %d program faults, %d erase faults, %d connection kills, %d crash-recover loops; %d batches acked, %d reader-verified reads\n",
 		rep.Passed, rep.Seeds, rep.Elapsed.Seconds(),
-		rep.ProgramFaults, rep.EraseFaults, rep.Kills, rep.Recoveries, rep.Acked)
+		rep.ProgramFaults, rep.EraseFaults, rep.Kills, rep.Recoveries, rep.Acked, rep.VerifiedReads)
 	fmt.Fprintf(w, "fault-kind mix:")
 	for k := 1; k <= 4; k++ {
 		fmt.Fprintf(w, " %d-kind=%d", k, rep.KindCoverage[k])
@@ -147,6 +151,7 @@ type chaosJSONRow struct {
 	Recoveries    int      `json:"crash_recoveries"`
 	Acked         int64    `json:"batches_acked"`
 	MediaAborts   int64    `json:"media_aborts_observed"`
+	VerifiedReads int64    `json:"reader_verified_reads"`
 	ElapsedMS     float64  `json:"elapsed_ms"`
 	Violations    []string `json:"violations,omitempty"`
 }
@@ -155,15 +160,16 @@ type chaosJSONRow struct {
 // robustness surface joins the recorded experiment trajectory.
 func WriteChaosJSON(path string, rep ChaosReport) error {
 	doc := struct {
-		Experiment    string        `json:"experiment"`
-		Seeds         int           `json:"seeds"`
-		Passed        int           `json:"passed"`
-		ProgramFaults int64         `json:"program_faults_fired"`
-		EraseFaults   int64         `json:"erase_faults_fired"`
-		Kills         int           `json:"connection_kills"`
-		Recoveries    int           `json:"crash_recoveries"`
-		Acked         int64         `json:"batches_acked"`
-		ElapsedMS     float64       `json:"elapsed_ms"`
+		Experiment    string         `json:"experiment"`
+		Seeds         int            `json:"seeds"`
+		Passed        int            `json:"passed"`
+		ProgramFaults int64          `json:"program_faults_fired"`
+		EraseFaults   int64          `json:"erase_faults_fired"`
+		Kills         int            `json:"connection_kills"`
+		Recoveries    int            `json:"crash_recoveries"`
+		Acked         int64          `json:"batches_acked"`
+		VerifiedReads int64          `json:"reader_verified_reads"`
+		ElapsedMS     float64        `json:"elapsed_ms"`
 		Rows          []chaosJSONRow `json:"rows"`
 	}{
 		Experiment:    "chaos",
@@ -174,6 +180,7 @@ func WriteChaosJSON(path string, rep ChaosReport) error {
 		Kills:         rep.Kills,
 		Recoveries:    rep.Recoveries,
 		Acked:         rep.Acked,
+		VerifiedReads: rep.VerifiedReads,
 		ElapsedMS:     float64(rep.Elapsed.Microseconds()) / 1000,
 	}
 	for _, r := range rep.Rows {
@@ -189,6 +196,7 @@ func WriteChaosJSON(path string, rep ChaosReport) error {
 			Recoveries:    r.Recoveries,
 			Acked:         r.Acked,
 			MediaAborts:   r.MediaAborts,
+			VerifiedReads: r.VerifiedReads,
 			ElapsedMS:     float64(r.Elapsed.Microseconds()) / 1000,
 			Violations:    r.Violations,
 		})

@@ -47,6 +47,9 @@ const (
 	// flight recorder can attribute every stage of the batch to the
 	// originating request. Its success response is MsgRespFlushBatch.
 	MsgFlushBatchTraced = 0x08 // body: trace_id u64 | sid u64 | wsn u64 | batch wire bytes
+	// MsgReadBatch reads many LPIDs in one round trip; the server
+	// scatter-gathers the flash transfers across channels.
+	MsgReadBatch = 0x09 // body: count u32 | lpid u64 × count
 
 	// Responses.
 	MsgRespOpenSession  = 0x81 // body: sid u64
@@ -56,7 +59,11 @@ const (
 	MsgRespStats        = 0x85 // body: JSON core.Stats
 	MsgRespStatsFull    = 0x86 // body: binary metrics.Snapshot (EncodeStatsFull)
 	MsgRespTraceDump    = 0x87 // body: binary trace.Dump (EncodeTraceDump)
-	MsgRespError        = 0xFF // body: code u16 | message bytes
+	// MsgRespReadBatch carries per-page results: status 0 (ok, followed
+	// by u32 len | bytes) or 1 (not found, nothing follows). Per-page
+	// absence is data, not an error frame.
+	MsgRespReadBatch = 0x89 // body: count u32 | (status u8 [| len u32 | bytes]) × count
+	MsgRespError     = 0xFF // body: code u16 | message bytes
 )
 
 // Error codes carried by RespError frames.
@@ -234,6 +241,116 @@ func ParseFlushTraced(body []byte) (traceID, sid, wsn uint64, wire []byte, err e
 	sid = binary.LittleEndian.Uint64(body[8:])
 	wsn = binary.LittleEndian.Uint64(body[16:])
 	return traceID, sid, wsn, body[24:], nil
+}
+
+// Per-page statuses in a MsgRespReadBatch body.
+const (
+	ReadPageOK       byte = 0
+	ReadPageNotFound byte = 1
+)
+
+// MaxReadBatchPages bounds the LPID count one read_batch may carry; the
+// decoder rejects anything larger before allocating.
+const MaxReadBatchPages = 1 << 16
+
+// AppendReadBatchBody appends a read_batch request body to dst.
+func AppendReadBatchBody(dst []byte, lpids []uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(lpids)))
+	for _, lpid := range lpids {
+		dst = AppendU64(dst, lpid)
+	}
+	return dst
+}
+
+// ReadBatchBody encodes a read_batch request body.
+func ReadBatchBody(lpids []uint64) []byte {
+	return AppendReadBatchBody(make([]byte, 0, 4+8*len(lpids)), lpids)
+}
+
+// ParseReadBatch decodes a read_batch request body. The count is
+// validated against both MaxReadBatchPages and the exact body length —
+// a forged count cannot force a large allocation, and trailing bytes are
+// rejected so decode∘encode is canonical.
+func ParseReadBatch(body []byte) ([]uint64, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: read_batch header", ErrShortBody)
+	}
+	count := binary.LittleEndian.Uint32(body)
+	if count > MaxReadBatchPages {
+		return nil, fmt.Errorf("netproto: read_batch count %d exceeds %d", count, MaxReadBatchPages)
+	}
+	if len(body) != 4+8*int(count) {
+		return nil, fmt.Errorf("%w: read_batch wants %d bytes for %d lpids, have %d",
+			ErrShortBody, 4+8*int(count), count, len(body))
+	}
+	lpids := make([]uint64, count)
+	for i := range lpids {
+		lpids[i] = binary.LittleEndian.Uint64(body[4+8*i:])
+	}
+	return lpids, nil
+}
+
+// AppendReadBatchResp appends a read_batch response body to dst. A nil
+// page encodes as not-found; any non-nil page (empty included) encodes
+// its bytes.
+func AppendReadBatchResp(dst []byte, pages [][]byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pages)))
+	for _, p := range pages {
+		if p == nil {
+			dst = append(dst, ReadPageNotFound)
+			continue
+		}
+		dst = append(dst, ReadPageOK)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p)))
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// ParseReadBatchResp decodes a read_batch response body. Every length is
+// bounds-checked against the remaining bytes before any allocation, the
+// preallocation for the result slice is capped by what the body could
+// possibly hold, and trailing bytes are rejected. Returned pages alias
+// body.
+func ParseReadBatchResp(body []byte) ([][]byte, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: read_batch response header", ErrShortBody)
+	}
+	count := int(binary.LittleEndian.Uint32(body))
+	rest := body[4:]
+	if count > len(rest) { // every entry takes at least one status byte
+		return nil, fmt.Errorf("%w: read_batch response count %d exceeds body", ErrShortBody, count)
+	}
+	pages := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("%w: read_batch response entry %d", ErrShortBody, i)
+		}
+		status := rest[0]
+		rest = rest[1:]
+		switch status {
+		case ReadPageNotFound:
+			pages = append(pages, nil)
+		case ReadPageOK:
+			if len(rest) < 4 {
+				return nil, fmt.Errorf("%w: read_batch response len %d", ErrShortBody, i)
+			}
+			n := int(binary.LittleEndian.Uint32(rest))
+			rest = rest[4:]
+			if n > len(rest) {
+				return nil, fmt.Errorf("%w: read_batch response page %d wants %d bytes, have %d",
+					ErrShortBody, i, n, len(rest))
+			}
+			pages = append(pages, rest[:n:n])
+			rest = rest[n:]
+		default:
+			return nil, fmt.Errorf("netproto: read_batch response entry %d has unknown status %d", i, status)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("netproto: read_batch response has %d trailing bytes", len(rest))
+	}
+	return pages, nil
 }
 
 // ErrorBody encodes a RespError body.

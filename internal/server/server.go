@@ -408,7 +408,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		s.met.requests.Inc()
 		s.met.bytesIn.Add(inBytes)
-		rtyp, rbody := s.dispatch(cn, typ, body)
+		rtyp, rhead, rtail := s.dispatch(cn, typ, body)
 		// Every borrower of the request's bytes (batch decode, the group
 		// write's page views, the flash programs) finished inside
 		// dispatch; the frame goes back to the pool before the reply I/O.
@@ -417,14 +417,18 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
 		if legacy {
-			err = netproto.WriteFrame(conn, rtyp, rbody)
+			if rtail != nil {
+				rhead = append(append(make([]byte, 0, len(rhead)+len(rtail)), rhead...), rtail...)
+				rtail = nil
+			}
+			err = netproto.WriteFrame(conn, rtyp, rhead)
 		} else {
-			err = cn.fw.WriteFrame(rtyp, rbody)
+			err = cn.fw.WriteFrame2(rtyp, rhead, rtail)
 		}
 		if err != nil {
 			return
 		}
-		outBytes := int64(5 + len(rbody))
+		outBytes := int64(5 + len(rhead) + len(rtail))
 		s.mu.Lock()
 		s.stats.BytesOut += outBytes
 		s.mu.Unlock()
@@ -452,17 +456,20 @@ func (s *Server) count(f func(*Stats)) {
 	s.mu.Unlock()
 }
 
-// dispatch executes one request and builds its reply frame. Small reply
-// bodies are appended into cn's scratch; the caller consumes them
-// before the next dispatch.
-func (s *Server) dispatch(cn *connState, typ byte, body []byte) (byte, []byte) {
+// dispatch executes one request and builds its reply frame as a
+// (head, tail) pair: small reply bodies are appended into cn's scratch
+// and returned as head, while page payloads travel as tail so the frame
+// writer can emit them with writev instead of copying (the pooled
+// zero-copy read_page reply). The caller consumes both before the next
+// dispatch.
+func (s *Server) dispatch(cn *connState, typ byte, body []byte) (rtyp byte, head, tail []byte) {
 	switch typ {
 	case netproto.MsgOpenSession:
 		sid, err := s.ctl.OpenSession()
 		if err != nil {
 			return s.errFrame(cn, err)
 		}
-		return netproto.MsgRespOpenSession, cn.u64(sid)
+		return netproto.MsgRespOpenSession, cn.u64(sid), nil
 
 	case netproto.MsgCloseSession:
 		sid, err := netproto.ParseU64(body)
@@ -472,7 +479,7 @@ func (s *Server) dispatch(cn *connState, typ byte, body []byte) (byte, []byte) {
 		if err := s.ctl.CloseSession(sid); err != nil {
 			return s.errFrame(cn, err)
 		}
-		return netproto.MsgRespCloseSession, nil
+		return netproto.MsgRespCloseSession, nil, nil
 
 	case netproto.MsgFlushBatch:
 		sid, wsn, wire, err := netproto.ParseFlush(body)
@@ -493,24 +500,27 @@ func (s *Server) dispatch(cn *connState, typ byte, body []byte) (byte, []byte) {
 		if err != nil {
 			return s.badRequest(cn, err)
 		}
-		data, err := s.ctl.Read(addr.LPID(lpid))
+		return s.readOne(cn, addr.LPID(lpid))
+
+	case netproto.MsgReadBatch:
+		lpids, err := netproto.ParseReadBatch(body)
 		if err != nil {
-			return s.errFrame(cn, err)
+			return s.badRequest(cn, err)
 		}
-		return netproto.MsgRespRead, data
+		return s.readBatch(cn, lpids)
 
 	case netproto.MsgStats:
 		raw, err := json.Marshal(s.ctl.Stats())
 		if err != nil {
 			return s.errFrame(cn, err)
 		}
-		return netproto.MsgRespStats, raw
+		return netproto.MsgRespStats, raw, nil
 
 	case netproto.MsgStatsFull:
-		return netproto.MsgRespStatsFull, netproto.EncodeStatsFull(s.ctl.MetricsSnapshot())
+		return netproto.MsgRespStatsFull, netproto.EncodeStatsFull(s.ctl.MetricsSnapshot()), nil
 
 	case netproto.MsgTraceDump:
-		return netproto.MsgRespTraceDump, netproto.EncodeTraceDump(s.ctl.TraceDump())
+		return netproto.MsgRespTraceDump, netproto.EncodeTraceDump(s.ctl.TraceDump()), nil
 
 	default:
 		return s.badRequest(cn, fmt.Errorf("unknown message type 0x%02x", typ))
@@ -523,7 +533,7 @@ func (s *Server) dispatch(cn *connState, typ byte, body []byte) (byte, []byte) {
 // flush_batch, or a traced one from a client that declined to pick an
 // ID) gets a server-assigned ID so the slow-batch log and the flight
 // recorder can still name the batch.
-func (s *Server) flush(cn *connState, sid, wsn, traceID uint64, wire []byte) (byte, []byte) {
+func (s *Server) flush(cn *connState, sid, wsn, traceID uint64, wire []byte) (byte, []byte, []byte) {
 	if traceID == 0 && s.trc.Enabled() {
 		traceID = s.trc.NewTraceID()
 	}
@@ -568,7 +578,54 @@ func (s *Server) flush(cn *connState, sid, wsn, traceID uint64, wire []byte) (by
 			return s.errFrame(cn, err)
 		}
 	}
-	return netproto.MsgRespFlushBatch, cn.u64(highest)
+	return netproto.MsgRespFlushBatch, cn.u64(highest), nil
+}
+
+// readOne serves read_page. The stored length is looked up first (a
+// short mapping-table probe) so the page bytes can be admitted under
+// the same in-flight byte bound as writes before flash is touched; the
+// reply then travels as a vectored tail, so a large page is never
+// copied into the frame writer's scratch.
+func (s *Server) readOne(cn *connState, lpid addr.LPID) (byte, []byte, []byte) {
+	n, err := s.ctl.Length(lpid)
+	if err != nil {
+		return s.errFrame(cn, err)
+	}
+	if err := s.admit(int64(n)); err != nil {
+		return s.errCode(cn, netproto.CodeShuttingDown, err.Error())
+	}
+	data, err := s.ctl.Read(lpid)
+	s.release(int64(n))
+	if err != nil {
+		return s.errFrame(cn, err)
+	}
+	return netproto.MsgRespRead, nil, data
+}
+
+// readBatch serves read_batch: admit the total stored bytes, then let
+// the core scatter-gather the found pages across flash channels.
+// Unmapped LPIDs are not an error at this layer — they come back as
+// per-entry not-found statuses, so one missing page cannot fail a
+// 1000-page batch.
+func (s *Server) readBatch(cn *connState, lpids64 []uint64) (byte, []byte, []byte) {
+	lpids := make([]addr.LPID, len(lpids64))
+	var total int64
+	for i, v := range lpids64 {
+		lpids[i] = addr.LPID(v)
+		if n, err := s.ctl.Length(lpids[i]); err == nil {
+			total += int64(n)
+		}
+	}
+	if err := s.admit(total); err != nil {
+		return s.errCode(cn, netproto.CodeShuttingDown, err.Error())
+	}
+	pages, err := s.ctl.ReadBatch(lpids)
+	s.release(total)
+	if err != nil {
+		return s.errFrame(cn, err)
+	}
+	cn.scratch = netproto.AppendReadBatchResp(cn.scratch[:0], pages)
+	return netproto.MsgRespReadBatch, cn.scratch, nil
 }
 
 // coalescedFlush runs one eligible flush through the coalescer: decode
@@ -668,19 +725,19 @@ func (s *Server) release(n int64) {
 	s.met.inflightBytes.Add(-n)
 }
 
-func (s *Server) errFrame(cn *connState, err error) (byte, []byte) {
+func (s *Server) errFrame(cn *connState, err error) (byte, []byte, []byte) {
 	return s.errCode(cn, netproto.CodeFor(err), err.Error())
 }
 
-func (s *Server) badRequest(cn *connState, err error) (byte, []byte) {
+func (s *Server) badRequest(cn *connState, err error) (byte, []byte, []byte) {
 	return s.errCode(cn, netproto.CodeBadRequest, err.Error())
 }
 
-func (s *Server) errCode(cn *connState, code uint16, msg string) (byte, []byte) {
+func (s *Server) errCode(cn *connState, code uint16, msg string) (byte, []byte, []byte) {
 	s.mu.Lock()
 	s.stats.Errors++
 	s.mu.Unlock()
 	s.met.errors.Inc()
 	cn.scratch = netproto.AppendErrorBody(cn.scratch[:0], code, msg)
-	return netproto.MsgRespError, cn.scratch
+	return netproto.MsgRespError, cn.scratch, nil
 }

@@ -46,7 +46,7 @@ func TestSlowBatchLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	wire := core.EncodeBatch([]core.LPage{{LPID: 7, Data: make([]byte, 1200)}})
-	rtyp, _ := s.flush(&connState{}, sid, 1, 4242, wire)
+	rtyp, _, _ := s.flush(&connState{}, sid, 1, 4242, wire)
 	if rtyp != netproto.MsgRespFlushBatch {
 		t.Fatalf("flush reply type 0x%02x", rtyp)
 	}
@@ -87,7 +87,7 @@ func TestSlowBatchLogOffByDefault(t *testing.T) {
 	calls := 0
 	s.slowLogf = func(string, ...any) { mu.Lock(); calls++; mu.Unlock() }
 	wire := core.EncodeBatch([]core.LPage{{LPID: 3, Data: make([]byte, 800)}})
-	if rtyp, _ := s.flush(&connState{}, 0, 0, 0, wire); rtyp != netproto.MsgRespFlushBatch {
+	if rtyp, _, _ := s.flush(&connState{}, 0, 0, 0, wire); rtyp != netproto.MsgRespFlushBatch {
 		t.Fatalf("flush reply type 0x%02x", rtyp)
 	}
 	mu.Lock()

@@ -60,6 +60,10 @@ const (
 	KFlashErase   // span: one EBLOCK erase; Arg1 = channel, Arg2 = eblock
 	KWalForce     // Arg1 = 1 leader page write (span), 0 free ride (instant); Arg2 = records flushed
 
+	KReadLookup   // span: locked mapping lookup + reader pin; Arg1 = LPID
+	KReadCacheHit // instant: page served from the read cache; Arg1 = LPID, Arg2 = bytes
+	KReadFlash    // span: flash wait (pin held, c.mu released); Arg1 = LPID, Arg2 = bytes
+
 	kindCount // keep last
 )
 
@@ -82,6 +86,9 @@ var kindNames = [...]string{
 	KFlashProgram: "flash_program",
 	KFlashErase:   "flash_erase",
 	KWalForce:     "wal_force",
+	KReadLookup:   "read_lookup",
+	KReadCacheHit: "read_cache_hit",
+	KReadFlash:    "read_flash_wait",
 }
 
 func (k Kind) String() string {
