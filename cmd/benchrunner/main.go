@@ -22,7 +22,12 @@
 // gates CI with -minhotspeedup. chaos executes the seeded fault-schedule
 // corpus (seeds 1..-chaosseeds) from internal/chaos, records per-seed
 // coverage (-chaosjson), and exits nonzero — printing the one-command
-// replay — if any schedule violates an invariant. ycsbnet runs the YCSB
+// replay — if any schedule violates an invariant. fairness runs the
+// multi-tenant noisy-neighbor experiment: a quiet tenant's flush p99
+// measured solo, racing rate-shaped aggressors with per-tenant QoS
+// admission on, and racing the same aggressors with QoS off (the
+// control arm); it records all three (-fairjson) and gates CI with
+// -maxp99inflation. ycsbnet runs the YCSB
 // A/B/C mixes over loopback TCP through the read_page/read_batch wire
 // path with the tiered read cache, plus an in-process concurrent-reader
 // microbench against the global-lock baseline; it records both
@@ -72,9 +77,13 @@ func main() {
 		ynReads     = flag.Int("ynreadsperarm", 2000, "reads per microbench arm (ycsbnet)")
 		ynJSON      = flag.String("ynjson", "BENCH_ycsbnet.json", "JSON output file for the ycsbnet experiment (empty disables)")
 		minReadSpd  = flag.Float64("minreadspeedup", 0, "fail if the concurrent-reader speedup vs the global-lock baseline falls below this ratio (0 disables the gate)")
+		fairBatches = flag.Int("fairbatches", 120, "quiet-tenant batches per arm (fairness)")
+		fairAggr    = flag.Int("fairaggressors", 3, "noisy-tenant connections (fairness)")
+		fairJSON    = flag.String("fairjson", "BENCH_fairness.json", "JSON output file for the fairness experiment (empty disables)")
+		maxP99Infl  = flag.Float64("maxp99inflation", 0, "fail if the qos arm's quiet-tenant p99 exceeds this multiple of the solo baseline (0 disables the gate)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|traceoverhead|hotpath|chaos|ycsbnet|all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|traceoverhead|hotpath|chaos|ycsbnet|fairness|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -94,7 +103,8 @@ func main() {
 	yn := ycsbnetFlags{records: *ynRecords, ops: *ynOps, clients: *ynClients,
 		cacheBytes: int64(*ynCacheMB) << 20, readers: *ynReaders, readsPerArm: *ynReads,
 		json: *ynJSON, minSpeedup: *minReadSpd}
-	if err := run(exp, scale, *netBatches, *netJSON, mo, to, hot, ch, yn); err != nil {
+	fair := fairnessFlags{batches: *fairBatches, aggressors: *fairAggr, json: *fairJSON, maxInflation: *maxP99Infl}
+	if err := run(exp, scale, *netBatches, *netJSON, mo, to, hot, ch, yn, fair); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(1)
 	}
@@ -139,7 +149,16 @@ type ycsbnetFlags struct {
 	minSpeedup  float64 // >0: exit nonzero if serial/concurrent falls below
 }
 
-func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to overheadFlags, hot hotpathFlags, ch chaosFlags, yn ycsbnetFlags) error {
+// fairnessFlags carries the fairness experiment's knobs; its gate bounds
+// the quiet tenant's p99 under QoS as a multiple of its solo baseline.
+type fairnessFlags struct {
+	batches      int
+	aggressors   int
+	json         string
+	maxInflation float64 // >0: exit nonzero if qos p99 / solo p99 exceeds
+}
+
+func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to overheadFlags, hot hotpathFlags, ch chaosFlags, yn ycsbnetFlags, fair fairnessFlags) error {
 	needTrace := exp == "fig9" || exp == "table2" || exp == "all"
 	var tr *tpcc.Trace
 	if needTrace {
@@ -280,6 +299,22 @@ func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to
 		}
 		if yn.minSpeedup > 0 && sp.Speedup < yn.minSpeedup {
 			return fmt.Errorf("concurrent-reader speedup %.2fx below minimum %.2fx", sp.Speedup, yn.minSpeedup)
+		}
+	case "fairness":
+		res, err := harness.RunFairness(fair.batches, fair.aggressors)
+		if err != nil {
+			return err
+		}
+		harness.PrintFairness(os.Stdout, res)
+		if fair.json != "" {
+			if err := harness.WriteFairnessJSON(fair.json, res); err != nil {
+				return err
+			}
+			fmt.Printf("result written to %s\n", fair.json)
+		}
+		if fair.maxInflation > 0 && res.QoSInflation > fair.maxInflation {
+			return fmt.Errorf("fairness: quiet-tenant p99 inflation %.2fx under qos exceeds limit %.2fx (solo %s, qos %s)",
+				res.QoSInflation, fair.maxInflation, res.SoloP99, res.QoSP99)
 		}
 	case "chaos":
 		rep, err := harness.RunChaos(ch.seeds, func(format string, args ...any) {

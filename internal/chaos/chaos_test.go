@@ -47,8 +47,9 @@ func runAndReport(t *testing.T, s chaos.Schedule, opts chaos.Options) chaos.Resu
 
 // corpusSeeds is the fixed CI smoke corpus. Pinned: the golden schedule
 // test keeps the generator stable, so these replay the same schedules on
-// every run.
-var corpusSeeds = []int64{1, 2, 3, 4}
+// every run. Seeds 5 and 6 were added with chaos/v2 so the corpus always
+// includes tenant-tagged schedules running the QoS admission path.
+var corpusSeeds = []int64{1, 2, 3, 4, 5, 6}
 
 // TestChaosCorpus runs the fixed seed corpus — the chaos-smoke CI job.
 func TestChaosCorpus(t *testing.T) {
@@ -97,6 +98,40 @@ func TestChaosComposed(t *testing.T) {
 	}
 	if r.Kills != 2 {
 		t.Errorf("%d connection kills fired, want 2", r.Kills)
+	}
+	if r.Recoveries != 1 {
+		t.Errorf("%d crash-recover loops ran, want 1", r.Recoveries)
+	}
+}
+
+// TestChaosTenantComposed is the multi-tenant acceptance schedule: three
+// tenants (two named, one default) with distinct priorities, all four
+// fault kinds, and per-tenant QoS admission live — after the run, every
+// session must still be attributed to its exact tenant/priority (through
+// the crash→recover loop) and every tenant's quota ledger must balance
+// to zero inflight bytes.
+func TestChaosTenantComposed(t *testing.T) {
+	s := chaos.Schedule{
+		Seed:          78,
+		Writers:       3,
+		Batches:       16,
+		Pages:         2,
+		ProgramFaults: []int{7, 21},
+		EraseFaults:   []int{5},
+		Kills:         []chaos.Kill{{Writer: 0, WSN: 4}, {Writer: 2, WSN: 9}},
+		Crashes:       []int{20},
+		Tenants:       []string{"gold", "bronze", ""},
+		Priorities:    []uint8{9, 1, 0},
+	}
+	if !s.Tagged() {
+		t.Fatal("schedule is not tenant-tagged")
+	}
+	r := runAndReport(t, s, chaos.Options{})
+	if r.Failed() {
+		return // runAndReport already diagnosed
+	}
+	if r.Acked != int64(s.Writers*s.Batches) {
+		t.Errorf("acked %d batches, want %d", r.Acked, s.Writers*s.Batches)
 	}
 	if r.Recoveries != 1 {
 		t.Errorf("%d crash-recover loops ran, want 1", r.Recoveries)

@@ -21,6 +21,16 @@
 //  6. Cache coherence — every content check reads twice; with the tiered
 //     read cache enabled the second read is served from cache and must
 //     agree byte-for-byte with the first (flash-backed) read.
+//  7. Tenant attribution — a tagged session still carries its exact
+//     tenant/priority after recovery, so no tenant's acked data can be
+//     re-attributed by a crash.
+//  8. Quota balance — per-tenant admission accounting is exact after the
+//     run quiesces: zero inflight bytes and zero parked waiters per
+//     tenant (every admitted byte was released, through kills, media
+//     aborts, and crash→recover loops alike), plus optional per-tenant
+//     admitted-traffic floors. Together with the per-session progress
+//     checks this is the harness's fairness invariant: every tenant both
+//     finished its workload and settled its ledger.
 package invariant
 
 import (
@@ -55,10 +65,33 @@ type Page struct {
 // Session is one session's acknowledgement high-water mark. With Exact
 // unset the store may have recovered beyond MinWSN (a crash can lose the
 // ack but not the write); with Exact set the stored WSN must match.
+// With CheckTenant set the store must also report exactly the given
+// tenant/priority for the session — tags are durable state, so recovery
+// must reproduce them bit-for-bit (requires a store implementing
+// TenantStore; core.Controller does).
 type Session struct {
 	SID    uint64
 	MinWSN uint64
 	Exact  bool
+
+	Tenant      string
+	Priority    uint8
+	CheckTenant bool
+}
+
+// TenantStore is the optional Store extension for tenant attribution.
+type TenantStore interface {
+	SessionTenant(sid uint64) (tenant string, priority uint8, err error)
+}
+
+// QuotaSnapshot is one tenant's admission accounting as observed after
+// the run quiesced (mirrors qos.TenantStats without importing qos, so
+// this package stays a leaf).
+type QuotaSnapshot struct {
+	AdmittedBytes  int64
+	ThrottledCount int64
+	InflightBytes  int64
+	Waiters        int
 }
 
 // Skip disables an exact-count expectation.
@@ -93,6 +126,16 @@ type Expect struct {
 
 	Sessions []Session
 	Pages    []Page
+
+	// Quotas are the per-tenant admission snapshots taken after the final
+	// drain, keyed by tenant name ("" = default). For every entry the
+	// checker requires an exactly balanced ledger: zero inflight bytes
+	// and zero parked waiters.
+	Quotas map[string]QuotaSnapshot
+	// MinAdmitted requires tenant key's AdmittedBytes ≥ the value — a
+	// traffic floor proving the tenant's writers really ran through
+	// admission (only meaningful when no recovery reset the counters).
+	MinAdmitted map[string]int64
 }
 
 // maxPageViolations caps per-page violation reports so a totally corrupt
@@ -148,7 +191,7 @@ func Check(s Store, e Expect) []string {
 		fail("core.write.media_aborts = %d, below %d client-observed aborts", got, e.MinMediaAborts)
 	}
 
-	// Session monotonicity.
+	// Session monotonicity and tenant attribution.
 	for _, sess := range e.Sessions {
 		high, err := s.SessionHighestWSN(sess.SID)
 		if err != nil {
@@ -159,6 +202,46 @@ func Check(s Store, e Expect) []string {
 			fail("session %d: highest WSN %d, want exactly %d", sess.SID, high, sess.MinWSN)
 		} else if high < sess.MinWSN {
 			fail("session %d: highest WSN %d below acknowledged %d", sess.SID, high, sess.MinWSN)
+		}
+		if sess.CheckTenant {
+			ts, ok := s.(TenantStore)
+			if !ok {
+				fail("session %d: tenant check requested but store has no SessionTenant", sess.SID)
+				continue
+			}
+			tenant, prio, err := ts.SessionTenant(sess.SID)
+			if err != nil {
+				fail("session %d: SessionTenant: %v", sess.SID, err)
+			} else if tenant != sess.Tenant || prio != sess.Priority {
+				fail("session %d: attributed to (%q, %d), want (%q, %d)",
+					sess.SID, tenant, prio, sess.Tenant, sess.Priority)
+			}
+		}
+	}
+
+	// Quota balance.
+	for tenant, qs := range e.Quotas {
+		label := tenant
+		if label == "" {
+			label = "default"
+		}
+		if qs.InflightBytes != 0 {
+			fail("qos %s: %d inflight bytes leaked after drain", label, qs.InflightBytes)
+		}
+		if qs.Waiters != 0 {
+			fail("qos %s: %d waiters still parked after drain", label, qs.Waiters)
+		}
+		if min := e.MinAdmitted[tenant]; qs.AdmittedBytes < min {
+			fail("qos %s: admitted %d bytes, want at least %d", label, qs.AdmittedBytes, min)
+		}
+	}
+	for tenant, min := range e.MinAdmitted {
+		if _, ok := e.Quotas[tenant]; !ok && min > 0 {
+			label := tenant
+			if label == "" {
+				label = "default"
+			}
+			fail("qos %s: expected at least %d admitted bytes but no accounting was recorded", label, min)
 		}
 	}
 

@@ -17,6 +17,7 @@ import (
 	"eleos/internal/core"
 	"eleos/internal/flash"
 	"eleos/internal/provision"
+	"eleos/internal/qos"
 	"eleos/internal/server"
 	"eleos/internal/trace"
 )
@@ -196,6 +197,16 @@ func (co *coordinator) drainFinal() {
 	cancel()
 }
 
+// qosStats snapshots the final server's per-tenant admission accounting
+// (nil when QoS is disabled). Counters reset when a crash replaces the
+// server, so across recoveries only the balance — not the totals — is
+// meaningful.
+func (co *coordinator) qosStats() map[string]qos.TenantStats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.srv.QoSStats()
+}
+
 // --- the executor -----------------------------------------------------------
 
 // Run executes one schedule end to end over the real network stack and
@@ -239,9 +250,21 @@ func Run(s Schedule, opts Options) Result {
 		dev.FailNthErase(n)
 	}
 
+	scfg := server.Config{IOTimeout: 5 * time.Second, IdleTimeout: time.Minute}
+	if s.Tagged() {
+		// Tagged schedules run the real per-tenant admission path. No rate
+		// shaping (it would fight the run deadline) but a finite inflight
+		// budget per tenant, so every flush charges and releases real
+		// quota — the post-run balance check then proves kills, media
+		// aborts, and crash→recover loops never leak admitted bytes.
+		scfg.QoS = qos.Config{
+			Enabled: true,
+			Default: qos.Limits{MaxInflightBytes: 64 << 10},
+		}
+	}
 	co := &coordinator{
 		cfg:  cfg,
-		scfg: server.Config{IOTimeout: 5 * time.Second, IdleTimeout: time.Minute},
+		scfg: scfg,
 		dev:  dev,
 	}
 	co.mu.Lock()
@@ -378,7 +401,8 @@ func Run(s Schedule, opts Options) Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if werr := runWriter(s, w, proxies[w], killAt[w], deadline, &acked, &mediaAborts, &sids[w], &ackedHigh[w]); werr != nil {
+			tag, prio := s.Tenant(w)
+			if werr := runWriter(s, w, tag, prio, proxies[w], killAt[w], deadline, &acked, &mediaAborts, &sids[w], &ackedHigh[w]); werr != nil {
 				fail("writer %d: %v", w, werr)
 			}
 		}(w)
@@ -449,13 +473,38 @@ func Run(s Schedule, opts Options) Result {
 		exp.MetricsEraseFaults = res.FiredEraseFaults
 		exp.MinPrograms = int64(s.Writers * s.Batches)
 	}
+	if s.Tagged() {
+		// Quota balance + fairness: every tenant's ledger must be settled
+		// on the final server, and (when no recovery reset the counters)
+		// every tenant that finished its workload must show at least its
+		// acked payload bytes admitted — each batch carries a churn page
+		// of churnPageSize bytes, so that is a hard floor on wire bytes.
+		exp.Quotas = map[string]invariant.QuotaSnapshot{}
+		for tenant, st := range co.qosStats() {
+			exp.Quotas[tenant] = invariant.QuotaSnapshot{
+				AdmittedBytes:  st.AdmittedBytes,
+				ThrottledCount: st.ThrottledCount,
+				InflightBytes:  st.InflightBytes,
+				Waiters:        st.Waiters,
+			}
+		}
+		if res.Recoveries == 0 {
+			exp.MinAdmitted = map[string]int64{}
+			for w := 0; w < s.Writers; w++ {
+				tag, _ := s.Tenant(w)
+				exp.MinAdmitted[tag] += int64(ackedHigh[w].Load()) * churnPageSize
+			}
+		}
+	}
 	for w := 0; w < s.Writers; w++ {
 		high := ackedHigh[w].Load()
 		if high == 0 {
 			continue // writer failed before its first ack; harness already red
 		}
+		tag, prio := s.Tenant(w)
 		exp.Sessions = append(exp.Sessions, invariant.Session{
 			SID: sids[w], MinWSN: high, Exact: high == uint64(s.Batches),
+			Tenant: tag, Priority: prio, CheckTenant: true,
 		})
 		for wsn := uint64(1); wsn <= high; wsn++ {
 			for i := 0; i < s.Pages; i++ {
@@ -486,7 +535,9 @@ func Run(s Schedule, opts Options) Result {
 // runWriter drives one session over its proxy: sequential WSNs, arming
 // its scheduled connection kills, retrying every failure with the same
 // WSN (the retry contract WSN dedup makes idempotent) until the deadline.
-func runWriter(s Schedule, w int, px *Proxy, killAt map[uint64]bool, deadline time.Time,
+// A tagged writer opens its session under its tenant/priority, so its
+// flushes run through per-tenant admission.
+func runWriter(s Schedule, w int, tenant string, priority uint8, px *Proxy, killAt map[uint64]bool, deadline time.Time,
 	acked, mediaAborts *atomic.Int64, sidOut *uint64, ackedOut *atomic.Uint64) error {
 	copts := client.Options{
 		DialTimeout:    2 * time.Second,
@@ -504,7 +555,7 @@ func runWriter(s Schedule, w int, px *Proxy, killAt map[uint64]bool, deadline ti
 
 	var sid uint64
 	for {
-		sid, err = cl.OpenSession()
+		sid, err = cl.OpenSessionTenant(tenant, priority)
 		if err == nil {
 			break
 		}

@@ -43,6 +43,37 @@ type Schedule struct {
 	EraseFaults   []int  // ascending erase-attempt offsets
 	Kills         []Kill // ordered by (Writer, WSN)
 	Crashes       []int  // ascending global acked thresholds
+
+	// Tenants[w] / Priorities[w] tag writer w's session (chaos/v2).
+	// Empty tag + zero priority is the default untagged session; any
+	// tagged writer makes the run start its server with per-tenant QoS
+	// admission enabled, so quota accounting and tenant attribution are
+	// chased through every kill, media fault, and crash→recover loop.
+	// Absent (v1 schedules) means all writers untagged.
+	Tenants    []string
+	Priorities []uint8
+}
+
+// Tenant returns writer w's tag and priority (default for v1 schedules).
+func (s Schedule) Tenant(w int) (string, uint8) {
+	tag, prio := "", uint8(0)
+	if w < len(s.Tenants) {
+		tag = s.Tenants[w]
+	}
+	if w < len(s.Priorities) {
+		prio = s.Priorities[w]
+	}
+	return tag, prio
+}
+
+// Tagged reports whether any writer carries a non-default tenant tag.
+func (s Schedule) Tagged() bool {
+	for w := 0; w < s.Writers; w++ {
+		if tag, prio := s.Tenant(w); tag != "" || prio != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Generation bounds. Program-fault offsets keep a minimum gap: when an
@@ -105,6 +136,19 @@ func Generate(seed int64) Schedule {
 		th := total/4 + rng.Intn(total/2)
 		s.Crashes = append(s.Crashes, th)
 	}
+
+	// Tenant tags, drawn strictly after every fault draw so a given seed
+	// keeps the exact fault layout it had before chaos/v2: roughly half
+	// the writers share one of two named tenants, the rest stay default.
+	for w := 0; w < s.Writers; w++ {
+		if rng.Intn(2) == 1 {
+			s.Tenants = append(s.Tenants, fmt.Sprintf("t%d", rng.Intn(2)))
+			s.Priorities = append(s.Priorities, uint8(rng.Intn(2)*7))
+		} else {
+			s.Tenants = append(s.Tenants, "")
+			s.Priorities = append(s.Priorities, 0)
+		}
+	}
 	s.normalize()
 	return s
 }
@@ -142,6 +186,14 @@ func (s *Schedule) normalize() {
 	}
 	sort.Ints(crashes)
 	s.Crashes = crashes
+	// Tenant slices track the (possibly reduced) writer count; padding
+	// with defaults keeps Tenant(w) total.
+	if len(s.Tenants) > s.Writers {
+		s.Tenants = s.Tenants[:s.Writers]
+	}
+	if len(s.Priorities) > s.Writers {
+		s.Priorities = s.Priorities[:s.Writers]
+	}
 }
 
 // FaultKinds counts the distinct fault types the schedule composes.
@@ -171,8 +223,13 @@ func (s Schedule) Events() int {
 // cannot silently change the replayed corpus.
 func (s Schedule) Encode() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos/v1 seed=%d\n", s.Seed)
+	fmt.Fprintf(&b, "chaos/v2 seed=%d\n", s.Seed)
 	fmt.Fprintf(&b, "writers=%d batches=%d pages=%d\n", s.Writers, s.Batches, s.Pages)
+	for w := 0; w < s.Writers; w++ {
+		if tag, prio := s.Tenant(w); tag != "" || prio != 0 {
+			fmt.Fprintf(&b, "tenant w=%d tag=%s prio=%d\n", w, tag, prio)
+		}
+	}
 	for _, off := range s.ProgramFaults {
 		fmt.Fprintf(&b, "pfault %d\n", off)
 	}
@@ -195,14 +252,35 @@ func Parse(text string) (Schedule, error) {
 	if len(lines) < 2 {
 		return s, fmt.Errorf("chaos: schedule too short (%d lines)", len(lines))
 	}
-	if _, err := fmt.Sscanf(lines[0], "chaos/v1 seed=%d", &s.Seed); err != nil {
-		return s, fmt.Errorf("chaos: bad header %q: %v", lines[0], err)
+	// v2 added tenant lines; v1 schedules (all writers untagged) still
+	// parse, so an archived repro never goes stale.
+	if _, err := fmt.Sscanf(lines[0], "chaos/v2 seed=%d", &s.Seed); err != nil {
+		if _, err := fmt.Sscanf(lines[0], "chaos/v1 seed=%d", &s.Seed); err != nil {
+			return s, fmt.Errorf("chaos: bad header %q: %v", lines[0], err)
+		}
 	}
 	if _, err := fmt.Sscanf(lines[1], "writers=%d batches=%d pages=%d", &s.Writers, &s.Batches, &s.Pages); err != nil {
 		return s, fmt.Errorf("chaos: bad config line %q: %v", lines[1], err)
 	}
 	for _, ln := range lines[2:] {
 		switch {
+		case strings.HasPrefix(ln, "tenant "):
+			var (
+				w    int
+				tag  string
+				prio int
+			)
+			if _, err := fmt.Sscanf(ln, "tenant w=%d tag=%s prio=%d", &w, &tag, &prio); err != nil {
+				return s, fmt.Errorf("chaos: bad line %q: %v", ln, err)
+			}
+			if w < 0 || w >= s.Writers || prio < 0 || prio > 255 {
+				return s, fmt.Errorf("chaos: tenant line out of range %q", ln)
+			}
+			for len(s.Tenants) < s.Writers {
+				s.Tenants = append(s.Tenants, "")
+				s.Priorities = append(s.Priorities, 0)
+			}
+			s.Tenants[w], s.Priorities[w] = tag, uint8(prio)
 		case strings.HasPrefix(ln, "pfault "):
 			var off int
 			if _, err := fmt.Sscanf(ln, "pfault %d", &off); err != nil {

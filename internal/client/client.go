@@ -157,9 +157,21 @@ func (c *Client) Stats() Stats {
 // --- public requests -------------------------------------------------------
 
 // OpenSession opens a durable write-ordering session server-side and
-// returns its SID.
+// returns its SID. The session carries the default (empty) tenant tag.
 func (c *Client) OpenSession() (uint64, error) {
-	rbody, err := c.call(netproto.MsgOpenSession, nil, netproto.MsgRespOpenSession, false)
+	return c.OpenSessionTenant("", 0)
+}
+
+// OpenSessionTenant opens a session tagged with a tenant name and a
+// priority (higher is more urgent). The server uses the tag for QoS
+// admission and fairness accounting; the default tag ("", 0) is the
+// legacy untagged session.
+func (c *Client) OpenSessionTenant(tenant string, priority uint8) (uint64, error) {
+	body, err := netproto.OpenSessionBody(tenant, priority)
+	if err != nil {
+		return 0, err
+	}
+	rbody, err := c.call(netproto.MsgOpenSession, body, netproto.MsgRespOpenSession, false)
 	if err != nil {
 		return 0, err
 	}
@@ -303,7 +315,13 @@ type Session struct {
 
 // NewSession opens a server-side session and wraps it.
 func (c *Client) NewSession() (*Session, error) {
-	sid, err := c.OpenSession()
+	return c.NewSessionTenant("", 0)
+}
+
+// NewSessionTenant opens a tenant-tagged server-side session and wraps
+// it (see OpenSessionTenant).
+func (c *Client) NewSessionTenant(tenant string, priority uint8) (*Session, error) {
+	sid, err := c.OpenSessionTenant(tenant, priority)
 	if err != nil {
 		return nil, err
 	}

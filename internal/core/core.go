@@ -26,6 +26,7 @@ import (
 
 	"eleos/internal/addr"
 	"eleos/internal/flash"
+	gcpolicy "eleos/internal/gc"
 	"eleos/internal/mapping"
 	"eleos/internal/metrics"
 	"eleos/internal/provision"
@@ -37,8 +38,10 @@ import (
 	"eleos/internal/wal"
 )
 
-// GCPolicy selects the victim-selection strategy (§VI-A discusses all
-// three; ELEOS uses minimum cost decline).
+// GCPolicy selects the victim-selection strategy (§VI-A discusses the
+// first three; ELEOS uses minimum cost decline). Each value maps to an
+// implementation of gcpolicy.Policy; Config.GCPolicyPlugin overrides
+// the enum with an arbitrary policy.
 type GCPolicy int
 
 const (
@@ -51,18 +54,30 @@ const (
 	// GCOldest collects the oldest EBLOCK (LLAMA's circular-log
 	// cleaning), optimal only for uniform updates.
 	GCOldest
+	// GCCostBenefit ranks by the LFS cleaner's benefit/cost ratio
+	// E·age/(2-E).
+	GCCostBenefit
+	// GCWearAware is min-cost-decline with a per-erase score penalty,
+	// steering collection toward low-wear EBLOCKs.
+	GCWearAware
 )
 
-func (p GCPolicy) String() string {
+func (p GCPolicy) String() string { return builtinPolicy(p).Name() }
+
+// builtinPolicy maps the enum to its implementation; unknown values get
+// the paper default.
+func builtinPolicy(p GCPolicy) gcpolicy.Policy {
 	switch p {
-	case GCMinCostDecline:
-		return "min-cost-decline"
 	case GCGreedy:
-		return "greedy"
+		return gcpolicy.Greedy{}
 	case GCOldest:
-		return "oldest"
+		return gcpolicy.Oldest{}
+	case GCCostBenefit:
+		return gcpolicy.CostBenefit{}
+	case GCWearAware:
+		return gcpolicy.WearAware{}
 	default:
-		return fmt.Sprintf("policy(%d)", int(p))
+		return gcpolicy.MinCostDecline{}
 	}
 }
 
@@ -83,6 +98,11 @@ type Config struct {
 	// GCPolicy selects the victim-selection strategy (default: the
 	// paper's minimum cost decline).
 	GCPolicy GCPolicy
+	// GCPolicyPlugin, when non-nil, overrides GCPolicy with a custom
+	// victim-selection policy. The core still enforces the safety
+	// rules (inflight/pinned skip, truncated-log fast path); the plugin
+	// only ranks.
+	GCPolicyPlugin gcpolicy.Policy
 	// GarbagePairsPerRecord chunks lazy Garbage log records.
 	GarbagePairsPerRecord int
 	// SessionSeed seeds random SID generation.
@@ -271,6 +291,13 @@ type Controller struct {
 	crashedA    atomic.Bool // lock-free mirror of crashed for the cache-hit read path
 	crashPoints map[string]bool
 
+	// gcPolicy ranks GC victims (resolved once from Config at
+	// construction; see internal/gc). gcRetime marks circular-log
+	// policies whose relocations take the current timestamp so moved
+	// cold data does not immediately become "oldest" again.
+	gcPolicy gcpolicy.Policy
+	gcRetime bool
+
 	stats Stats
 	reg   *metrics.Registry
 	met   coreMetrics
@@ -316,6 +343,11 @@ func newController(dev *flash.Device, cfg Config) (*Controller, error) {
 		ckptEB:      ckptEBlockA,
 		crashPoints: make(map[string]bool),
 	}
+	c.gcPolicy = cfg.GCPolicyPlugin
+	if c.gcPolicy == nil {
+		c.gcPolicy = builtinPolicy(cfg.GCPolicy)
+	}
+	c.gcRetime = c.gcPolicy.Name() == gcpolicy.Oldest{}.Name()
 	c.hintLSN.Store(1)
 	c.wsnCond = sync.NewCond(&c.mu)
 	c.ioCond = sync.NewCond(&c.mu)
@@ -469,21 +501,37 @@ func (c *Controller) MaxLPageBytes() int { return c.prov.MaxLPageBytes() }
 // --- sessions ---------------------------------------------------------------
 
 // OpenSession opens a durable write-ordering session and returns its SID
-// (§III-A2).
+// (§III-A2). The session carries the default (empty) tenant tag.
 func (c *Controller) OpenSession() (uint64, error) {
+	return c.OpenSessionTenant("", 0)
+}
+
+// OpenSessionTenant opens a session tagged with a tenant name and
+// priority. The tag is durable: it rides the forced SessionOpen log
+// record and the checkpoint session snapshot, so recovery re-attributes
+// the session to its tenant — admission accounting and QoS survive
+// crashes and reconnects.
+func (c *Controller) OpenSessionTenant(tenant string, priority uint8) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.crashed {
 		return 0, ErrCrashed
 	}
-	sid := c.sess.Open()
-	if _, err := c.append(record.SessionOpen{SID: sid}); err != nil {
+	sid := c.sess.OpenTenant(tenant, priority)
+	if _, err := c.append(record.SessionOpen{SID: sid, Priority: priority, Tenant: tenant}); err != nil {
 		return 0, err
 	}
 	if err := c.forceLog(); err != nil {
 		return 0, err
 	}
 	return sid, nil
+}
+
+// SessionTenant returns a session's tenant tag and priority. It takes
+// only the session table's own lock, so the server's per-flush tenant
+// attribution never contends with the write path on c.mu.
+func (c *Controller) SessionTenant(sid uint64) (string, uint8, error) {
+	return c.sess.Tenant(sid)
 }
 
 // CloseSession closes a session.

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"eleos/internal/addr"
+	gcpolicy "eleos/internal/gc"
 	"eleos/internal/provision"
 	"eleos/internal/record"
 	"eleos/internal/summary"
@@ -66,10 +67,12 @@ func (c *Controller) gcChannelLocked(ch int) error {
 	return nil
 }
 
-// selectVictimLocked picks a used EBLOCK to collect according to the
-// configured policy — by default the smallest minimum-cost-decline score
-// (1-E)/(E^2 * age) (§VI-A). Truncated log EBLOCKs need no data movement
-// and therefore always have the "smallest scores".
+// selectVictimLocked picks a used EBLOCK to collect. The core owns the
+// safety rules — skipping EBLOCKs with inflight or pinned actions and
+// the truncated-log fast path (no data movement, always the "smallest
+// score") — and delegates only the ranking to the pluggable policy
+// (internal/gc): each eligible EBLOCK becomes a gcpolicy.Candidate and
+// the lowest score wins; +Inf declines the candidate.
 func (c *Controller) selectVictimLocked(ch int) (int, bool) {
 	best, bestScore := -1, math.Inf(1)
 	for _, eb := range c.st.UsedEBlocks(ch) {
@@ -93,26 +96,22 @@ func (c *Controller) selectVictimLocked(ch int) (int, bool) {
 			}
 			continue
 		}
-		e := float64(d.Avail) / float64(c.geo.EBlockBytes)
-		if e <= 0 {
+		if d.Avail == 0 {
 			continue // nothing reclaimable
 		}
-		if e > 1 {
-			e = 1
-		}
-		age := float64(c.updateSeq-d.Timestamp) + 1
+		age := c.updateSeq - d.Timestamp + 1
 		if c.updateSeq < d.Timestamp {
 			age = 1
 		}
-		var score float64
-		switch c.cfg.GCPolicy {
-		case GCGreedy:
-			score = 1 - e // most available space first
-		case GCOldest:
-			score = float64(d.Timestamp) // oldest first
-		default:
-			score = (1 - e) / (e * e * age)
-		}
+		score := c.gcPolicy.Score(gcpolicy.Candidate{
+			Ch:         ch,
+			EB:         eb,
+			Avail:      d.Avail,
+			CapBytes:   uint64(c.geo.EBlockBytes),
+			Age:        age,
+			EraseCount: d.EraseCount,
+			Timestamp:  d.Timestamp,
+		})
 		if score < bestScore {
 			best, bestScore = eb, score
 		}
@@ -148,7 +147,7 @@ func (c *Controller) gcEBlockLocked(ch, eb int) error {
 		return c.eraseAndFreeLocked(ch, eb)
 	}
 	srcTS := d.Timestamp
-	if c.cfg.GCPolicy == GCOldest {
+	if c.gcRetime {
 		// Circular-log cleaning (LLAMA) re-appends survivors at the tail:
 		// give relocations the current time, or the moved cold data would
 		// immediately be "oldest" again and the cleaner would livelock
@@ -373,11 +372,19 @@ func (c *Controller) eraseAndFreeLocked(ch, eb int) error {
 		// the protocol fails its invariant check with a replayable seed.
 		c.met.eraseWhilePinned.Inc()
 	}
+	// Drop any provisioner cursor BEFORE attempting the erase: whether the
+	// erase succeeds (EBLOCK goes Free) or fails (MarkBad), this EBLOCK
+	// must never be programmed through a stale open-stream cursor again.
+	// Dropping only on the success path left a window where a migration of
+	// an open user EBLOCK hit an injected erase fault, marked the EBLOCK
+	// Bad, and the next ProvisionBatch planned into the dead cursor — the
+	// chaos corpus surfaced it as `apply close: eblock not open: (ch,eb)
+	// is bad` (see TestGCMarkBadDropsCursor).
+	c.prov.DropOpen(ch, eb)
 	if err := c.dev.Erase(ch, eb); err != nil {
 		_ = c.st.MarkBad(ch, eb, c.lsnHint())
 		return err
 	}
-	c.prov.DropOpen(ch, eb)
 	if err := c.st.FreeEBlock(ch, eb, c.lsnHint()); err != nil {
 		return err
 	}

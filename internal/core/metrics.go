@@ -102,6 +102,10 @@ func (c *Controller) Metrics() *metrics.Registry { return c.reg }
 // Lock-free: safe to call concurrently with writes, GC and checkpoints.
 func (c *Controller) MetricsSnapshot() metrics.Snapshot { return c.reg.Snapshot() }
 
+// GCPolicyName returns the active GC victim-selection policy's name
+// (the stats_full "gc.policy" label).
+func (c *Controller) GCPolicyName() string { return c.gcPolicy.Name() }
+
 // Tracer returns the controller's flight recorder (never nil; a
 // controller built without Config.Trace owns a private always-on
 // recorder).

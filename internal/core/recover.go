@@ -364,7 +364,7 @@ func (c *Controller) replayRecordLocked(lsn record.LSN, r record.Record, ctx *re
 			delete(ctx.post, [2]int{ch, eb})
 		}
 	case record.SessionOpen:
-		c.sess.RestoreOpen(rec.SID)
+		c.sess.RestoreOpen(rec.SID, rec.Tenant, rec.Priority)
 	case record.SessionClose:
 		c.sess.RestoreClose(rec.SID)
 	}

@@ -1,0 +1,139 @@
+// Package gc defines pluggable victim-selection policies for the
+// controller's garbage collector (§VI-A, DESIGN.md §10.3).
+//
+// The core keeps everything that must stay correct regardless of
+// policy — skipping EBLOCKs with inflight or pinned actions, the
+// truncated-log fast path, the nothing-reclaimable filter — and
+// delegates only the ranking: each eligible EBLOCK becomes a Candidate
+// and the policy with the LOWEST Score wins the round. A policy is
+// therefore a pure function over per-EBLOCK facts and cannot break
+// crash consistency, only waste bandwidth.
+package gc
+
+import "math"
+
+// Candidate is one GC-eligible EBLOCK's facts at selection time.
+type Candidate struct {
+	Ch, EB     int
+	Avail      uint64 // reclaimable bytes (obsolete LPAGEs + fragmentation)
+	CapBytes   uint64 // EBLOCK capacity
+	Age        uint64 // update-sequence distance since close, >= 1
+	EraseCount uint32 // wear on this EBLOCK
+	Timestamp  uint64 // close time (update seq)
+}
+
+// reclaimable returns E, the reclaimable fraction, clamped to [0, 1].
+func (c Candidate) reclaimable() float64 {
+	if c.CapBytes == 0 {
+		return 0
+	}
+	e := float64(c.Avail) / float64(c.CapBytes)
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// Policy ranks GC candidates; the lowest score is collected first.
+// Implementations must be pure (no state mutation in Score) — the core
+// calls Score under its lock, once per candidate per round.
+type Policy interface {
+	// Name identifies the policy in stats_full labels and logs.
+	Name() string
+	// Score rates a candidate. Return +Inf to decline it entirely.
+	Score(c Candidate) float64
+}
+
+// MinCostDecline is the paper's default: (1-E)/(E²·age) — prefer
+// EBLOCKs whose reclaim cost per byte is low AND declining slowly,
+// biasing toward cold, mostly-garbage blocks (§VI-A).
+type MinCostDecline struct{}
+
+func (MinCostDecline) Name() string { return "min-cost-decline" }
+
+func (MinCostDecline) Score(c Candidate) float64 {
+	e := c.reclaimable()
+	if e <= 0 {
+		return math.Inf(1)
+	}
+	age := float64(c.Age)
+	if age < 1 {
+		age = 1
+	}
+	return (1 - e) / (e * e * age)
+}
+
+// Greedy picks the most reclaimable space right now: score 1-E. Cheap
+// and effective under uniform workloads; wasteful under skew, where it
+// repeatedly collects hot blocks just before they would have emptied
+// further.
+type Greedy struct{}
+
+func (Greedy) Name() string { return "greedy" }
+
+func (Greedy) Score(c Candidate) float64 {
+	e := c.reclaimable()
+	if e <= 0 {
+		return math.Inf(1)
+	}
+	return 1 - e
+}
+
+// Oldest collects in close-time order — circular-log cleaning (LLAMA
+// style). The core re-timestamps survivors to the current update
+// sequence so moved cold data does not immediately become "oldest"
+// again.
+type Oldest struct{}
+
+func (Oldest) Name() string { return "oldest" }
+
+func (Oldest) Score(c Candidate) float64 {
+	if c.reclaimable() <= 0 {
+		return math.Inf(1)
+	}
+	return float64(c.Timestamp)
+}
+
+// CostBenefit is the LFS cleaner's ranking (Rosenblum & Ousterhout):
+// maximize benefit/cost = E·age/(2-E) — the (2-E) denominator charges
+// reading the whole block plus rewriting its live 1-E fraction. Encoded
+// as a negated score so lower still wins.
+type CostBenefit struct{}
+
+func (CostBenefit) Name() string { return "cost-benefit" }
+
+func (CostBenefit) Score(c Candidate) float64 {
+	e := c.reclaimable()
+	if e <= 0 {
+		return math.Inf(1)
+	}
+	age := float64(c.Age)
+	if age < 1 {
+		age = 1
+	}
+	return -(e * age) / (2 - e)
+}
+
+// WearAware is MinCostDecline with a wear penalty: the base score is
+// inflated by WearBias per prior erase, steering collection toward
+// low-wear EBLOCKs when reclaim economics are otherwise close, which
+// evens erase counts across the device over time.
+type WearAware struct {
+	// WearBias is the per-erase score inflation; 0 selects the 0.05
+	// default (each erase makes a block 5% less attractive).
+	WearBias float64
+}
+
+func (WearAware) Name() string { return "wear-aware" }
+
+func (w WearAware) Score(c Candidate) float64 {
+	base := MinCostDecline{}.Score(c)
+	if math.IsInf(base, 1) {
+		return base
+	}
+	bias := w.WearBias
+	if bias <= 0 {
+		bias = 0.05
+	}
+	return base * (1 + bias*float64(c.EraseCount))
+}

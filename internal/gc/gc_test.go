@@ -1,0 +1,145 @@
+package gc
+
+import (
+	"math"
+	"testing"
+)
+
+// pick returns the index of the lowest-scoring candidate (the victim),
+// or -1 if every candidate is declined.
+func pick(p Policy, cands []Candidate) int {
+	best, bestScore := -1, math.Inf(1)
+	for i, c := range cands {
+		if s := p.Score(c); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// cand builds a candidate over a 100-byte EBLOCK for readable ratios.
+func cand(avail, age uint64, erase uint32, ts uint64) Candidate {
+	return Candidate{Avail: avail, CapBytes: 100, Age: age, EraseCount: erase, Timestamp: ts}
+}
+
+// TestPoliciesDivergeGreedyVsCostBenefit: greedy chases raw free space
+// (X: 80% reclaimable but brand new); cost-benefit and min-cost-decline
+// weigh age and prefer the cold half-empty block (Y).
+func TestPoliciesDivergeGreedyVsCostBenefit(t *testing.T) {
+	layout := []Candidate{
+		cand(80, 1, 0, 100), // X: hot, mostly garbage
+		cand(50, 100, 0, 1), // Y: cold, half garbage
+	}
+	if got := pick(Greedy{}, layout); got != 0 {
+		t.Fatalf("greedy picked %d, want 0 (most reclaimable)", got)
+	}
+	if got := pick(CostBenefit{}, layout); got != 1 {
+		t.Fatalf("cost-benefit picked %d, want 1 (age-weighted)", got)
+	}
+	if got := pick(MinCostDecline{}, layout); got != 1 {
+		t.Fatalf("min-cost-decline picked %d, want 1 (slow decline)", got)
+	}
+}
+
+// TestPoliciesDivergeWearAware: P and Q have similar reclaim economics
+// (min-cost-decline narrowly prefers P), but P has been erased 100
+// times; the wear penalty flips the choice to the pristine Q.
+func TestPoliciesDivergeWearAware(t *testing.T) {
+	layout := []Candidate{
+		cand(50, 10, 100, 5), // P: slightly better economics, heavy wear
+		cand(45, 10, 0, 5),   // Q: slightly worse economics, no wear
+	}
+	if got := pick(MinCostDecline{}, layout); got != 0 {
+		t.Fatalf("min-cost-decline picked %d, want 0", got)
+	}
+	if got := pick(Greedy{}, layout); got != 0 {
+		t.Fatalf("greedy picked %d, want 0", got)
+	}
+	if got := pick(WearAware{}, layout); got != 1 {
+		t.Fatalf("wear-aware picked %d, want 1 (low wear)", got)
+	}
+}
+
+// TestOldestIgnoresReclaimEconomics: oldest is pure close-time order —
+// it takes the oldest block even when a younger one has far more
+// garbage.
+func TestOldestIgnoresReclaimEconomics(t *testing.T) {
+	layout := []Candidate{
+		cand(90, 5, 0, 50), // younger, almost all garbage
+		cand(10, 90, 0, 2), // oldest, barely any garbage
+	}
+	if got := pick(Oldest{}, layout); got != 1 {
+		t.Fatalf("oldest picked %d, want 1", got)
+	}
+	if got := pick(Greedy{}, layout); got != 0 {
+		t.Fatalf("greedy picked %d, want 0", got)
+	}
+}
+
+// TestNothingReclaimableDeclined: every policy must return +Inf for a
+// candidate with no reclaimable bytes — collecting it would burn an
+// erase for zero space.
+func TestNothingReclaimableDeclined(t *testing.T) {
+	empty := cand(0, 50, 3, 7)
+	for _, p := range []Policy{MinCostDecline{}, Greedy{}, Oldest{}, CostBenefit{}, WearAware{}} {
+		if s := p.Score(empty); !math.IsInf(s, 1) {
+			t.Errorf("%s scored empty candidate %v, want +Inf", p.Name(), s)
+		}
+	}
+	if got := pick(MinCostDecline{}, []Candidate{empty, empty}); got != -1 {
+		t.Fatalf("pick over declined candidates = %d, want -1", got)
+	}
+}
+
+// TestScoreClampsOverfullAvail: Avail can transiently exceed capacity
+// (fragmentation accounting); E clamps to 1 and the scores stay finite
+// and minimal rather than going negative or NaN.
+func TestScoreClampsOverfullAvail(t *testing.T) {
+	over := cand(250, 10, 0, 1)
+	for _, p := range []Policy{MinCostDecline{}, Greedy{}, WearAware{}} {
+		s := p.Score(over)
+		if math.IsNaN(s) || s < 0 {
+			t.Errorf("%s scored overfull candidate %v, want finite >= 0", p.Name(), s)
+		}
+	}
+	if s := (CostBenefit{}).Score(over); math.IsNaN(s) {
+		t.Errorf("cost-benefit scored overfull candidate NaN")
+	}
+	// A fully-reclaimable block must beat any partially-reclaimable one
+	// under min-cost-decline (score 0 — free space, no movement).
+	if s := (MinCostDecline{}).Score(over); s != 0 {
+		t.Errorf("min-cost-decline full-garbage score = %v, want 0", s)
+	}
+}
+
+// TestWearBiasDefault: zero-valued WearAware applies the documented 5%
+// default rather than no penalty.
+func TestWearBiasDefault(t *testing.T) {
+	c := cand(50, 10, 20, 5)
+	base := MinCostDecline{}.Score(c)
+	got := WearAware{}.Score(c)
+	want := base * (1 + 0.05*20)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("wear-aware default bias score = %v, want %v", got, want)
+	}
+	custom := WearAware{WearBias: 0.5}.Score(c)
+	if math.Abs(custom-base*(1+0.5*20)) > 1e-12 {
+		t.Fatalf("wear-aware custom bias score = %v", custom)
+	}
+}
+
+// TestPolicyNames pins the names surfaced in stats_full labels.
+func TestPolicyNames(t *testing.T) {
+	want := map[string]Policy{
+		"min-cost-decline": MinCostDecline{},
+		"greedy":           Greedy{},
+		"oldest":           Oldest{},
+		"cost-benefit":     CostBenefit{},
+		"wear-aware":       WearAware{},
+	}
+	for name, p := range want {
+		if p.Name() != name {
+			t.Errorf("%T.Name() = %q, want %q", p, p.Name(), name)
+		}
+	}
+}

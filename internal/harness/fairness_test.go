@@ -1,0 +1,27 @@
+package harness
+
+import "testing"
+
+// TestFairnessSmoke runs a miniature three-arm fairness comparison —
+// every arm must complete, produce latency profiles, and the qos arm
+// must show the noisy tenant actually passing through admission. The
+// inflation bound itself is a wall-clock truth the CI gate checks at
+// full scale; here only sanity is asserted.
+func TestFairnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP experiment")
+	}
+	res, err := RunFairness(30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SoloP99 <= 0 || res.QoSP99 <= 0 || res.NoQoSP99 <= 0 {
+		t.Fatalf("missing latency profile: %+v", res)
+	}
+	if res.QoSInflation <= 0 || res.NoQoSInflation <= 0 {
+		t.Fatalf("inflation ratios not computed: %+v", res)
+	}
+	if res.NoisyAdmitted == 0 {
+		t.Fatal("qos arm admitted no noisy-tenant bytes — admission never ran")
+	}
+}

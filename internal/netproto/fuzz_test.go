@@ -32,6 +32,35 @@ func FuzzDecodeStatsFull(f *testing.F) {
 	})
 }
 
+// FuzzDecodeOpenSession: same contract for the open_session tenant-tag
+// codec — no panics, and any body the parser accepts must re-encode to
+// the identical bytes. Canonicality here has teeth: the default tag has
+// exactly one encoding (the legacy empty body), so the fuzzer proves the
+// versioned form can never alias it.
+func FuzzDecodeOpenSession(f *testing.F) {
+	f.Add([]byte{})
+	if b, err := OpenSessionBody("tenant-a", 3); err == nil {
+		f.Add(b)
+	}
+	if b, err := OpenSessionBody("", 255); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tenant, prio, err := ParseOpenSession(data)
+		if err != nil {
+			return
+		}
+		re, err := OpenSessionBody(tenant, prio)
+		if err != nil {
+			t.Fatalf("accepted (%q, %d) does not re-encode: %v", tenant, prio, err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("accepted non-canonical encoding:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
 // FuzzDecodeTraceDump: same contract for the trace_dump codec — no
 // panics, no over-allocation, and accepted inputs re-encode
 // byte-identically (the 65-byte fixed entries make the codec canonical).

@@ -36,7 +36,7 @@ import (
 // Message types.
 const (
 	// Requests.
-	MsgOpenSession  = 0x01 // body: empty
+	MsgOpenSession  = 0x01 // body: empty (default tag) | u8 ver | u8 prio | u8 len | tenant
 	MsgCloseSession = 0x02 // body: sid u64
 	MsgFlushBatch   = 0x03 // body: sid u64 | wsn u64 | batch wire bytes
 	MsgRead         = 0x04 // body: lpid u64
@@ -199,6 +199,53 @@ func ParseU64(body []byte) (uint64, error) {
 		return 0, fmt.Errorf("%w: want 8 bytes, have %d", ErrShortBody, len(body))
 	}
 	return binary.LittleEndian.Uint64(body), nil
+}
+
+// openSessionVersion is the current versioned open_session body format.
+const openSessionVersion = 1
+
+// OpenSessionBody encodes an open_session request body. The default tag
+// (empty tenant, priority 0) encodes as the empty body — byte-identical
+// to the legacy pre-tenant request, so old clients are the degenerate
+// case of the new codec. Any other tag uses the versioned form
+// u8 version | u8 priority | u8 len | tenant.
+func OpenSessionBody(tenant string, priority uint8) ([]byte, error) {
+	if tenant == "" && priority == 0 {
+		return nil, nil
+	}
+	if len(tenant) > session.MaxTenantLen {
+		return nil, fmt.Errorf("netproto: tenant tag %d bytes exceeds %d", len(tenant), session.MaxTenantLen)
+	}
+	b := make([]byte, 0, 3+len(tenant))
+	b = append(b, openSessionVersion, priority, byte(len(tenant)))
+	return append(b, tenant...), nil
+}
+
+// ParseOpenSession decodes an open_session request body. The empty body
+// is the default tag. Decode∘encode is byte-identical: unknown versions,
+// tenant-length/body-length mismatches (which covers trailing bytes) and
+// the non-canonical versioned encoding of the default tag are rejected.
+func ParseOpenSession(body []byte) (tenant string, priority uint8, err error) {
+	if len(body) == 0 {
+		return "", 0, nil
+	}
+	if len(body) < 3 {
+		return "", 0, fmt.Errorf("%w: open_session header", ErrShortBody)
+	}
+	if body[0] != openSessionVersion {
+		return "", 0, fmt.Errorf("netproto: open_session version %d unsupported", body[0])
+	}
+	priority = body[1]
+	tlen := int(body[2])
+	if len(body) != 3+tlen {
+		return "", 0, fmt.Errorf("%w: open_session wants %d tenant bytes, have %d",
+			ErrShortBody, tlen, len(body)-3)
+	}
+	tenant = string(body[3:])
+	if tenant == "" && priority == 0 {
+		return "", 0, errors.New("netproto: non-canonical open_session: versioned body with default tag")
+	}
+	return tenant, priority, nil
 }
 
 // FlushBody encodes a flush_batch request body around an already-encoded

@@ -1,0 +1,71 @@
+package netproto
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOpenSessionRoundTrip: every representable (tenant, priority) pair
+// must survive encode→decode, and the default pair must encode as the
+// legacy empty body so old clients and new servers interoperate.
+func TestOpenSessionRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		tenant   string
+		priority uint8
+		wantLen  int
+	}{
+		{"", 0, 0}, // default tag: legacy empty body
+		{"alpha", 0, 3 + 5},
+		{"", 7, 3},
+		{"tenant-with-a-longer-name", 255, 3 + 25},
+		{strings.Repeat("x", 255), 1, 3 + 255},
+	} {
+		body, err := OpenSessionBody(tc.tenant, tc.priority)
+		if err != nil {
+			t.Fatalf("OpenSessionBody(%q, %d): %v", tc.tenant, tc.priority, err)
+		}
+		if len(body) != tc.wantLen {
+			t.Fatalf("OpenSessionBody(%q, %d) = %d bytes, want %d", tc.tenant, tc.priority, len(body), tc.wantLen)
+		}
+		tenant, prio, err := ParseOpenSession(body)
+		if err != nil {
+			t.Fatalf("ParseOpenSession(%q, %d): %v", tc.tenant, tc.priority, err)
+		}
+		if tenant != tc.tenant || prio != tc.priority {
+			t.Fatalf("round trip (%q, %d) -> (%q, %d)", tc.tenant, tc.priority, tenant, prio)
+		}
+	}
+}
+
+// TestOpenSessionBodyRejectsOversizedTenant: the session layer caps
+// tenant tags at 255 bytes (one length byte on the wire); the encoder
+// must refuse rather than truncate.
+func TestOpenSessionBodyRejectsOversizedTenant(t *testing.T) {
+	if _, err := OpenSessionBody(strings.Repeat("x", 256), 0); err == nil {
+		t.Fatal("256-byte tenant accepted")
+	}
+}
+
+// TestParseOpenSessionRejects pins the malformed-body space: truncated
+// headers, forged tenant lengths (both directions — trailing bytes are a
+// length mismatch too), unknown versions, and the non-canonical
+// versioned encoding of the default tag.
+func TestParseOpenSessionRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		body []byte
+	}{
+		{"short header 1", []byte{1}},
+		{"short header 2", []byte{1, 0}},
+		{"unknown version", []byte{2, 0, 0}},
+		{"version zero", []byte{0, 5, 1, 'a'}},
+		{"tenant truncated", []byte{1, 0, 5, 'a', 'b'}},
+		{"trailing bytes", []byte{1, 0, 1, 'a', 'b'}},
+		{"forged tlen 255 empty", []byte{1, 0, 255}},
+		{"non-canonical default", []byte{1, 0, 0}},
+	} {
+		if _, _, err := ParseOpenSession(tc.body); err == nil {
+			t.Errorf("%s: %x accepted", tc.name, tc.body)
+		}
+	}
+}

@@ -16,6 +16,13 @@ import (
 //	nGauges   u32 | { nameLen u16 | name | value i64 } ...
 //	nHists    u32 | { nameLen u16 | name | sum i64 | nBounds u16 |
 //	                  bounds i64 × nBounds | buckets i64 × (nBounds+1) } ...
+//	nLabels   u32 | { keyLen u16 | key | valLen u16 | value } ...
+//
+// Version 2 added the trailing labels section, which carries exporter
+// facts that are not instruments (e.g. the active "gc.policy" name).
+// The decoder is strict-v2: a v1 body (no labels section) is rejected
+// rather than defaulted, keeping the one-valid-encoding-per-snapshot
+// canonicality contract that the fuzzer enforces.
 //
 // Derived histogram fields (Count, P50/P95/P99) are NOT on the wire:
 // Count is by construction the sum of the bucket values and the
@@ -30,7 +37,7 @@ import (
 
 const (
 	statsMagic   = 0x454C4D53 // "ELMS"
-	statsVersion = 1
+	statsVersion = 2
 
 	maxStatsName   = 4096 // instrument names are short; forged ones need not be honored
 	maxStatsBounds = 4096 // DurationBounds is 24; a forged table must not size an alloc
@@ -51,6 +58,9 @@ func EncodeStatsFull(s metrics.Snapshot) []byte {
 	}
 	for _, h := range s.Histograms {
 		n += 12 + len(h.Name) + 8*len(h.Bounds) + 8*len(h.Buckets)
+	}
+	for _, l := range s.Labels {
+		n += 4 + len(l.Key) + len(l.Value)
 	}
 	b := make([]byte, 0, n)
 	b = binary.LittleEndian.AppendUint32(b, statsMagic)
@@ -76,6 +86,11 @@ func EncodeStatsFull(s metrics.Snapshot) []byte {
 		for _, v := range h.Buckets {
 			b = binary.LittleEndian.AppendUint64(b, uint64(v))
 		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Labels)))
+	for _, l := range s.Labels {
+		b = appendStatsName(b, l.Key)
+		b = appendStatsName(b, l.Value)
 	}
 	return b
 }
@@ -250,6 +265,22 @@ func DecodeStatsFull(body []byte) (metrics.Snapshot, error) {
 		hv.Count = count
 		hv.Finalize()
 		s.Histograms = append(s.Histograms, hv)
+	}
+
+	nl, err := r.sectionCount(4) // keyLen + valLen, both empty
+	if err != nil {
+		return s, err
+	}
+	for i := 0; i < nl; i++ {
+		key, err := r.name()
+		if err != nil {
+			return s, err
+		}
+		val, err := r.name()
+		if err != nil {
+			return s, err
+		}
+		s.Labels = append(s.Labels, metrics.Label{Key: key, Value: val})
 	}
 
 	if r.remaining() != 0 {

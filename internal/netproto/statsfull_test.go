@@ -20,7 +20,9 @@ func sampleSnapshot() metrics.Snapshot {
 		h.Observe(v)
 	}
 	reg.Histogram("wal.group_commit_records", metrics.SizeBounds()).Observe(12)
-	return reg.Snapshot()
+	snap := reg.Snapshot()
+	snap.Labels = append(snap.Labels, metrics.Label{Key: "gc.policy", Value: "min-cost-decline"})
+	return snap
 }
 
 func TestStatsFullRoundTrip(t *testing.T) {
@@ -44,8 +46,46 @@ func TestStatsFullEmptySnapshot(t *testing.T) {
 	if !reflect.DeepEqual(got, snap) {
 		t.Fatalf("empty round trip: %+v", got)
 	}
-	if got.Counters != nil || got.Gauges != nil || got.Histograms != nil {
+	if got.Counters != nil || got.Gauges != nil || got.Histograms != nil || got.Labels != nil {
 		t.Fatalf("empty sections must decode as nil slices: %+v", got)
+	}
+}
+
+func TestStatsFullLabelsRoundTrip(t *testing.T) {
+	snap := metrics.Snapshot{Labels: []metrics.Label{
+		{Key: "gc.policy", Value: "wear-aware"},
+		{Key: "", Value: ""}, // empty key/value are legal on the wire
+	}}
+	got, err := DecodeStatsFull(EncodeStatsFull(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("labels round trip:\n got %+v\nwant %+v", got, snap)
+	}
+	if got.Label("gc.policy") != "wear-aware" {
+		t.Fatalf("Label lookup = %q", got.Label("gc.policy"))
+	}
+}
+
+func TestDecodeStatsFullRejectsV1(t *testing.T) {
+	// A v1 body — everything up to but excluding the labels section — must
+	// be rejected outright: defaulting the missing section would give one
+	// snapshot two valid encodings and break canonicality.
+	full := EncodeStatsFull(metrics.Snapshot{})
+	v1 := append([]byte(nil), full[:len(full)-4]...) // strip nLabels
+	v1[4] = 1                                        // version byte
+	if _, err := DecodeStatsFull(v1); !errors.Is(err, ErrBadStats) {
+		t.Fatalf("v1 body: %v, want ErrBadStats", err)
+	}
+}
+
+func TestDecodeStatsFullForgedLabelCount(t *testing.T) {
+	full := EncodeStatsFull(metrics.Snapshot{})
+	b := append([]byte(nil), full[:len(full)-4]...)
+	b = binary.LittleEndian.AppendUint32(b, 1<<31) // forged nLabels
+	if _, err := DecodeStatsFull(b); !errors.Is(err, ErrBadStats) {
+		t.Fatalf("forged label count: %v, want ErrBadStats", err)
 	}
 }
 

@@ -293,6 +293,15 @@ func (c *chanPlanner) loadCursor() error {
 	if err != nil {
 		return err
 	}
+	if d.State != summary.Open {
+		// The cursor is stale: a GC/migration path retired this EBLOCK
+		// (erased it, or marked it Bad after a failed erase) without the
+		// provisioner hearing about it. Programming a non-Open EBLOCK can
+		// never be right, so drop the cursor and allocate fresh. Runs
+		// under p.mu (all planners are built inside ProvisionBatch/GC).
+		c.p.dropCursor(c.ch, eb)
+		return nil
+	}
 	c.cur = eb
 	c.dataWB = int(d.DataWBlocks)
 	c.meta = c.p.st.Meta(c.ch, eb)

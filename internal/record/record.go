@@ -211,9 +211,12 @@ type CloseEBlock struct {
 	MetaWBlocks uint32
 }
 
-// SessionOpen records creation of session SID.
+// SessionOpen records creation of session SID, tagged with the opening
+// client's tenant name and priority (empty/zero for untagged sessions).
 type SessionOpen struct {
-	SID uint64
+	SID      uint64
+	Priority uint8
+	Tenant   string
 }
 
 // SessionClose records closing of session SID.
@@ -296,7 +299,17 @@ func (r CloseEBlock) encodePayload(dst []byte) []byte {
 	return dst
 }
 
-func (r SessionOpen) encodePayload(dst []byte) []byte  { return putU64(dst, r.SID) }
+func (r SessionOpen) encodePayload(dst []byte) []byte {
+	dst = putU64(dst, r.SID)
+	dst = append(dst, r.Priority)
+	t := r.Tenant
+	if len(t) > 255 {
+		t = t[:255]
+	}
+	dst = append(dst, byte(len(t)))
+	return append(dst, t...)
+}
+
 func (r SessionClose) encodePayload(dst []byte) []byte { return putU64(dst, r.SID) }
 
 func (r FreeEBlock) encodePayload(dst []byte) []byte {
@@ -377,6 +390,19 @@ func (r *reader) u8() uint8 {
 	return v
 }
 
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b) < n {
+		r.err = ErrMalformed
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
 func (r *reader) done() error {
 	if r.err != nil {
 		return r.err
@@ -450,7 +476,13 @@ func Decode(b []byte) (Record, int, error) {
 		r.MetaWBlocks = rd.u32()
 		rec = r
 	case KindSessionOpen:
-		rec = SessionOpen{SID: rd.u64()}
+		r := SessionOpen{SID: rd.u64()}
+		if payloadLen > 8 {
+			r.Priority = rd.u8()
+			r.Tenant = string(rd.bytes(int(rd.u8())))
+		}
+		// payloadLen == 8 is the pre-tenant encoding: untagged session.
+		rec = r
 	case KindSessionClose:
 		rec = SessionClose{SID: rd.u64()}
 	case KindFreeEBlock:

@@ -14,6 +14,12 @@ import (
 // the spirit of WAL group commit). Off by default — it trades up to
 // Window of added latency per small flush for fewer forced log pages
 // and larger, better-striped program batches.
+//
+// Coalescing is tenant-safe by construction: per-tenant QoS admission
+// (rate tokens and inflight budget) is charged in Server.flush BEFORE a
+// flush takes a seat in a round, so a merged group batch carries only
+// bytes each tenant already paid for — one tenant can never ride
+// another's budget through the merge.
 type CoalesceConfig struct {
 	// Enabled turns coalescing on.
 	Enabled bool

@@ -1,0 +1,195 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eleos/internal/addr"
+	"eleos/internal/client"
+	"eleos/internal/core"
+	"eleos/internal/netproto"
+	"eleos/internal/qos"
+	"eleos/internal/server"
+)
+
+// qosPage builds one LPage of n deterministic bytes.
+func qosPage(lpid addr.LPID, n int) core.LPage {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(int(lpid) + i)
+	}
+	return core.LPage{LPID: lpid, Data: data}
+}
+
+// TestQoSTenantTagEndToEnd opens tagged sessions over the wire and
+// checks the tag survives the server round trip into the controller's
+// session table — including across a checkpointed restart.
+func TestQoSTenantTagEndToEnd(t *testing.T) {
+	ctl, dev, _, address, _ := startServer(t, server.Config{})
+	c, err := client.Dial(address, fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sess, err := c.NewSessionTenant("alpha", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := c.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Flush([]core.LPage{qosPage(10, 3000)}); err != nil {
+		t.Fatal(err)
+	}
+
+	tn, prio, err := ctl.SessionTenant(sess.SID())
+	if err != nil || tn != "alpha" || prio != 7 {
+		t.Fatalf("SessionTenant = (%q,%d,%v), want (alpha,7,nil)", tn, prio, err)
+	}
+	if tn, prio, err = ctl.SessionTenant(plain.SID()); err != nil || tn != "" || prio != 0 {
+		t.Fatalf("untagged SessionTenant = (%q,%d,%v), want (\"\",0,nil)", tn, prio, err)
+	}
+
+	// Restart: the SessionOpen log record (or checkpoint image) must
+	// bring the tag back.
+	if err := ctl.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Crash()
+	ctl2, err := core.Open(dev, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn, prio, err = ctl2.SessionTenant(sess.SID()); err != nil || tn != "alpha" || prio != 7 {
+		t.Fatalf("post-recovery SessionTenant = (%q,%d,%v), want (alpha,7,nil)", tn, prio, err)
+	}
+}
+
+// TestQoSBudgetThrottlesTenant caps one tenant's inflight budget below
+// a single flush and shows the capped tenant serializes while an
+// uncapped tenant is untouched; accounting balances afterwards.
+func TestQoSBudgetThrottlesTenant(t *testing.T) {
+	_, _, srv, address, _ := startServer(t, server.Config{
+		QoS: qos.Config{
+			Enabled: true,
+			Tenants: map[string]qos.Limits{
+				"capped": {MaxInflightBytes: 4 << 10},
+			},
+		},
+	})
+
+	var wrote atomic.Int64
+	run := func(tenant string, seed int64, lpidBase addr.LPID) error {
+		c, err := client.Dial(address, fastOpts(seed))
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		sess, err := c.NewSessionTenant(tenant, 1)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 8; i++ {
+			// 8 KB batches: double the capped tenant's budget, so every
+			// capped flush is the oversized-alone case and serializes.
+			if err := sess.Flush([]core.LPage{qosPage(lpidBase+addr.LPID(i), 8<<10)}); err != nil {
+				return err
+			}
+			wrote.Add(8 << 10)
+		}
+		return nil
+	}
+
+	errs := make(chan error, 2)
+	go func() { errs <- run("capped", 2, 100) }()
+	go func() { errs <- run("free", 3, 200) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := srv.QoSStats()
+	capped, ok := st["capped"]
+	if !ok {
+		t.Fatalf("no QoS accounting for capped tenant: %v", st)
+	}
+	if capped.InflightBytes != 0 || capped.Waiters != 0 {
+		t.Fatalf("capped tenant not drained: %+v", capped)
+	}
+	if capped.AdmittedBytes < 8*(8<<10) {
+		t.Fatalf("capped admitted %d bytes, want >= %d", capped.AdmittedBytes, 8*(8<<10))
+	}
+	if free := st["free"]; free.ThrottledCount != 0 {
+		t.Fatalf("free tenant throttled %d times, want 0", free.ThrottledCount)
+	}
+}
+
+// TestQoSDrainAbortsThrottledFlush parks a flush on an exhausted rate
+// bucket and drains the server: the waiter must come back with a
+// retryable shutting-down error, not hang.
+func TestQoSDrainAbortsThrottledFlush(t *testing.T) {
+	_, _, srv, address, _ := startServer(t, server.Config{
+		QoS: qos.Config{
+			Enabled: true,
+			Tenants: map[string]qos.Limits{
+				// 16-byte bucket refilling 1 B/s: the first real flush
+				// drains it and the second waits ~forever.
+				"slow": {RateBytesPerSec: 1, BurstBytes: 16},
+			},
+		},
+	})
+	opts := fastOpts(4)
+	opts.MaxAttempts = 1
+	c, err := client.Dial(address, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.NewSessionTenant("slow", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flushErr := make(chan error, 1)
+	go func() {
+		err := sess.Flush([]core.LPage{qosPage(300, 4000)})
+		if err == nil {
+			err = sess.Flush([]core.LPage{qosPage(301, 4000)})
+		}
+		flushErr <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the flush park in the bucket
+
+	drained := make(chan struct{})
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+		close(drained)
+	}()
+
+	select {
+	case err := <-flushErr:
+		if err == nil {
+			t.Fatal("throttled flush succeeded; want drain abort")
+		}
+		var re *netproto.RemoteError
+		retryableRemote := errors.As(err, &re) && netproto.Retryable(re.Code)
+		if !errors.Is(err, client.ErrAttemptsExhausted) && !retryableRemote {
+			t.Fatalf("throttled flush err = %v, want retryable shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("throttled flush hung through drain")
+	}
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain hung")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"eleos/internal/core"
 	"eleos/internal/metrics"
 	"eleos/internal/netproto"
+	"eleos/internal/qos"
 	"eleos/internal/trace"
 )
 
@@ -67,6 +68,12 @@ type Config struct {
 	// from different connections merge into one controller batch (see
 	// CoalesceConfig). Off by default.
 	Coalesce CoalesceConfig
+	// QoS opts into per-tenant admission control: token-bucket rate
+	// limits and inflight-byte budgets keyed by the session's tenant
+	// tag, charged before the global inflight semaphore and before the
+	// coalescer (so merged batches never share budgets). Off by
+	// default.
+	QoS qos.Config
 	// LegacyCopyPath restores the pre-pooling request loop — allocating
 	// frame reads, copying batch decode, per-reply body allocations —
 	// as the baseline arm of A/B benchmarks (benchrunner hotpath). Not
@@ -163,6 +170,7 @@ type Server struct {
 	met srvMetrics
 	trc *trace.Recorder // the controller's flight recorder (nil-safe)
 	co  *coalescer      // nil unless Config.Coalesce.Enabled
+	qos *qos.Controller // nil-safe; disabled unless Config.QoS.Enabled
 
 	connSeq atomic.Uint64 // connection serials for trace attribution
 
@@ -189,6 +197,9 @@ func New(ctl *core.Controller, cfg Config) *Server {
 	s.slowLogf = log.Printf
 	if s.cfg.Coalesce.Enabled {
 		s.co = newCoalescer(ctl, s.cfg.Coalesce)
+	}
+	if s.cfg.QoS.Enabled {
+		s.qos = qos.New(s.cfg.QoS, ctl.Metrics())
 	}
 	return s
 }
@@ -264,6 +275,10 @@ func (s *Server) Stats() Stats {
 	return s.stats
 }
 
+// QoSStats snapshots per-tenant admission accounting (nil when QoS is
+// disabled). The chaos harness checks it balances exactly after kills.
+func (s *Server) QoSStats() map[string]qos.TenantStats { return s.qos.Stats() }
+
 // refuse answers an over-limit connection with one error frame and
 // closes it; the deadline keeps a stalled peer from pinning the
 // goroutine.
@@ -290,6 +305,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.cond.Broadcast() // release backpressure waiters into ErrDraining
 	s.mu.Unlock()
+	s.qos.Drain() // abort per-tenant admission waiters too
 	if ln != nil {
 		_ = ln.Close()
 	}
@@ -465,7 +481,11 @@ func (s *Server) count(f func(*Stats)) {
 func (s *Server) dispatch(cn *connState, typ byte, body []byte) (rtyp byte, head, tail []byte) {
 	switch typ {
 	case netproto.MsgOpenSession:
-		sid, err := s.ctl.OpenSession()
+		tenant, priority, err := netproto.ParseOpenSession(body)
+		if err != nil {
+			return s.badRequest(cn, err)
+		}
+		sid, err := s.ctl.OpenSessionTenant(tenant, priority)
 		if err != nil {
 			return s.errFrame(cn, err)
 		}
@@ -517,7 +537,9 @@ func (s *Server) dispatch(cn *connState, typ byte, body []byte) (rtyp byte, head
 		return netproto.MsgRespStats, raw, nil
 
 	case netproto.MsgStatsFull:
-		return netproto.MsgRespStatsFull, netproto.EncodeStatsFull(s.ctl.MetricsSnapshot()), nil
+		snap := s.ctl.MetricsSnapshot()
+		snap.Labels = append(snap.Labels, metrics.Label{Key: "gc.policy", Value: s.ctl.GCPolicyName()})
+		return netproto.MsgRespStatsFull, netproto.EncodeStatsFull(snap), nil
 
 	case netproto.MsgTraceDump:
 		return netproto.MsgRespTraceDump, netproto.EncodeTraceDump(s.ctl.TraceDump()), nil
@@ -538,7 +560,22 @@ func (s *Server) flush(cn *connState, sid, wsn, traceID uint64, wire []byte) (by
 		traceID = s.trc.NewTraceID()
 	}
 	n := int64(len(wire))
+	// Per-tenant admission first: the tenant pays its own rate tokens
+	// and budget bytes before touching shared capacity, so a throttled
+	// tenant queues in its own lane instead of holding the global
+	// semaphore. sid 0 and unknown sessions fall to the default tenant;
+	// the unknown-session error still surfaces from the write below.
+	tenant, prio := "", uint8(0)
+	if s.qos.Enabled() && sid != 0 {
+		if tn, p, err := s.ctl.SessionTenant(sid); err == nil {
+			tenant, prio = tn, p
+		}
+	}
+	if err := s.qos.Admit(tenant, prio, n); err != nil {
+		return s.errCode(cn, netproto.CodeShuttingDown, err.Error())
+	}
 	if err := s.admit(n); err != nil {
+		s.qos.Release(tenant, n)
 		return s.errCode(cn, netproto.CodeShuttingDown, err.Error())
 	}
 	var t0 time.Time
@@ -560,6 +597,7 @@ func (s *Server) flush(cn *connState, sid, wsn, traceID uint64, wire []byte) (by
 		err = s.ctl.WriteBatchWireTraced(sid, wsn, traceID, wire)
 	}
 	s.release(n)
+	s.qos.Release(tenant, n)
 	if s.cfg.SlowBatchThreshold > 0 {
 		if elapsed := time.Since(t0); elapsed > s.cfg.SlowBatchThreshold {
 			s.logSlowBatch(traceID, sid, wsn, elapsed, err)

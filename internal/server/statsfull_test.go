@@ -89,6 +89,8 @@ func TestStatsFullRoundTripTCP(t *testing.T) {
 			want.Counters[i].Value += 5 // empty stats_full request frame
 		}
 	}
+	// The server attaches exporter labels that are not in the registry.
+	want.Labels = append(want.Labels, metrics.Label{Key: "gc.policy", Value: ctl.GCPolicyName()})
 
 	if !reflect.DeepEqual(got, want) {
 		for _, diff := range snapshotDiff(want, got) {
@@ -108,6 +110,9 @@ func TestStatsFullRoundTripTCP(t *testing.T) {
 	}
 	if hv := got.Histogram("core.write.init_ns"); hv == nil || hv.Count != got.Counter("core.write.batches") {
 		t.Fatalf("core.write.init_ns = %+v, want one observation per batch", hv)
+	}
+	if got.Label("gc.policy") != "min-cost-decline" {
+		t.Fatalf("gc.policy label = %q, want min-cost-decline (default)", got.Label("gc.policy"))
 	}
 }
 

@@ -58,7 +58,13 @@ var (
 type state struct {
 	highestWSN uint64
 	open       bool
+	tenant     string
+	priority   uint8
 }
+
+// MaxTenantLen bounds the tenant tag; it is encoded with a one-byte
+// length in both the log record and the snapshot image.
+const MaxTenantLen = 255
 
 // Table tracks sessions. Safe for concurrent use.
 type Table struct {
@@ -73,9 +79,17 @@ func New(seed int64) *Table {
 	return &Table{rng: rand.New(rand.NewSource(seed)), sessions: make(map[uint64]*state)}
 }
 
-// Open creates a session and returns its SID (never zero; zero denotes
-// "no session" on write buffers).
-func (t *Table) Open() uint64 {
+// Open creates an untagged session and returns its SID (never zero; zero
+// denotes "no session" on write buffers).
+func (t *Table) Open() uint64 { return t.OpenTenant("", 0) }
+
+// OpenTenant creates a session tagged with a tenant name and priority.
+// The empty tenant is the legacy/default tenant. Tenants longer than
+// MaxTenantLen are truncated (the wire codec rejects them before here).
+func (t *Table) OpenTenant(tenant string, priority uint8) uint64 {
+	if len(tenant) > MaxTenantLen {
+		tenant = tenant[:MaxTenantLen]
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for {
@@ -86,9 +100,20 @@ func (t *Table) Open() uint64 {
 		if _, exists := t.sessions[sid]; exists {
 			continue
 		}
-		t.sessions[sid] = &state{open: true}
+		t.sessions[sid] = &state{open: true, tenant: tenant, priority: priority}
 		return sid
 	}
+}
+
+// Tenant returns a session's tenant tag and priority.
+func (t *Table) Tenant(sid uint64) (string, uint8, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[sid]
+	if !ok {
+		return "", 0, fmt.Errorf("%w: %d", ErrUnknownSession, sid)
+	}
+	return s.tenant, s.priority, nil
 }
 
 // Close removes a session.
@@ -157,13 +182,20 @@ func (t *Table) HighestWSN(sid uint64) (uint64, error) {
 
 // --- recovery --------------------------------------------------------------
 
-// RestoreOpen recreates a session during recovery (idempotent).
-func (t *Table) RestoreOpen(sid uint64) {
+// RestoreOpen recreates a session during recovery (idempotent). The
+// tenant tag rides the SessionOpen log record, so replay restores it; a
+// session first seen via AdvanceTo keeps the default tag until (if ever)
+// its open record is replayed.
+func (t *Table) RestoreOpen(sid uint64, tenant string, priority uint8) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, ok := t.sessions[sid]; !ok {
-		t.sessions[sid] = &state{open: true}
+	if s, ok := t.sessions[sid]; ok {
+		// AdvanceTo may have materialized the session before its open
+		// record replayed; attach the authoritative tag.
+		s.tenant, s.priority = tenant, priority
+		return
 	}
+	t.sessions[sid] = &state{open: true, tenant: tenant, priority: priority}
 }
 
 // RestoreClose removes a session during recovery (idempotent).
@@ -204,53 +236,96 @@ func (t *Table) DropVolatile() {
 
 // --- snapshot (flushed in full at each checkpoint, §VIII-B) ----------------
 
-const imageMagic = 0x53455353 // "SESS"
+const (
+	imageMagic   = 0x53455353 // "SESS" — v1: fixed 16-byte entries, no tags
+	imageMagicV2 = 0x32534553 // "SES2" — variable entries with tenant tags
+)
 
 // Serialize returns the full-table snapshot image, 64-byte aligned.
+// Always written in the v2 format: sid, wsn, priority, tenant per entry,
+// sorted by SID, CRC32 over the prefix.
 func (t *Table) Serialize() []byte {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	sids := make([]uint64, 0, len(t.sessions))
-	for sid := range t.sessions {
+	n := 8 + 4
+	for sid, s := range t.sessions {
 		sids = append(sids, sid)
+		n += 16 + 2 + len(s.tenant)
 	}
 	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
-	n := 8 + len(sids)*16 + 4
 	buf := make([]byte, addr.AlignUp(n))
-	binary.LittleEndian.PutUint32(buf[0:], imageMagic)
+	binary.LittleEndian.PutUint32(buf[0:], imageMagicV2)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(sids)))
 	off := 8
 	for _, sid := range sids {
+		s := t.sessions[sid]
 		binary.LittleEndian.PutUint64(buf[off:], sid)
-		binary.LittleEndian.PutUint64(buf[off+8:], t.sessions[sid].highestWSN)
-		off += 16
+		binary.LittleEndian.PutUint64(buf[off+8:], s.highestWSN)
+		buf[off+16] = s.priority
+		buf[off+17] = uint8(len(s.tenant))
+		copy(buf[off+18:], s.tenant)
+		off += 18 + len(s.tenant)
 	}
 	crc := crc32.ChecksumIEEE(buf[:off])
 	binary.LittleEndian.PutUint32(buf[off:], crc)
 	return buf
 }
 
-// Load replaces the table contents with a snapshot image.
+// Load replaces the table contents with a snapshot image. Both the
+// legacy v1 image (untagged sessions) and the v2 image are accepted, so
+// recovery can read checkpoints taken before tenant tags existed.
 func (t *Table) Load(raw []byte) error {
 	if len(raw) < 12 {
 		return fmt.Errorf("%w: short", ErrBadImage)
 	}
-	if binary.LittleEndian.Uint32(raw[0:]) != imageMagic {
-		return fmt.Errorf("%w: magic", ErrBadImage)
-	}
+	magic := binary.LittleEndian.Uint32(raw[0:])
 	n := int(binary.LittleEndian.Uint32(raw[4:]))
-	need := 8 + n*16 + 4
-	if n < 0 || len(raw) < need {
-		return fmt.Errorf("%w: truncated", ErrBadImage)
-	}
-	if crc32.ChecksumIEEE(raw[:8+n*16]) != binary.LittleEndian.Uint32(raw[8+n*16:]) {
-		return fmt.Errorf("%w: checksum", ErrBadImage)
+	// The smallest entry is 16 (v1) / 18 (v2) bytes, so a count beyond
+	// len(raw)/16 is forged; bounding it here keeps a hostile image from
+	// sizing the map (or spinning the decode loop) off a lie.
+	if n < 0 || n > len(raw)/16 {
+		return fmt.Errorf("%w: count", ErrBadImage)
 	}
 	sessions := make(map[uint64]*state, n)
-	for i := 0; i < n; i++ {
-		off := 8 + i*16
-		sid := binary.LittleEndian.Uint64(raw[off:])
-		sessions[sid] = &state{highestWSN: binary.LittleEndian.Uint64(raw[off+8:]), open: true}
+	var off int
+	switch magic {
+	case imageMagic:
+		need := 8 + n*16 + 4
+		if len(raw) < need {
+			return fmt.Errorf("%w: truncated", ErrBadImage)
+		}
+		for i := 0; i < n; i++ {
+			o := 8 + i*16
+			sid := binary.LittleEndian.Uint64(raw[o:])
+			sessions[sid] = &state{highestWSN: binary.LittleEndian.Uint64(raw[o+8:]), open: true}
+		}
+		off = 8 + n*16
+	case imageMagicV2:
+		off = 8
+		for i := 0; i < n; i++ {
+			if off+18 > len(raw) {
+				return fmt.Errorf("%w: truncated", ErrBadImage)
+			}
+			sid := binary.LittleEndian.Uint64(raw[off:])
+			wsn := binary.LittleEndian.Uint64(raw[off+8:])
+			prio := raw[off+16]
+			tlen := int(raw[off+17])
+			if off+18+tlen+4 > len(raw) {
+				return fmt.Errorf("%w: truncated", ErrBadImage)
+			}
+			tenant := string(raw[off+18 : off+18+tlen])
+			sessions[sid] = &state{highestWSN: wsn, open: true, tenant: tenant, priority: prio}
+			off += 18 + tlen
+		}
+	default:
+		return fmt.Errorf("%w: magic", ErrBadImage)
+	}
+	if len(raw) < off+4 {
+		return fmt.Errorf("%w: truncated", ErrBadImage)
+	}
+	if crc32.ChecksumIEEE(raw[:off]) != binary.LittleEndian.Uint32(raw[off:]) {
+		return fmt.Errorf("%w: checksum", ErrBadImage)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -3,6 +3,7 @@ package session
 import (
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -138,8 +139,8 @@ func TestSnapshotCorruption(t *testing.T) {
 
 func TestRecoveryHelpers(t *testing.T) {
 	tb := New(9)
-	tb.RestoreOpen(100)
-	tb.RestoreOpen(100) // idempotent
+	tb.RestoreOpen(100, "", 0)
+	tb.RestoreOpen(100, "", 0) // idempotent
 	if tb.Count() != 1 {
 		t.Fatal("RestoreOpen not idempotent")
 	}
@@ -220,12 +221,12 @@ func TestLoadReplacesContents(t *testing.T) {
 // after recovery depends on.
 func TestRecoveryReplaySnapshotRoundTrip(t *testing.T) {
 	tb := New(16)
-	tb.RestoreOpen(100)
+	tb.RestoreOpen(100, "", 0)
 	tb.AdvanceTo(100, 3)
 	tb.AdvanceTo(100, 7)
-	tb.RestoreOpen(200)
+	tb.RestoreOpen(200, "", 0)
 	tb.AdvanceTo(200, 1)
-	tb.RestoreOpen(300)
+	tb.RestoreOpen(300, "", 0)
 	tb.RestoreClose(300) // opened then closed before the crash
 	tb.AdvanceTo(400, 5) // commit replayed before its open record
 
@@ -317,6 +318,87 @@ func TestWSNSequenceQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTenantTagRoundTrip(t *testing.T) {
+	tb := New(30)
+	a := tb.OpenTenant("alpha", 7)
+	b := tb.OpenTenant("", 2)
+	c := tb.Open()
+	if err := tb.Advance(a, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(tab *Table, stage string) {
+		t.Helper()
+		for _, tc := range []struct {
+			sid    uint64
+			tenant string
+			prio   uint8
+		}{{a, "alpha", 7}, {b, "", 2}, {c, "", 0}} {
+			tenant, prio, err := tab.Tenant(tc.sid)
+			if err != nil {
+				t.Fatalf("%s: Tenant(%d): %v", stage, tc.sid, err)
+			}
+			if tenant != tc.tenant || prio != tc.prio {
+				t.Fatalf("%s: Tenant(%d) = (%q,%d), want (%q,%d)", stage, tc.sid, tenant, prio, tc.tenant, tc.prio)
+			}
+		}
+	}
+	check(tb, "live")
+
+	// Tags survive the snapshot image.
+	tb2 := New(31)
+	if err := tb2.Load(tb.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	check(tb2, "snapshot")
+	if got, _ := tb2.HighestWSN(a); got != 1 {
+		t.Fatalf("wsn after tagged round trip = %d", got)
+	}
+
+	// And the replay helpers.
+	tb3 := New(32)
+	tb3.AdvanceTo(a, 1) // commit replayed before its open record
+	tb3.RestoreOpen(a, "alpha", 7)
+	tenant, prio, err := tb3.Tenant(a)
+	if err != nil || tenant != "alpha" || prio != 7 {
+		t.Fatalf("replayed tag = (%q,%d,%v)", tenant, prio, err)
+	}
+	if _, _, err := tb3.Tenant(999); !errors.Is(err, ErrUnknownSession) {
+		t.Fatal("Tenant on unknown session")
+	}
+}
+
+// TestLoadLegacyV1Image pins backward compatibility: a checkpoint image
+// written before tenant tags existed (magic "SESS", fixed 16-byte
+// entries) must still load, with every session on the default tenant.
+func TestLoadLegacyV1Image(t *testing.T) {
+	entries := []struct{ sid, wsn uint64 }{{11, 3}, {22, 0}}
+	raw := make([]byte, 8+len(entries)*16+4)
+	binary.LittleEndian.PutUint32(raw[0:], 0x53455353) // "SESS"
+	binary.LittleEndian.PutUint32(raw[4:], uint32(len(entries)))
+	for i, e := range entries {
+		binary.LittleEndian.PutUint64(raw[8+i*16:], e.sid)
+		binary.LittleEndian.PutUint64(raw[8+i*16+8:], e.wsn)
+	}
+	crcAt := 8 + len(entries)*16
+	binary.LittleEndian.PutUint32(raw[crcAt:], crc32.ChecksumIEEE(raw[:crcAt]))
+
+	tb := New(33)
+	if err := tb.Load(raw); err != nil {
+		t.Fatalf("legacy image rejected: %v", err)
+	}
+	for _, e := range entries {
+		got, err := tb.HighestWSN(e.sid)
+		if err != nil || got != e.wsn {
+			t.Fatalf("sid %d: wsn %d %v", e.sid, got, err)
+		}
+		tenant, prio, err := tb.Tenant(e.sid)
+		if err != nil || tenant != "" || prio != 0 {
+			t.Fatalf("sid %d: tag (%q,%d,%v), want default", e.sid, tenant, prio, err)
+		}
 	}
 }
 
