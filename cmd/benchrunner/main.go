@@ -27,7 +27,11 @@
 // measured solo, racing rate-shaped aggressors with per-tenant QoS
 // admission on, and racing the same aggressors with QoS off (the
 // control arm); it records all three (-fairjson) and gates CI with
-// -maxp99inflation. ycsbnet runs the YCSB
+// -maxp99inflation. waf measures end-to-end write amplification per GC
+// policy across sequential and B-tree-churn arms, reconciling the
+// registry's WAF against the device program ledger and the per-source
+// attribution counters; it records the matrix (-wafjson) and gates CI
+// with -maxwaf on the default policy's churn arm. ycsbnet runs the YCSB
 // A/B/C mixes over loopback TCP through the read_page/read_batch wire
 // path with the tiered read cache, plus an in-process concurrent-reader
 // microbench against the global-lock baseline; it records both
@@ -44,6 +48,7 @@ import (
 	"fmt"
 	"os"
 
+	"eleos/internal/core"
 	"eleos/internal/harness"
 	"eleos/internal/tpcc"
 )
@@ -81,9 +86,13 @@ func main() {
 		fairAggr    = flag.Int("fairaggressors", 3, "noisy-tenant connections (fairness)")
 		fairJSON    = flag.String("fairjson", "BENCH_fairness.json", "JSON output file for the fairness experiment (empty disables)")
 		maxP99Infl  = flag.Float64("maxp99inflation", 0, "fail if the qos arm's quiet-tenant p99 exceeds this multiple of the solo baseline (0 disables the gate)")
+		wafBatches  = flag.Int("wafbatches", 600, "batches per (policy, workload) arm (waf)")
+		wafSeed     = flag.Int64("wafseed", 1, "workload RNG seed (waf)")
+		wafJSON     = flag.String("wafjson", "BENCH_waf.json", "JSON output file for the waf experiment (empty disables)")
+		maxWAF      = flag.Float64("maxwaf", 0, "fail if the default policy's btree-churn WAF exceeds this (0 disables the gate)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|traceoverhead|hotpath|chaos|ycsbnet|fairness|all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [flags] fig1|fig9|table2|fig10a|fig10b|fig10c|readheavy|durability|ablation|concurrent|network|metricsoverhead|traceoverhead|hotpath|chaos|ycsbnet|fairness|waf|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -104,7 +113,8 @@ func main() {
 		cacheBytes: int64(*ynCacheMB) << 20, readers: *ynReaders, readsPerArm: *ynReads,
 		json: *ynJSON, minSpeedup: *minReadSpd}
 	fair := fairnessFlags{batches: *fairBatches, aggressors: *fairAggr, json: *fairJSON, maxInflation: *maxP99Infl}
-	if err := run(exp, scale, *netBatches, *netJSON, mo, to, hot, ch, yn, fair); err != nil {
+	waf := wafFlags{batches: *wafBatches, seed: *wafSeed, json: *wafJSON, maxWAF: *maxWAF}
+	if err := run(exp, scale, *netBatches, *netJSON, mo, to, hot, ch, yn, fair, waf); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(1)
 	}
@@ -158,7 +168,16 @@ type fairnessFlags struct {
 	maxInflation float64 // >0: exit nonzero if qos p99 / solo p99 exceeds
 }
 
-func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to overheadFlags, hot hotpathFlags, ch chaosFlags, yn ycsbnetFlags, fair fairnessFlags) error {
+// wafFlags carries the waf experiment's knobs; its gate bounds the
+// default policy's btree-churn write amplification.
+type wafFlags struct {
+	batches int
+	seed    int64
+	json    string
+	maxWAF  float64 // >0: exit nonzero if the gated WAF exceeds this
+}
+
+func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to overheadFlags, hot hotpathFlags, ch chaosFlags, yn ycsbnetFlags, fair fairnessFlags, waf wafFlags) error {
 	needTrace := exp == "fig9" || exp == "table2" || exp == "all"
 	var tr *tpcc.Trace
 	if needTrace {
@@ -315,6 +334,23 @@ func run(exp string, scale harness.Scale, netBatches int, netJSON string, mo, to
 		if fair.maxInflation > 0 && res.QoSInflation > fair.maxInflation {
 			return fmt.Errorf("fairness: quiet-tenant p99 inflation %.2fx under qos exceeds limit %.2fx (solo %s, qos %s)",
 				res.QoSInflation, fair.maxInflation, res.SoloP99, res.QoSP99)
+		}
+	case "waf":
+		res, err := harness.RunWAF(
+			[]core.GCPolicy{core.GCMinCostDecline, core.GCGreedy, core.GCOldest},
+			waf.batches, waf.seed)
+		if err != nil {
+			return err
+		}
+		harness.PrintWAF(os.Stdout, res)
+		if waf.json != "" {
+			if err := harness.WriteWAFJSON(waf.json, res); err != nil {
+				return err
+			}
+			fmt.Printf("result written to %s\n", waf.json)
+		}
+		if waf.maxWAF > 0 && res.GatedWAF > waf.maxWAF {
+			return fmt.Errorf("waf: gated write amplification %.3f exceeds limit %.3f", res.GatedWAF, waf.maxWAF)
 		}
 	case "chaos":
 		rep, err := harness.RunChaos(ch.seeds, func(format string, args ...any) {

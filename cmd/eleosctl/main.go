@@ -21,21 +21,27 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"eleos/internal/addr"
 	"eleos/internal/client"
 	"eleos/internal/core"
 	"eleos/internal/flash"
+	"eleos/internal/health"
 	"eleos/internal/metrics"
+	"eleos/internal/netproto"
 	"eleos/internal/trace"
 )
 
@@ -63,7 +69,10 @@ commands:
   fill -pages N -size BYTES [-seed S] write N random pages (GC exercise)
   gc [-channel N]                     force a garbage-collection pass
   checkpoint                          take a fuzzy checkpoint
-  stats [-json]                       print controller, media and metrics statistics
+  stats [-json] [-addr HOST:PORT]     print controller, media, metrics and health statistics
+                                      (with -addr: fetched from a running eleosd over stats_full)
+  top [-addr HOST:PORT] [-interval D] live device dashboard streamed from a running eleosd
+                                      over watch_stats (throughput, WAF, GC, wear, tenants)
   session-open                        open a durable write-ordering session
   swrite -sid S -wsn N <lpid>=<text>  ordered write (stale WSNs are ACKed, not re-applied)
   session-status -sid S               show a session's highest applied WSN
@@ -89,6 +98,15 @@ func run(img string, args []string) error {
 		// Network command: read pages from a running eleosd over the
 		// read_page/read_batch wire protocol.
 		return doGet(rest)
+	}
+	if cmd == "top" {
+		// Network command: live dashboard over the watch_stats stream.
+		return doTop(rest)
+	}
+	if cmd == "stats" && hasAddrFlag(rest) {
+		// Network mode: one stats_full round trip to a running eleosd
+		// instead of recovering the image.
+		return doStatsRemote(rest)
 	}
 	dev, err := flash.LoadFile(img, flash.Latency{})
 	if err != nil {
@@ -433,6 +451,7 @@ func doSessionStatus(ctl *core.Controller, args []string) error {
 func doStats(ctl *core.Controller, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit the full metrics snapshot as JSON")
+	fs.String("addr", "", "eleosd address (handled in doStatsRemote)")
 	_ = fs.Parse(args)
 	snap := ctl.MetricsSnapshot()
 	if *jsonOut {
@@ -444,8 +463,216 @@ func doStats(ctl *core.Controller, args []string) error {
 		return err
 	}
 	printStats(ctl)
+	printHealth(os.Stdout, ctl.DeviceHealth())
+	printTenants(os.Stdout, snap)
 	printMetrics(os.Stdout, snap)
 	return nil
+}
+
+// hasAddrFlag reports whether the raw argument list selects network mode.
+func hasAddrFlag(args []string) bool {
+	for _, a := range args {
+		if a == "-addr" || a == "--addr" ||
+			strings.HasPrefix(a, "-addr=") || strings.HasPrefix(a, "--addr=") {
+			return true
+		}
+	}
+	return false
+}
+
+// doStatsRemote is `stats -addr`: one stats_full round trip to a running
+// eleosd, rendering the same health/tenant/metrics sections as the local
+// mode plus the server's exporter labels.
+func doStatsRemote(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addrFlag := fs.String("addr", "127.0.0.1:9420", "eleosd address")
+	jsonOut := fs.Bool("json", false, "emit the full metrics snapshot as JSON")
+	_ = fs.Parse(args)
+	cl, err := client.Dial(*addrFlag, client.Options{
+		DialTimeout:    3 * time.Second,
+		RequestTimeout: 10 * time.Second,
+		MaxAttempts:    3,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	sf, err := cl.StatsFull()
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		b, err := marshalSnapshot(sf.Snap)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	fmt.Printf("eleosd %s", *addrFlag)
+	if pol := sf.Snap.Label("gc.policy"); pol != "" {
+		fmt.Printf("  (gc policy %s)", pol)
+	}
+	fmt.Println()
+	printHealth(os.Stdout, sf.Health)
+	printTenants(os.Stdout, sf.Snap)
+	printMetrics(os.Stdout, sf.Snap)
+	return nil
+}
+
+// errTopDone ends the watch stream after `top -n N` frames.
+var errTopDone = errors.New("eleosctl: frame budget reached")
+
+// doTop is the live dashboard: subscribe to watch_stats and redraw the
+// terminal from each pushed payload. Rates come from the delta between
+// successive pushes (health.Compute), so the first frame appears after
+// two pushes.
+func doTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addrFlag := fs.String("addr", "127.0.0.1:9420", "eleosd address")
+	interval := fs.Duration("interval", time.Second, "sampling interval (server clamps to [10ms, 60s])")
+	frames := fs.Int("n", 0, "exit after N rendered frames (0: run until interrupted)")
+	plain := fs.Bool("plain", false, "append frames instead of redrawing (for logs and pipes)")
+	_ = fs.Parse(args)
+	cl, err := client.Dial(*addrFlag, client.Options{
+		DialTimeout:    3 * time.Second,
+		RequestTimeout: 10 * time.Second,
+		MaxAttempts:    3,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var prev netproto.StatsFull
+	var prevAt time.Time
+	have := false
+	rendered := 0
+	err = cl.WatchStats(ctx, *interval, func(sf netproto.StatsFull) error {
+		now := time.Now()
+		if have {
+			if !*plain {
+				fmt.Print("\x1b[H\x1b[2J") // home + clear: redraw in place
+			}
+			fmt.Print(renderTop(*addrFlag, prev, sf, now.Sub(prevAt)))
+			rendered++
+			if *frames > 0 && rendered >= *frames {
+				return errTopDone
+			}
+		}
+		prev, prevAt, have = sf, now, true
+		return nil
+	})
+	if errors.Is(err, errTopDone) || errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// renderTop builds one dashboard frame from two successive watch_stats
+// payloads. Pure (no clock, no I/O) so tests can pin it with fixtures.
+func renderTop(target string, prev, cur netproto.StatsFull, dt time.Duration) string {
+	var sb strings.Builder
+	r := health.Compute(prev.Snap, cur.Snap, dt)
+	fmt.Fprintf(&sb, "eleos top — %s", target)
+	if pol := cur.Snap.Label("gc.policy"); pol != "" {
+		fmt.Fprintf(&sb, "   gc=%s", pol)
+	}
+	fmt.Fprintf(&sb, "   interval=%s\n\n", dt.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "write   %8.2f MB/s user  %8.2f MB/s flash   WAF %5.2f   %7.0f batches/s %9.0f pages/s\n",
+		r.UserMBps, r.FlashMBps, r.WAF, r.BatchesPS, r.PagesPS)
+	fmt.Fprintf(&sb, "gc      %8s moved  %4d eblocks freed   efficiency %s/eblock\n",
+		fmtBytes(r.GCMovedBytes), r.GCFreed, fmtBytes(int64(r.GCEfficiency)))
+	fmt.Fprintf(&sb, "read    %8.0f reads/s   cache hit %5.1f%%\n", r.ReadsPS, 100*r.CacheHitRate)
+	if r.ThrottledPS > 0 {
+		fmt.Fprintf(&sb, "qos     %8.0f throttled/s\n", r.ThrottledPS)
+	}
+	sb.WriteString("\n")
+	printHealth(&sb, cur.Health)
+	printTenants(&sb, cur.Snap)
+	return sb.String()
+}
+
+// printHealth renders the device-health census: space split, EBLOCK
+// population, and the wear summary with its histogram.
+func printHealth(w io.Writer, h health.DeviceHealth) {
+	if h.EBlocksTotal == 0 {
+		return
+	}
+	fmt.Fprintf(w, "space:  free %s  valid %s  dead %s\n",
+		fmtBytes(h.FreeBytes), fmtBytes(h.ValidBytes), fmtBytes(h.DeadBytes))
+	fmt.Fprintf(w, "eblocks: %d total  %d free  %d open  %d used  %d bad  %d reserved\n",
+		h.EBlocksTotal, h.FreeEBlocks, h.OpenEBlocks, h.UsedEBlocks, h.BadEBlocks, h.ReservedEBlocks)
+	avg := float64(h.EraseTotal) / float64(h.EBlocksTotal)
+	fmt.Fprintf(w, "wear:   erases min %d / avg %.1f / max %d (total %d)\n",
+		h.EraseMin, avg, h.EraseMax, h.EraseTotal)
+	// One histogram line each, only when they carry signal.
+	if h.EraseMax > 0 {
+		fmt.Fprintf(w, "  erase histogram: ")
+		for i, n := range h.EraseHist {
+			if n == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%s:%d ", eraseBucketLabel(i), n)
+		}
+		fmt.Fprintln(w)
+	}
+	if h.UsedEBlocks > 0 {
+		fmt.Fprintf(w, "  valid-utilization deciles:")
+		for _, n := range h.UtilHist {
+			fmt.Fprintf(w, " %d", n)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// eraseBucketLabel names one EraseHist bucket (see health.EraseBucket).
+func eraseBucketLabel(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	lo := int64(1) << (i - 1)
+	if i == health.EraseHistBuckets-1 {
+		return fmt.Sprintf("%d+", lo)
+	}
+	hi := (int64(1) << i) - 1
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// printTenants renders the per-tenant QoS and write-attribution table
+// merged from the qos.* and write.tenant.* instruments.
+func printTenants(w io.Writer, snap metrics.Snapshot) {
+	rows := health.Tenants(snap)
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "tenants:\n")
+	fmt.Fprintf(w, "  %-16s %12s %10s %12s %10s %10s\n",
+		"TENANT", "WRITTEN", "PAGES", "ADMITTED", "THROTTLED", "INFLIGHT")
+	for _, t := range rows {
+		fmt.Fprintf(w, "  %-16s %12s %10d %12s %10d %10s\n",
+			t.Tenant, fmtBytes(t.WriteBytes), t.WritePages,
+			fmtBytes(t.AdmittedBytes), t.Throttled, fmtBytes(t.InflightBytes))
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // marshalSnapshot renders a metrics snapshot as indented JSON. The schema

@@ -8,8 +8,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"eleos/internal/health"
 	"eleos/internal/metrics"
+	"eleos/internal/netproto"
 	"eleos/internal/trace"
 )
 
@@ -194,5 +197,121 @@ func TestPrintMetricsTable(t *testing.T) {
 	printMetrics(&buf, metrics.Snapshot{})
 	if buf.Len() != 0 {
 		t.Fatalf("empty snapshot should render nothing, got %q", buf.String())
+	}
+}
+
+// watchFixture builds a pair of stats_full payloads 1s apart with known
+// deltas so renderTop's rate math is pinned exactly: 1 MB/s user,
+// 2 MB/s flash (WAF 2.00), 10 batches/s, and one reclaimed EBLOCK.
+func watchFixture() (prev, cur netproto.StatsFull) {
+	build := func(user, flash, batches, moved, freed int64) netproto.StatsFull {
+		reg := metrics.New()
+		reg.Counter("core.write.bytes_accepted").Add(user)
+		reg.Counter("flash.programmed_bytes").Add(flash)
+		reg.Counter("core.write.batches").Add(batches)
+		reg.Counter("core.write.pages").Add(batches * 4)
+		reg.Counter("core.gc.bytes_moved").Add(moved)
+		reg.Counter("core.gc.eblocks_freed").Add(freed)
+		reg.Counter("read.reads").Add(batches)
+		reg.Counter("read.cache_hits").Add(batches - 20)
+		reg.Counter("read.cache_misses").Add(20)
+		reg.Counter("qos.default.admitted_bytes").Add(user)
+		reg.Counter("qos.default.throttled").Add(freed) // any delta > 0
+		reg.Counter("write.tenant.default.bytes").Add(user)
+		reg.Counter("write.tenant.default.pages").Add(batches * 4)
+		snap := reg.Snapshot()
+		snap.Labels = append(snap.Labels, metrics.Label{Key: "gc.policy", Value: "greedy"})
+		return netproto.StatsFull{
+			Snap: snap,
+			Health: health.DeviceHealth{
+				EBlocksTotal: 64, FreeEBlocks: 32, OpenEBlocks: 4,
+				UsedEBlocks: 26, BadEBlocks: 1, ReservedEBlocks: 1,
+				EraseTotal: 128, EraseMin: 0, EraseMax: 9,
+				EraseHist:  [health.EraseHistBuckets]int64{10, 20, 30, 4},
+				FreeBytes:  64 << 20, ValidBytes: 48 << 20, DeadBytes: 16 << 20,
+				UtilHist: [health.UtilHistBuckets]int64{1, 0, 2, 0, 0, 5, 0, 0, 3, 15},
+			},
+		}
+	}
+	prev = build(5<<20, 10<<20, 100, 1<<20, 2)
+	cur = build(6<<20, 12<<20, 110, 2<<20, 3)
+	return prev, cur
+}
+
+// TestRenderTop pins one dashboard frame end to end: the rate lines
+// derived from the payload deltas, the health census, and the tenant
+// table all render from a pure function with no server.
+func TestRenderTop(t *testing.T) {
+	prev, cur := watchFixture()
+	out := renderTop("10.0.0.1:9420", prev, cur, time.Second)
+	for _, want := range []string{
+		"eleos top — 10.0.0.1:9420",
+		"gc=greedy",
+		"WAF  2.00",           // 2 MB flash / 1 MB user
+		"1.00 MB/s user",      // Δ1 MB over 1s
+		"2.00 MB/s flash",     // Δ2 MB over 1s
+		"10 batches/s",        // Δ10 over 1s
+		"1 eblocks freed",     // Δ1
+		"1.0 MB moved",        // Δ1 MB GC traffic
+		"throttled/s",         // nonzero throttle delta renders the qos line
+		"space:  free 64.0 MB  valid 48.0 MB  dead 16.0 MB",
+		"eblocks: 64 total  32 free  4 open  26 used  1 bad  1 reserved",
+		"erases min 0 / avg 2.0 / max 9 (total 128)",
+		"0:10 1:20 2-3:30 4-7:4",
+		"valid-utilization deciles: 1 0 2 0 0 5 0 0 3 15",
+		"TENANT",
+		"default",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderTop missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrintHealthEmpty checks the zero-value census renders nothing, so
+// local `stats` against a fresh image stays quiet.
+func TestPrintHealthEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	printHealth(&buf, health.DeviceHealth{})
+	if buf.Len() != 0 {
+		t.Fatalf("empty health should render nothing, got %q", buf.String())
+	}
+	printTenants(&buf, metrics.Snapshot{})
+	if buf.Len() != 0 {
+		t.Fatalf("empty tenant table should render nothing, got %q", buf.String())
+	}
+}
+
+// TestFmtBytes pins the unit thresholds.
+func TestFmtBytes(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		want string
+	}{
+		{0, "0 B"}, {1023, "1023 B"}, {1024, "1.0 KB"},
+		{5 << 20, "5.0 MB"}, {3 << 30, "3.0 GB"},
+	} {
+		if got := fmtBytes(tc.n); got != tc.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestHasAddrFlag pins network-mode detection for the stats command.
+func TestHasAddrFlag(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want bool
+	}{
+		{nil, false},
+		{[]string{"-json"}, false},
+		{[]string{"-addr", "x:1"}, true},
+		{[]string{"-addr=x:1"}, true},
+		{[]string{"--addr", "x:1"}, true},
+		{[]string{"-json", "--addr=x:1"}, true},
+	} {
+		if got := hasAddrFlag(tc.args); got != tc.want {
+			t.Errorf("hasAddrFlag(%v) = %v, want %v", tc.args, got, tc.want)
+		}
 	}
 }

@@ -31,6 +31,19 @@
 //     admitted-traffic floors. Together with the per-session progress
 //     checks this is the harness's fairness invariant: every tenant both
 //     finished its workload and settled its ledger.
+//  9. Programmed-byte conservation — the per-source program attribution
+//     (user / GC / checkpoint / WAL / recovery) partitions the device's
+//     program counters exactly: the source sums equal WBlocksWritten and
+//     BytesWritten, and no controller program is unattributed. WAF
+//     reported from flash.src.* is therefore reconciled against the
+//     media's own ledger, not a parallel estimate. Device-side, so it
+//     survives any number of crash→recover registry swaps.
+//  10. Erase conservation — every erase pulse the device counted
+//     (EraseAttempts, which includes injected failures and over-limit
+//     rejections) bumped exactly one EBLOCK's wear counter, so the
+//     per-EBLOCK erase counts sum to EraseAttempts and successful
+//     erases never exceed attempts. The wear histogram the health
+//     telemetry exports is thus an exact partition of real erases.
 package invariant
 
 import (
@@ -119,6 +132,20 @@ type Expect struct {
 	// a sanity floor proving the schedule actually generated traffic.
 	MinPrograms int64
 
+	// AllowUnattributed permits programs charged to SrcUnattributed
+	// (direct Device.Program calls outside the controller). Unset, any
+	// unattributed program is a violation: every controller-issued
+	// program names its source, which is what makes the WAF split
+	// trustworthy.
+	AllowUnattributed bool
+
+	// CheckMetricsAttribution additionally requires the metrics
+	// registry's flash.src.* and flash.programmed_bytes counters to
+	// equal the device's own ledger. Only exact while one registry
+	// observed the device's whole life — set it for schedules with no
+	// crash→recover registry swap.
+	CheckMetricsAttribution bool
+
 	// MinMediaAborts requires core.write.media_aborts >= this. Clients
 	// can observe fewer aborts than injected faults (GC and checkpoints
 	// absorb some), but core must have counted every abort it returned.
@@ -189,6 +216,56 @@ func Check(s Store, e Expect) []string {
 	}
 	if got := snap.Counter("core.write.media_aborts"); got < e.MinMediaAborts {
 		fail("core.write.media_aborts = %d, below %d client-observed aborts", got, e.MinMediaAborts)
+	}
+
+	// Programmed-byte conservation: the source split partitions the
+	// device's program ledger exactly, through every kill and recovery.
+	var srcWB, srcBytes int64
+	for src := flash.Source(0); src < flash.NumSources; src++ {
+		srcWB += st.SrcWBlocks[src]
+		srcBytes += st.SrcBytes[src]
+	}
+	if srcWB != st.WBlocksWritten {
+		fail("programmed-wblock conservation: sources sum to %d, device wrote %d", srcWB, st.WBlocksWritten)
+	}
+	if srcBytes != st.BytesWritten {
+		fail("programmed-byte conservation: sources sum to %d, device wrote %d", srcBytes, st.BytesWritten)
+	}
+	if !e.AllowUnattributed && st.SrcWBlocks[flash.SrcUnattributed] != 0 {
+		fail("attribution: %d WBLOCK programs (%d bytes) bypassed source attribution",
+			st.SrcWBlocks[flash.SrcUnattributed], st.SrcBytes[flash.SrcUnattributed])
+	}
+	if e.CheckMetricsAttribution {
+		if got := snap.Counter("flash.programmed_bytes"); got != st.BytesWritten {
+			fail("flash.programmed_bytes = %d, device wrote %d", got, st.BytesWritten)
+		}
+		for src := flash.Source(0); src < flash.NumSources; src++ {
+			name := "flash.src." + src.String()
+			if got := snap.Counter(name + ".wblocks"); got != st.SrcWBlocks[src] {
+				fail("%s.wblocks = %d, device counted %d", name, got, st.SrcWBlocks[src])
+			}
+			if got := snap.Counter(name + ".bytes"); got != st.SrcBytes[src] {
+				fail("%s.bytes = %d, device counted %d", name, got, st.SrcBytes[src])
+			}
+		}
+	}
+
+	// Erase conservation: every pulse bumped exactly one wear counter.
+	dev := s.Device()
+	geo := dev.Geometry()
+	var wearSum int64
+	for ch := 0; ch < geo.Channels; ch++ {
+		for eb := 0; eb < geo.EBlocksPerChannel; eb++ {
+			if ec, err := dev.EraseCount(ch, eb); err == nil {
+				wearSum += int64(ec)
+			}
+		}
+	}
+	if wearSum != st.EraseAttempts {
+		fail("erase conservation: per-EBLOCK wear sums to %d, device attempted %d erases", wearSum, st.EraseAttempts)
+	}
+	if st.EBlocksErased > st.EraseAttempts {
+		fail("erase accounting: %d successful erases exceed %d attempts", st.EBlocksErased, st.EraseAttempts)
 	}
 
 	// Session monotonicity and tenant attribution.

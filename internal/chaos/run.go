@@ -467,11 +467,13 @@ func Run(s Schedule, opts Options) Result {
 	}
 	if res.Recoveries == 0 {
 		// No registry reinstall happened, so the metrics view must agree
-		// with the device exactly, and the programs counter covers the
-		// whole run (every batch costs at least one program).
+		// with the device exactly — fault counts and the per-source
+		// program attribution alike — and the programs counter covers
+		// the whole run (every batch costs at least one program).
 		exp.MetricsProgramFaults = res.FiredProgramFaults
 		exp.MetricsEraseFaults = res.FiredEraseFaults
 		exp.MinPrograms = int64(s.Writers * s.Batches)
+		exp.CheckMetricsAttribution = true
 	}
 	if s.Tagged() {
 		// Quota balance + fairness: every tenant's ledger must be settled

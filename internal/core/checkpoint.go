@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"eleos/internal/addr"
+	"eleos/internal/flash"
 	"eleos/internal/provision"
 	"eleos/internal/record"
 	"eleos/internal/summary"
@@ -151,7 +152,7 @@ func (c *Controller) forceCloseLocked(ref summary.OpenRef) error {
 		if hi > len(img) {
 			hi = len(img)
 		}
-		if err := c.dev.Program(ref.Channel, ref.EBlock, int(d.DataWBlocks)+k, img[lo:hi]); err != nil {
+		if err := c.dev.ProgramSrc(c.attributeSrc(flash.SrcCheckpoint), ref.Channel, ref.EBlock, int(d.DataWBlocks)+k, img[lo:hi]); err != nil {
 			// Treat like any write failure: migrate the EBLOCK away.
 			c.migrateFailedLocked([][2]int{{ref.Channel, ref.EBlock}}, 0)
 			return nil
@@ -262,7 +263,7 @@ func (c *Controller) flushTablesLocked() error {
 		copy(buf[bps[i].BufOff:], img)
 	}
 
-	failed := c.executeIOsLocked(buf, plan)
+	failed := c.executeIOsLocked(buf, plan, flash.SrcCheckpoint)
 	if len(failed) > 0 {
 		c.abortActionLocked(id, plan)
 		c.migrateFailedLocked(failed, 0)
@@ -499,7 +500,7 @@ func (c *Controller) writeCkptRecordLocked(ck *ckptRecord) error {
 	for attempt := 0; attempt < 2; attempt++ {
 		err := func() error {
 			for i, part := range parts {
-				if err := c.dev.Program(ckptChannel, c.ckptEB, c.ckptWB+i, part); err != nil {
+				if err := c.dev.ProgramSrc(c.attributeSrc(flash.SrcCheckpoint), ckptChannel, c.ckptEB, c.ckptWB+i, part); err != nil {
 					return err
 				}
 				c.stats.IOCommands++

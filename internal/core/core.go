@@ -291,6 +291,16 @@ type Controller struct {
 	crashedA    atomic.Bool // lock-free mirror of crashed for the cache-hit read path
 	crashPoints map[string]bool
 
+	// recovering is set for the duration of Open so flash programs issued
+	// by recovery (WAL resume, post-replay fix-ups) are attributed to
+	// SrcRecovery instead of their steady-state source. Atomic because the
+	// WAL sink programs without c.mu.
+	recovering atomic.Bool
+
+	// tenantWrites caches per-tenant write-attribution counter handles
+	// (see tenantWriteLocked). Protected by c.mu.
+	tenantWrites map[string]*tenantWriteCounters
+
 	// gcPolicy ranks GC victims (resolved once from Config at
 	// construction; see internal/gc). gcRetime marks circular-log
 	// policies whose relocations take the current timestamp so moved
@@ -340,8 +350,9 @@ func newController(dev *flash.Device, cfg Config) (*Controller, error) {
 		inflight:    make(map[[2]int]int),
 		pinned:      make(map[[2]int]int),
 		wsnInflight: make(map[[2]uint64]bool),
-		ckptEB:      ckptEBlockA,
-		crashPoints: make(map[string]bool),
+		ckptEB:       ckptEBlockA,
+		crashPoints:  make(map[string]bool),
+		tenantWrites: make(map[string]*tenantWriteCounters),
 	}
 	c.gcPolicy = cfg.GCPolicyPlugin
 	if c.gcPolicy == nil {
@@ -568,7 +579,7 @@ func (s logSink) ProvisionSlots(n int) ([]wal.Slot, error) {
 }
 
 func (s logSink) Program(sl wal.Slot, page []byte) error {
-	err := s.c.dev.Program(sl.Channel, sl.EBlock, sl.WBlock, page)
+	err := s.c.dev.ProgramSrc(s.c.attributeSrc(flash.SrcWAL), sl.Channel, sl.EBlock, sl.WBlock, page)
 	if err != nil {
 		// Retire the EBLOCK so fresh slots come from elsewhere; the WAL's
 		// forward candidates handle the in-flight page.

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"eleos/internal/addr"
+	"eleos/internal/flash"
 	gcpolicy "eleos/internal/gc"
 	"eleos/internal/provision"
 	"eleos/internal/record"
@@ -296,7 +297,7 @@ func (c *Controller) relocateLocked(ch, eb int, entries []summary.MetaEntry, src
 		delete(c.active, id)
 		return err
 	}
-	failed := c.executeIOsLocked(buf, plan)
+	failed := c.executeIOsLocked(buf, plan, flash.SrcGC)
 	if len(failed) > 0 {
 		c.abortActionLocked(id, plan)
 		c.migrateFailedLocked(failed, 0)
@@ -339,6 +340,7 @@ func (c *Controller) relocateLocked(ch, eb int, entries []summary.MetaEntry, src
 		c.stats.GCPagesMoved++
 		c.met.gcPagesMoved.Inc()
 		c.stats.GCBytesMoved += int64(pg.Addr.Length())
+		c.met.gcBytesMoved.Add(int64(pg.Addr.Length()))
 	}
 	if err := c.lazyGarbageLocked(id, abandoned); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"eleos/internal/flash"
 	"eleos/internal/metrics"
 	"eleos/internal/trace"
 )
@@ -26,15 +27,18 @@ type coreMetrics struct {
 	installNS     *metrics.Histogram
 	batchPages    *metrics.Histogram
 
-	batches     *metrics.Counter
-	pages       *metrics.Counter
-	staleWrites *metrics.Counter
-	mediaAborts *metrics.Counter
-	aborted     *metrics.Counter
+	batches       *metrics.Counter
+	pages         *metrics.Counter
+	staleWrites   *metrics.Counter
+	mediaAborts   *metrics.Counter
+	aborted       *metrics.Counter
+	bytesAccepted *metrics.Counter
+	bytesStored   *metrics.Counter
 
 	gcRounds     *metrics.Counter
 	gcVictims    *metrics.Counter
 	gcPagesMoved *metrics.Counter
+	gcBytesMoved *metrics.Counter
 	gcFreed      *metrics.Counter
 	migrations   *metrics.Counter
 
@@ -69,15 +73,18 @@ func newCoreMetrics(reg *metrics.Registry) coreMetrics {
 		installNS:     reg.Histogram("core.write.install_ns", metrics.DurationBounds()),
 		batchPages:    reg.Histogram("core.write.batch_pages", metrics.SizeBounds()),
 
-		batches:     reg.Counter("core.write.batches"),
-		pages:       reg.Counter("core.write.pages"),
-		staleWrites: reg.Counter("core.write.stale"),
-		mediaAborts: reg.Counter("core.write.media_aborts"),
-		aborted:     reg.Counter("core.aborted_actions"),
+		batches:       reg.Counter("core.write.batches"),
+		pages:         reg.Counter("core.write.pages"),
+		staleWrites:   reg.Counter("core.write.stale"),
+		mediaAborts:   reg.Counter("core.write.media_aborts"),
+		aborted:       reg.Counter("core.aborted_actions"),
+		bytesAccepted: reg.Counter("core.write.bytes_accepted"),
+		bytesStored:   reg.Counter("core.write.bytes_stored"),
 
 		gcRounds:     reg.Counter("core.gc.rounds"),
 		gcVictims:    reg.Counter("core.gc.victim_selections"),
 		gcPagesMoved: reg.Counter("core.gc.pages_moved"),
+		gcBytesMoved: reg.Counter("core.gc.bytes_moved"),
 		gcFreed:      reg.Counter("core.gc.eblocks_freed"),
 		migrations:   reg.Counter("core.migrations"),
 
@@ -92,6 +99,50 @@ func newCoreMetrics(reg *metrics.Registry) coreMetrics {
 
 		eraseWhilePinned: reg.Counter("core.erase_while_pinned"),
 	}
+}
+
+// attributeSrc maps a program's source to SrcRecovery while crash
+// recovery is running, so recovery-issued WAL/checkpoint traffic shows up
+// under its own accounting bucket.
+func (c *Controller) attributeSrc(src flash.Source) flash.Source {
+	if c.recovering.Load() {
+		return flash.SrcRecovery
+	}
+	return src
+}
+
+// tenantWriteLocked charges one flush's logical bytes and pages to its
+// session's tenant ("write.tenant.<tenant>.bytes"/".pages", label
+// "default" for untagged sessions, matching the qos.* convention). The
+// counter handles are cached per tenant under c.mu, so the steady state
+// pays two atomic adds and a map lookup.
+func (c *Controller) tenantWriteLocked(sid uint64, bytes, pages int64) {
+	if !c.met.on {
+		return
+	}
+	tenant := ""
+	if sid != 0 {
+		tenant, _, _ = c.sess.Tenant(sid)
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	tc := c.tenantWrites[tenant]
+	if tc == nil {
+		tc = &tenantWriteCounters{
+			bytes: c.reg.Counter("write.tenant." + tenant + ".bytes"),
+			pages: c.reg.Counter("write.tenant." + tenant + ".pages"),
+		}
+		c.tenantWrites[tenant] = tc
+	}
+	tc.bytes.Add(bytes)
+	tc.pages.Add(pages)
+}
+
+// tenantWriteCounters is one tenant's cached write-attribution handles.
+type tenantWriteCounters struct {
+	bytes *metrics.Counter
+	pages *metrics.Counter
 }
 
 // Metrics returns the controller's metrics registry (never nil; a

@@ -21,6 +21,10 @@ func Open(dev *flash.Device, cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Programs issued during recovery (WAL resume, fix-ups) are
+	// attributed to SrcRecovery for the write-amplification accounting.
+	c.recovering.Store(true)
+	defer c.recovering.Store(false)
 	ck, areaEB, areaWB, err := scanCheckpointArea(c)
 	if err != nil {
 		return nil, err

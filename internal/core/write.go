@@ -300,7 +300,7 @@ func (c *Controller) writeUser(a *action) error {
 	// Execution phase (§IV-B): the programs run on the per-channel device
 	// workers with c.mu released, so concurrent actions' I/O overlaps in
 	// wall-clock time.
-	batch := c.submitPlanLocked(a.buf, plan)
+	batch := c.submitPlanLocked(a.buf, plan, flash.SrcUser)
 	// The submit pinned the plan's EBLOCKs against GC/migration erase.
 	// Every exit from here on must release the pins — after the install
 	// or the abort, whichever ends the action. The deferred call covers
@@ -422,6 +422,8 @@ func (c *Controller) writeUser(a *action) error {
 		}
 		totalPages += int64(s.pages)
 		c.stats.BytesAccepted += s.bytes
+		c.met.bytesAccepted.Add(s.bytes)
+		c.tenantWriteLocked(s.sid, s.bytes, int64(s.pages))
 	}
 	if err := c.lazyGarbageLocked(a.id, garbage); err != nil {
 		return err
@@ -436,6 +438,7 @@ func (c *Controller) writeUser(a *action) error {
 	c.stats.PagesWritten += totalPages
 	for _, bp := range a.bps {
 		c.stats.BytesStored += int64(bp.Length)
+		c.met.bytesStored.Add(int64(bp.Length))
 	}
 	if timed {
 		if c.met.on {
@@ -539,14 +542,14 @@ func (c *Controller) logClosesLocked(plan *provision.Plan) error {
 // workers and marks their EBLOCKs in flight. Must run in the same c.mu
 // critical section as the provisioning: within a channel the FIFO queue
 // must receive WBLOCK programs in provisioning order.
-func (c *Controller) submitPlanLocked(buf []byte, plan *provision.Plan) *flash.Batch {
+func (c *Controller) submitPlanLocked(buf []byte, plan *provision.Plan, src flash.Source) *flash.Batch {
 	cmds := make([]flash.BatchCmd, 0, len(plan.IOs))
 	for _, io := range plan.IOs {
 		data := io.Inline
 		if data == nil {
 			data = buf[io.BufLo:io.BufHi]
 		}
-		cmds = append(cmds, flash.BatchCmd{Channel: io.Channel, EBlock: io.EBlock, WBlock: io.WBlock, Data: data})
+		cmds = append(cmds, flash.BatchCmd{Channel: io.Channel, EBlock: io.EBlock, WBlock: io.WBlock, Data: data, Src: c.attributeSrc(src)})
 		key := [2]int{io.Channel, io.EBlock}
 		c.inflight[key]++
 		c.pinned[key]++
@@ -596,8 +599,8 @@ func (c *Controller) waitInflightLocked(ch, eb int) {
 // failed EBLOCKs come back sorted by (channel, eblock), keeping migration
 // order (and the virtual-time accounting after injected failures)
 // deterministic.
-func (c *Controller) executeIOsLocked(buf []byte, plan *provision.Plan) [][2]int {
-	batch := c.submitPlanLocked(buf, plan)
+func (c *Controller) executeIOsLocked(buf []byte, plan *provision.Plan, src flash.Source) [][2]int {
+	batch := c.submitPlanLocked(buf, plan, src)
 	res := batch.Wait()
 	c.finishPlanLocked(plan, res)
 	// The pins are moot here — c.mu is held from submit through the

@@ -124,6 +124,50 @@ func TypicalNANDLatency() Latency {
 	}
 }
 
+// Source attributes a program operation to the subsystem that issued it.
+// The write-amplification story is an accounting argument, and the split
+// makes it exact: every successful program charges exactly one source, so
+// the per-source sums reconcile with the device totals byte-for-byte (the
+// chaos byte-conservation invariant).
+type Source uint8
+
+const (
+	// SrcUnattributed marks programs issued through the legacy Program
+	// entry point (direct device tests); controller-driven traffic never
+	// uses it.
+	SrcUnattributed Source = iota
+	// SrcUser is a user write-buffer program.
+	SrcUser
+	// SrcGC is a garbage-collection or migration relocation program.
+	SrcGC
+	// SrcCheckpoint covers checkpoint-area records, table flushes and
+	// forced EBLOCK closes.
+	SrcCheckpoint
+	// SrcWAL is a write-ahead-log page program.
+	SrcWAL
+	// SrcRecovery is any program issued while crash recovery is running.
+	SrcRecovery
+	// NumSources sizes per-source arrays.
+	NumSources
+)
+
+func (s Source) String() string {
+	switch s {
+	case SrcUser:
+		return "user"
+	case SrcGC:
+		return "gc"
+	case SrcCheckpoint:
+		return "checkpoint"
+	case SrcWAL:
+		return "wal"
+	case SrcRecovery:
+		return "recovery"
+	default:
+		return "unattributed"
+	}
+}
+
 // Stats counts media operations since the device was created (or since
 // ResetStats).
 type Stats struct {
@@ -134,6 +178,17 @@ type Stats struct {
 	BytesWritten   int64
 	WriteFailures  int64
 	EraseFailures  int64
+	// EraseAttempts counts every erase pulse that reached the media —
+	// successes, injected failures and over-limit rejections alike. Each
+	// attempt bumps exactly one EBLOCK's wear counter, so on a fresh
+	// device the per-EBLOCK erase counts sum to EraseAttempts (the chaos
+	// erase-monotonicity invariant).
+	EraseAttempts int64
+	// SrcWBlocks/SrcBytes split the successful programs by issuing
+	// subsystem; the sums over all sources equal WBlocksWritten and
+	// BytesWritten exactly.
+	SrcWBlocks [NumSources]int64
+	SrcBytes   [NumSources]int64
 }
 
 // Errors returned by device operations.
@@ -236,16 +291,20 @@ func (d *Device) wallWait(lat time.Duration) {
 type devMetrics struct {
 	programs        *metrics.Counter
 	programFailures *metrics.Counter
+	programmedBytes *metrics.Counter
 	erases          *metrics.Counter
 	eraseFailures   *metrics.Counter
 	programNS       *metrics.Histogram
 	eraseNS         *metrics.Histogram
-	queueDepth      []*metrics.Gauge // per channel, in queued commands
+	queueDepth      []*metrics.Gauge               // per channel, in queued commands
+	srcWBlocks      [NumSources]*metrics.Counter   // flash.src.<name>.wblocks
+	srcBytes        [NumSources]*metrics.Counter   // flash.src.<name>.bytes
 }
 
 // SetMetrics installs instrument handles from reg: "flash.programs",
-// "flash.program_failures", "flash.erases", "flash.erase_failures"
-// counters, the
+// "flash.program_failures", "flash.programmed_bytes", "flash.erases",
+// "flash.erase_failures" counters, per-source
+// "flash.src.<source>.wblocks"/"flash.src.<source>.bytes" counters, the
 // "flash.program_ns"/"flash.erase_ns" wall-clock histograms, and one
 // "flash.chan<i>.queue_depth" gauge per channel counting commands queued
 // on the channel's submission worker. A nil or disabled registry
@@ -259,6 +318,7 @@ func (d *Device) SetMetrics(reg *metrics.Registry) {
 	m := &devMetrics{
 		programs:        reg.Counter("flash.programs"),
 		programFailures: reg.Counter("flash.program_failures"),
+		programmedBytes: reg.Counter("flash.programmed_bytes"),
 		erases:          reg.Counter("flash.erases"),
 		eraseFailures:   reg.Counter("flash.erase_failures"),
 		programNS:       reg.Histogram("flash.program_ns", metrics.DurationBounds()),
@@ -267,6 +327,10 @@ func (d *Device) SetMetrics(reg *metrics.Registry) {
 	}
 	for i := range m.queueDepth {
 		m.queueDepth[i] = reg.Gauge(fmt.Sprintf("flash.chan%d.queue_depth", i))
+	}
+	for s := Source(0); s < NumSources; s++ {
+		m.srcWBlocks[s] = reg.Counter(fmt.Sprintf("flash.src.%s.wblocks", s))
+		m.srcBytes[s] = reg.Counter(fmt.Sprintf("flash.src.%s.bytes", s))
 	}
 	d.met.Store(m)
 }
@@ -429,7 +493,21 @@ func (d *Device) shouldFailErase() bool {
 // Program writes data into a WBLOCK. len(data) must not exceed the WBLOCK
 // size; shorter data is implicitly zero-padded on read. Programs within an
 // EBLOCK must be issued at strictly increasing WBLOCK indices.
+// Attribution defaults to SrcUnattributed; controller paths use
+// ProgramSrc.
 func (d *Device) Program(ch, eb, wb int, data []byte) error {
+	return d.ProgramSrc(SrcUnattributed, ch, eb, wb, data)
+}
+
+// ProgramSrc is Program with the issuing subsystem attributed: a
+// successful program charges exactly one source's WBLOCK and byte
+// counters, so the per-source sums reconcile with WBlocksWritten and
+// BytesWritten exactly. Out-of-range sources are clamped to
+// SrcUnattributed.
+func (d *Device) ProgramSrc(src Source, ch, eb, wb int, data []byte) error {
+	if src >= NumSources {
+		src = SrcUnattributed
+	}
 	if err := d.checkAddr(ch, eb); err != nil {
 		return err
 	}
@@ -489,9 +567,14 @@ func (d *Device) Program(ch, eb, wb int, data []byte) error {
 	d.statsMu.Lock()
 	d.stats.WBlocksWritten++
 	d.stats.BytesWritten += int64(d.geo.WBlockBytes)
+	d.stats.SrcWBlocks[src]++
+	d.stats.SrcBytes[src] += int64(d.geo.WBlockBytes)
 	d.statsMu.Unlock()
 	if m != nil {
 		m.programs.Inc()
+		m.programmedBytes.Add(int64(d.geo.WBlockBytes))
+		m.srcWBlocks[src].Inc()
+		m.srcBytes[src].Add(int64(d.geo.WBlockBytes))
 		m.programNS.ObserveDuration(time.Since(t0))
 	}
 	trc.Span(trace.KFlashProgram, 0, 0, 0, t0, int64(ch), int64(eb))
@@ -588,6 +671,9 @@ func (d *Device) Erase(ch, eb int) error {
 		return fmt.Errorf("%w: ch=%d eb=%d", ErrBadBlock, ch, eb)
 	}
 	ebs.eraseCount++
+	d.statsMu.Lock()
+	d.stats.EraseAttempts++
+	d.statsMu.Unlock()
 	if d.geo.EraseLimit > 0 && ebs.eraseCount > d.geo.EraseLimit {
 		ebs.bad = true
 		cs.mu.Unlock()
@@ -725,6 +811,9 @@ type BatchCmd struct {
 	EBlock  int
 	WBlock  int
 	Data    []byte
+	// Src attributes the program for write-amplification accounting
+	// (zero value: SrcUnattributed).
+	Src Source
 }
 
 // BatchResult reports the outcome of a submitted batch.
@@ -806,7 +895,7 @@ func (d *Device) runSegment(cmds []BatchCmd) (attempted int, failed [][2]int) {
 			continue
 		}
 		attempted++
-		if err := d.Program(c.Channel, c.EBlock, c.WBlock, c.Data); err != nil {
+		if err := d.ProgramSrc(c.Src, c.Channel, c.EBlock, c.WBlock, c.Data); err != nil {
 			if failedSet == nil {
 				failedSet = make(map[[2]int]bool)
 			}

@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"eleos/internal/addr"
+	"eleos/internal/core"
+	"eleos/internal/flash"
+	"eleos/internal/health"
+)
+
+// The waf experiment measures end-to-end write amplification the way the
+// telemetry pipeline reports it: WAF = flash.programmed_bytes /
+// core.write.bytes_accepted out of the metrics registry, reconciled
+// exactly against the device's own program ledger and the per-source
+// attribution counters. Two workload arms per GC policy:
+//
+//   - sequential: cyclic ascending overwrites of a bounded keyspace —
+//     pages die in exactly the order they were written, so reclaimed
+//     EBLOCKs are (nearly) all dead and GC relocates almost nothing.
+//     The WAF floor is set by page-slot padding plus checkpoint/WAL
+//     metadata.
+//   - btree-churn: uniformly random updates of the same keyspace at the
+//     same volume — the B-tree page-churn case the paper targets, where
+//     every reclaimed EBLOCK still holds valid pages and victim
+//     selection decides how many ride along.
+//
+// Both arms write the same bytes over the same keyspace on the same
+// capacity-constrained device; only the update order differs, so the
+// WAF delta is pure GC relocation cost.
+//
+// The CI gate bounds the paper-default policy's churn-arm WAF: a
+// regression in GC victim selection, hot/cold separation, or the
+// attribution plumbing all surface here.
+
+// WAFArm is one (policy, workload) cell with its reconciled accounting.
+type WAFArm struct {
+	Policy   string `json:"policy"`
+	Workload string `json:"workload"` // "sequential" | "btree-churn"
+
+	UserBytes  int64   `json:"user_bytes"`  // core.write.bytes_accepted
+	FlashBytes int64   `json:"flash_bytes"` // flash.programmed_bytes == device BytesWritten
+	WAF        float64 `json:"waf"`         // FlashBytes / UserBytes
+
+	// Per-source split of FlashBytes (user/gc/checkpoint/wal/recovery).
+	SourceBytes  map[string]int64 `json:"source_bytes"`
+	GCMovedMB    float64          `json:"gc_moved_mb"`
+	EBlocksFreed int64            `json:"eblocks_freed"`
+	Erases       int64            `json:"erases"`
+}
+
+// WAFResult holds every arm plus the gated headline number.
+type WAFResult struct {
+	Batches int
+	Arms    []WAFArm
+	// GatedWAF is the paper-default policy's btree-churn WAF — the
+	// number -maxwaf bounds.
+	GatedWAF float64
+}
+
+// wafGeometry is deliberately small: enough churn pressure to force
+// steady-state GC in seconds, matching the ablation experiment's scale.
+func wafGeometry() flash.Geometry {
+	return flash.Geometry{
+		Channels: 4, EBlocksPerChannel: 32,
+		EBlockBytes: 256 << 10, WBlockBytes: 16 << 10, RBlockBytes: 4 << 10,
+	}
+}
+
+// runWAFArm executes one (policy, workload) cell on a fresh device and
+// reconciles the three accounting views before reporting.
+func runWAFArm(policy core.GCPolicy, workload string, batches int, seed int64) (WAFArm, error) {
+	arm := WAFArm{Policy: policy.String(), Workload: workload}
+	dev, err := flash.NewDevice(wafGeometry(), flash.Latency{})
+	if err != nil {
+		return arm, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.GCPolicy = policy
+	cfg.GCFreeFraction = 0.12
+	cfg.GCMaxRounds = 64
+	cfg.AutoCheckpointLogBytes = 2 << 20
+	ctl, err := core.Format(dev, cfg)
+	if err != nil {
+		return arm, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		pageBytes = 2048
+		perBatch  = 16
+		keyspace  = 1200 // live working set, well under device capacity
+	)
+	payload := make([]byte, pageBytes)
+	next := 0
+	for b := 0; b < batches; b++ {
+		var batch []core.LPage
+		for k := 0; k < perBatch; k++ {
+			var lpid addr.LPID
+			if workload == "sequential" {
+				lpid = addr.LPID(1 + next%keyspace)
+				next++
+			} else {
+				lpid = addr.LPID(1 + rng.Intn(keyspace))
+			}
+			rng.Read(payload[:16])
+			batch = append(batch, core.LPage{LPID: lpid, Data: payload})
+		}
+		if err := ctl.WriteBatch(0, 0, batch); err != nil {
+			return arm, fmt.Errorf("%s/%s batch %d: %w", arm.Policy, workload, b, err)
+		}
+	}
+
+	snap := ctl.MetricsSnapshot()
+	d := dev.Stats()
+	s := ctl.Stats()
+	arm.UserBytes = snap.Counter("core.write.bytes_accepted")
+	arm.FlashBytes = snap.Counter("flash.programmed_bytes")
+	arm.SourceBytes = health.SourceBytes(snap)
+	arm.GCMovedMB = float64(s.GCBytesMoved) / (1 << 20)
+	arm.EBlocksFreed = s.GCEBlocksFreed
+	arm.Erases = d.EraseAttempts
+
+	// Reconcile: the registry counter, the device ledger, and the summed
+	// source attribution must agree to the byte. The telemetry being
+	// gated is only trustworthy if they do.
+	if arm.FlashBytes != d.BytesWritten {
+		return arm, fmt.Errorf("%s/%s: flash.programmed_bytes %d != device ledger %d",
+			arm.Policy, workload, arm.FlashBytes, d.BytesWritten)
+	}
+	var srcSum int64
+	for _, v := range arm.SourceBytes {
+		srcSum += v
+	}
+	if srcSum != arm.FlashBytes {
+		return arm, fmt.Errorf("%s/%s: source attribution sums to %d, programmed %d",
+			arm.Policy, workload, srcSum, arm.FlashBytes)
+	}
+	if arm.UserBytes <= 0 {
+		return arm, fmt.Errorf("%s/%s: no accepted bytes recorded", arm.Policy, workload)
+	}
+	arm.WAF = float64(arm.FlashBytes) / float64(arm.UserBytes)
+	return arm, nil
+}
+
+// RunWAF executes both workload arms for each policy.
+func RunWAF(policies []core.GCPolicy, batches int, seed int64) (WAFResult, error) {
+	res := WAFResult{Batches: batches}
+	for _, p := range policies {
+		for _, workload := range []string{"sequential", "btree-churn"} {
+			arm, err := runWAFArm(p, workload, batches, seed)
+			if err != nil {
+				return res, err
+			}
+			res.Arms = append(res.Arms, arm)
+			if p == core.GCMinCostDecline && workload == "btree-churn" {
+				res.GatedWAF = arm.WAF
+			}
+		}
+	}
+	return res, nil
+}
+
+// PrintWAF renders the matrix with the per-source split that makes a WAF
+// regression diagnosable at a glance.
+func PrintWAF(w io.Writer, res WAFResult) {
+	fmt.Fprintf(w, "WAF — write amplification by GC policy and workload (%d batches/arm)\n\n", res.Batches)
+	fmt.Fprintf(w, "%-18s %-12s %8s %10s %10s %10s %10s %8s %8s\n",
+		"policy", "workload", "waf", "user MB", "flash MB", "gc MB", "ckpt MB", "freed", "erases")
+	for _, a := range res.Arms {
+		fmt.Fprintf(w, "%-18s %-12s %8.3f %10.1f %10.1f %10.1f %10.1f %8d %8d\n",
+			a.Policy, a.Workload, a.WAF,
+			float64(a.UserBytes)/(1<<20), float64(a.FlashBytes)/(1<<20),
+			float64(a.SourceBytes["gc"])/(1<<20), float64(a.SourceBytes["checkpoint"])/(1<<20),
+			a.EBlocksFreed, a.Erases)
+	}
+	fmt.Fprintf(w, "\ngated WAF (%s, btree-churn): %.3f\n", core.GCMinCostDecline, res.GatedWAF)
+}
+
+// WriteWAFJSON records the matrix for the perf trajectory.
+func WriteWAFJSON(path string, res WAFResult) error {
+	doc := struct {
+		Experiment string   `json:"experiment"`
+		Batches    int      `json:"batches_per_arm"`
+		GatedWAF   float64  `json:"gated_waf"`
+		Arms       []WAFArm `json:"arms"`
+	}{
+		Experiment: "waf",
+		Batches:    res.Batches,
+		GatedWAF:   res.GatedWAF,
+		Arms:       res.Arms,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

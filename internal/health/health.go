@@ -1,0 +1,310 @@
+// Package health derives device-health telemetry from the raw
+// instruments: write amplification, GC efficiency, wear distribution and
+// space accounting. The paper's claim — batched variable-size pages
+// reduce flash writes — is an accounting argument, and this package turns
+// the per-source program counters (flash.src.*) and the controller's
+// byte counters into the numbers that argument is about.
+//
+// Two kinds of telemetry live here:
+//
+//   - DeviceHealth: a point-in-time wear/space census of the EBLOCK
+//     array, built by the controller under its lock and shipped inside
+//     stats_full v3 as a fixed-size binary block.
+//   - Report: rolling rates (WAF, throughput, GC efficiency, cache hit
+//     rate, throttle rate) computed from the counter deltas between two
+//     successive metrics snapshots — the same arithmetic on both ends of
+//     the wire, so `eleosctl top` and server-side consumers agree.
+package health
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+
+	"eleos/internal/metrics"
+)
+
+// EraseHistBuckets is the number of erase-count histogram buckets in a
+// DeviceHealth: bucket 0 counts never-erased EBLOCKs, bucket i (i >= 1)
+// counts erase counts in [2^(i-1), 2^i), and the last bucket absorbs the
+// overflow.
+const EraseHistBuckets = 16
+
+// UtilHistBuckets is the number of valid-utilization deciles: bucket i
+// counts Used EBLOCKs whose valid fraction falls in [i/10, (i+1)/10),
+// with 1.0 landing in the last bucket. This is the distribution each GC
+// victim-selection policy is optimizing over.
+const UtilHistBuckets = 10
+
+// DeviceHealth is a point-in-time wear and space census of the flash
+// array. All fields are int64 so the wire form is a fixed-size
+// little-endian block (WireBytes); the zero value is a valid "empty
+// device" census.
+type DeviceHealth struct {
+	// EBLOCK population by summary state. Reserved covers the
+	// checkpoint-area EBLOCKs outside normal allocation.
+	EBlocksTotal    int64
+	FreeEBlocks     int64
+	OpenEBlocks     int64
+	UsedEBlocks     int64
+	BadEBlocks      int64
+	ReservedEBlocks int64
+
+	// Wear: per-EBLOCK erase counts from the media itself (ground truth,
+	// not the recoverable summary mirror).
+	EraseTotal int64
+	EraseMin   int64
+	EraseMax   int64
+	EraseHist  [EraseHistBuckets]int64
+
+	// Space: free bytes are erased and allocatable, valid bytes back
+	// live pages, dead bytes are reclaimable garbage awaiting GC.
+	FreeBytes  int64
+	ValidBytes int64
+	DeadBytes  int64
+	UtilHist   [UtilHistBuckets]int64
+}
+
+// WireBytes is the encoded size of a DeviceHealth: every field in
+// declaration order as a little-endian int64.
+const WireBytes = (6 + 3 + EraseHistBuckets + 3 + UtilHistBuckets) * 8
+
+// EraseBucket returns the EraseHist bucket index for one erase count.
+func EraseBucket(count int64) int {
+	if count <= 0 {
+		return 0
+	}
+	b := 1
+	for count > 1 && b < EraseHistBuckets-1 {
+		count >>= 1
+		b++
+	}
+	return b
+}
+
+// UtilBucket returns the UtilHist bucket index for a valid fraction in
+// [0, 1]; out-of-range inputs clamp.
+func UtilBucket(frac float64) int {
+	b := int(frac * UtilHistBuckets)
+	if b < 0 {
+		b = 0
+	}
+	if b >= UtilHistBuckets {
+		b = UtilHistBuckets - 1
+	}
+	return b
+}
+
+// fields returns pointers to every field in wire order.
+func (h *DeviceHealth) fields() []*int64 {
+	fs := make([]*int64, 0, WireBytes/8)
+	fs = append(fs, &h.EBlocksTotal, &h.FreeEBlocks, &h.OpenEBlocks,
+		&h.UsedEBlocks, &h.BadEBlocks, &h.ReservedEBlocks,
+		&h.EraseTotal, &h.EraseMin, &h.EraseMax)
+	for i := range h.EraseHist {
+		fs = append(fs, &h.EraseHist[i])
+	}
+	fs = append(fs, &h.FreeBytes, &h.ValidBytes, &h.DeadBytes)
+	for i := range h.UtilHist {
+		fs = append(fs, &h.UtilHist[i])
+	}
+	return fs
+}
+
+// AppendBinary appends the fixed-size wire form to dst.
+func (h *DeviceHealth) AppendBinary(dst []byte) []byte {
+	for _, f := range h.fields() {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(*f))
+	}
+	return dst
+}
+
+// DecodeBinary decodes a DeviceHealth from exactly WireBytes bytes.
+func DecodeBinary(b []byte) (DeviceHealth, error) {
+	var h DeviceHealth
+	if len(b) != WireBytes {
+		return h, fmt.Errorf("health: want %d bytes, have %d", WireBytes, len(b))
+	}
+	for i, f := range h.fields() {
+		*f = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return h, nil
+}
+
+// --- rolling rates ----------------------------------------------------------
+
+// Report is the rolling-rate view between two metrics snapshots. Rates
+// are per second of the sampling interval; ratios are over the
+// interval's deltas. A zero denominator yields a zero ratio, never NaN.
+type Report struct {
+	Interval time.Duration
+
+	// Write path.
+	UserBytes  int64   // logical bytes accepted (Δcore.write.bytes_accepted)
+	FlashBytes int64   // physical bytes programmed (Δflash.programmed_bytes)
+	WAF        float64 // FlashBytes / UserBytes
+	UserMBps   float64
+	FlashMBps  float64
+	BatchesPS  float64
+	PagesPS    float64
+
+	// GC.
+	GCMovedBytes int64
+	GCFreed      int64
+	GCEfficiency float64 // valid bytes relocated per EBLOCK reclaimed
+
+	// Read path.
+	ReadsPS      float64
+	CacheHitRate float64 // hits / (hits + misses) over the interval
+
+	// QoS.
+	ThrottledPS float64 // sum of qos.*.throttled deltas per second
+}
+
+// Ratio divides num by den, returning 0 for an empty denominator.
+func Ratio(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Compute derives the rolling report from two snapshots of the same
+// registry taken dt apart. Counters are monotonic, so negative deltas
+// (a registry swap, e.g. across crash recovery) clamp to zero.
+func Compute(prev, cur metrics.Snapshot, dt time.Duration) Report {
+	delta := func(name string) int64 {
+		d := cur.Counter(name) - prev.Counter(name)
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+	secs := dt.Seconds()
+	rate := func(d int64) float64 {
+		if secs <= 0 {
+			return 0
+		}
+		return float64(d) / secs
+	}
+	r := Report{Interval: dt}
+	r.UserBytes = delta("core.write.bytes_accepted")
+	r.FlashBytes = delta("flash.programmed_bytes")
+	r.WAF = Ratio(r.FlashBytes, r.UserBytes)
+	r.UserMBps = rate(r.UserBytes) / (1 << 20)
+	r.FlashMBps = rate(r.FlashBytes) / (1 << 20)
+	r.BatchesPS = rate(delta("core.write.batches"))
+	r.PagesPS = rate(delta("core.write.pages"))
+	r.GCMovedBytes = delta("core.gc.bytes_moved")
+	r.GCFreed = delta("core.gc.eblocks_freed")
+	r.GCEfficiency = Ratio(r.GCMovedBytes, r.GCFreed)
+	r.ReadsPS = rate(delta("read.reads"))
+	hits := delta("read.cache_hits")
+	misses := delta("read.cache_misses")
+	r.CacheHitRate = Ratio(hits, hits+misses)
+	var throttled int64
+	for _, c := range cur.Counters {
+		if t, f, ok := splitLabeled(c.Name, "qos."); ok && f == "throttled" {
+			d := c.Value - prev.Counter(c.Name)
+			if d > 0 {
+				throttled += d
+			}
+			_ = t
+		}
+	}
+	r.ThrottledPS = rate(throttled)
+	return r
+}
+
+// SourceBytes extracts the per-source programmed-byte counters
+// ("flash.src.<source>.bytes") from a snapshot, keyed by source name.
+func SourceBytes(snap metrics.Snapshot) map[string]int64 {
+	out := make(map[string]int64)
+	for _, c := range snap.Counters {
+		if src, field, ok := splitLabeled(c.Name, "flash.src."); ok && field == "bytes" {
+			out[src] = c.Value
+		}
+	}
+	return out
+}
+
+// TenantStats aggregates one tenant's per-tenant instruments from a
+// snapshot: the QoS admission counters and the write-attribution bytes.
+type TenantStats struct {
+	Tenant        string
+	AdmittedBytes int64
+	Throttled     int64
+	InflightBytes int64
+	WriteBytes    int64
+	WritePages    int64
+}
+
+// Tenants extracts every tenant's row from a snapshot, sorted by tenant
+// name, merging the qos.<tenant>.* counters/gauges with the
+// write.tenant.<tenant>.* attribution counters.
+func Tenants(snap metrics.Snapshot) []TenantStats {
+	rows := make(map[string]*TenantStats)
+	row := func(t string) *TenantStats {
+		r := rows[t]
+		if r == nil {
+			r = &TenantStats{Tenant: t}
+			rows[t] = r
+		}
+		return r
+	}
+	for _, c := range snap.Counters {
+		if t, f, ok := splitLabeled(c.Name, "qos."); ok {
+			switch f {
+			case "admitted_bytes":
+				row(t).AdmittedBytes = c.Value
+			case "throttled":
+				row(t).Throttled = c.Value
+			}
+			continue
+		}
+		if t, f, ok := splitLabeled(c.Name, "write.tenant."); ok {
+			switch f {
+			case "bytes":
+				row(t).WriteBytes = c.Value
+			case "pages":
+				row(t).WritePages = c.Value
+			}
+		}
+	}
+	for _, g := range snap.Gauges {
+		if t, f, ok := splitLabeled(g.Name, "qos."); ok && f == "inflight_bytes" {
+			row(t).InflightBytes = g.Value
+		}
+	}
+	out := make([]TenantStats, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sortTenants(out)
+	return out
+}
+
+func sortTenants(ts []TenantStats) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Tenant < ts[j-1].Tenant; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// splitLabeled splits "<prefix><label>.<field>" into (label, field),
+// splitting at the LAST dot: field names (admitted_bytes, wblocks, ...)
+// never contain dots, but a tenant tag may, so the label keeps any
+// interior dots.
+func splitLabeled(name, prefix string) (label, field string, ok bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return "", "", false
+	}
+	rest := name[len(prefix):]
+	i := strings.LastIndexByte(rest, '.')
+	if i <= 0 || i == len(rest)-1 {
+		return "", "", false
+	}
+	return rest[:i], rest[i+1:], true
+}

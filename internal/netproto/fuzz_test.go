@@ -14,19 +14,38 @@ import (
 // encoding per snapshot).
 func FuzzDecodeStatsFull(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(EncodeStatsFull(metrics.Snapshot{}))
+	f.Add(EncodeStatsFull(StatsFull{}))
 	reg := metrics.New()
 	reg.Counter("a").Add(1)
 	reg.Gauge("g").Set(-7)
 	reg.Histogram("h", metrics.DurationBounds()).Observe(1234)
-	f.Add(EncodeStatsFull(reg.Snapshot()))
+	f.Add(EncodeStatsFull(StatsFull{Snap: reg.Snapshot(), Health: sampleHealth()}))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		snap, err := DecodeStatsFull(data)
+		sf, err := DecodeStatsFull(data)
 		if err != nil {
 			return
 		}
-		re := EncodeStatsFull(snap)
+		re := EncodeStatsFull(sf)
 		if string(re) != string(data) {
+			t.Fatalf("accepted non-canonical encoding:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzParseWatchStats: same contract for the watch_stats interval codec.
+// The body is a single fixed-width u32, so canonicality is exact: any
+// accepted body re-encodes byte-identically.
+func FuzzParseWatchStats(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(WatchStatsBody(0))
+	f.Add(WatchStatsBody(DefaultWatchIntervalMS))
+	f.Add(WatchStatsBody(^uint32(0)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ms, err := ParseWatchStats(data)
+		if err != nil {
+			return
+		}
+		if re := WatchStatsBody(ms); string(re) != string(data) {
 			t.Fatalf("accepted non-canonical encoding:\n in  %x\n out %x", data, re)
 		}
 	})

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"eleos/internal/health"
 	"eleos/internal/metrics"
 )
 
@@ -25,65 +26,102 @@ func sampleSnapshot() metrics.Snapshot {
 	return snap
 }
 
+func sampleHealth() health.DeviceHealth {
+	var h health.DeviceHealth
+	h.EBlocksTotal = 64
+	h.FreeEBlocks = 40
+	h.OpenEBlocks = 4
+	h.UsedEBlocks = 17
+	h.BadEBlocks = 1
+	h.ReservedEBlocks = 2
+	h.EraseTotal = 90
+	h.EraseMin = 0
+	h.EraseMax = 9
+	h.EraseHist[0] = 30
+	h.EraseHist[4] = 34
+	h.FreeBytes = 40 << 20
+	h.ValidBytes = 12 << 20
+	h.DeadBytes = 5 << 20
+	h.UtilHist[3] = 9
+	h.UtilHist[9] = 8
+	return h
+}
+
+func sampleStatsFull() StatsFull {
+	return StatsFull{Snap: sampleSnapshot(), Health: sampleHealth()}
+}
+
 func TestStatsFullRoundTrip(t *testing.T) {
-	snap := sampleSnapshot()
-	body := EncodeStatsFull(snap)
+	sf := sampleStatsFull()
+	body := EncodeStatsFull(sf)
 	got, err := DecodeStatsFull(body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, snap) {
-		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, snap)
+	if !reflect.DeepEqual(got, sf) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, sf)
 	}
 }
 
 func TestStatsFullEmptySnapshot(t *testing.T) {
-	snap := metrics.Snapshot{}
-	got, err := DecodeStatsFull(EncodeStatsFull(snap))
+	var sf StatsFull
+	got, err := DecodeStatsFull(EncodeStatsFull(sf))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, snap) {
+	if !reflect.DeepEqual(got, sf) {
 		t.Fatalf("empty round trip: %+v", got)
 	}
-	if got.Counters != nil || got.Gauges != nil || got.Histograms != nil || got.Labels != nil {
-		t.Fatalf("empty sections must decode as nil slices: %+v", got)
+	s := got.Snap
+	if s.Counters != nil || s.Gauges != nil || s.Histograms != nil || s.Labels != nil {
+		t.Fatalf("empty sections must decode as nil slices: %+v", s)
 	}
 }
 
 func TestStatsFullLabelsRoundTrip(t *testing.T) {
-	snap := metrics.Snapshot{Labels: []metrics.Label{
+	sf := StatsFull{Snap: metrics.Snapshot{Labels: []metrics.Label{
 		{Key: "gc.policy", Value: "wear-aware"},
 		{Key: "", Value: ""}, // empty key/value are legal on the wire
-	}}
-	got, err := DecodeStatsFull(EncodeStatsFull(snap))
+	}}}
+	got, err := DecodeStatsFull(EncodeStatsFull(sf))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, snap) {
-		t.Fatalf("labels round trip:\n got %+v\nwant %+v", got, snap)
+	if !reflect.DeepEqual(got, sf) {
+		t.Fatalf("labels round trip:\n got %+v\nwant %+v", got, sf)
 	}
-	if got.Label("gc.policy") != "wear-aware" {
-		t.Fatalf("Label lookup = %q", got.Label("gc.policy"))
+	if got.Snap.Label("gc.policy") != "wear-aware" {
+		t.Fatalf("Label lookup = %q", got.Snap.Label("gc.policy"))
 	}
 }
 
-func TestDecodeStatsFullRejectsV1(t *testing.T) {
-	// A v1 body — everything up to but excluding the labels section — must
-	// be rejected outright: defaulting the missing section would give one
-	// snapshot two valid encodings and break canonicality.
-	full := EncodeStatsFull(metrics.Snapshot{})
-	v1 := append([]byte(nil), full[:len(full)-4]...) // strip nLabels
-	v1[4] = 1                                        // version byte
-	if _, err := DecodeStatsFull(v1); !errors.Is(err, ErrBadStats) {
-		t.Fatalf("v1 body: %v, want ErrBadStats", err)
+func TestDecodeStatsFullRejectsOldVersions(t *testing.T) {
+	// v1 and v2 bodies are rejected outright rather than defaulted: a
+	// defaulted missing section (v1's labels, v2's health block) would
+	// give one payload two valid encodings and break canonicality.
+	full := EncodeStatsFull(StatsFull{})
+	for _, v := range []byte{1, 2} {
+		b := append([]byte(nil), full...)
+		b[4] = v
+		if _, err := DecodeStatsFull(b); !errors.Is(err, ErrBadStats) {
+			t.Fatalf("v%d body: %v, want ErrBadStats", v, err)
+		}
+	}
+	// A faithful v2 body — no trailing health block — must fail even
+	// before its version byte is inspected differently: decode stops at
+	// the missing block.
+	v2 := append([]byte(nil), full[:len(full)-health.WireBytes]...)
+	if _, err := DecodeStatsFull(v2); !errors.Is(err, ErrBadStats) {
+		t.Fatalf("missing health block: %v, want ErrBadStats", err)
 	}
 }
 
 func TestDecodeStatsFullForgedLabelCount(t *testing.T) {
-	full := EncodeStatsFull(metrics.Snapshot{})
-	b := append([]byte(nil), full[:len(full)-4]...)
-	b = binary.LittleEndian.AppendUint32(b, 1<<31) // forged nLabels
+	full := EncodeStatsFull(StatsFull{})
+	// Overwrite the nLabels word (just ahead of the health block) with a
+	// giant count; the remaining bytes cannot hold it.
+	b := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint32(b[len(b)-health.WireBytes-4:], 1<<31)
 	if _, err := DecodeStatsFull(b); !errors.Is(err, ErrBadStats) {
 		t.Fatalf("forged label count: %v, want ErrBadStats", err)
 	}
@@ -128,8 +166,10 @@ func TestDecodeStatsFullForgedNameLen(t *testing.T) {
 }
 
 func TestDecodeStatsFullTruncated(t *testing.T) {
-	full := EncodeStatsFull(sampleSnapshot())
-	// Every proper prefix must fail cleanly, never panic.
+	full := EncodeStatsFull(sampleStatsFull())
+	// Every proper prefix must fail cleanly, never panic. Truncation
+	// always eats into (at least) the trailing health block, which is
+	// required to be exactly health.WireBytes.
 	for n := 0; n < len(full); n++ {
 		if _, err := DecodeStatsFull(full[:n]); err == nil {
 			t.Fatalf("truncation at %d/%d accepted", n, len(full))
@@ -138,7 +178,7 @@ func TestDecodeStatsFullTruncated(t *testing.T) {
 }
 
 func TestDecodeStatsFullTrailingBytes(t *testing.T) {
-	full := EncodeStatsFull(sampleSnapshot())
+	full := EncodeStatsFull(sampleStatsFull())
 	if _, err := DecodeStatsFull(append(full, 0)); !errors.Is(err, ErrBadStats) {
 		t.Fatalf("trailing byte: %v, want ErrBadStats", err)
 	}
@@ -154,5 +194,57 @@ func TestDecodeStatsFullBadMagicVersion(t *testing.T) {
 	b = append(b, 99)
 	if _, err := DecodeStatsFull(b); !errors.Is(err, ErrBadStats) {
 		t.Fatalf("bad version: %v", err)
+	}
+}
+
+func TestHealthBinaryRoundTrip(t *testing.T) {
+	h := sampleHealth()
+	b := h.AppendBinary(nil)
+	if len(b) != health.WireBytes {
+		t.Fatalf("encoded %d bytes, want %d", len(b), health.WireBytes)
+	}
+	got, err := health.DecodeBinary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("health round trip:\n got %+v\nwant %+v", got, h)
+	}
+	if _, err := health.DecodeBinary(b[:len(b)-1]); err == nil {
+		t.Fatal("short health block accepted")
+	}
+}
+
+func TestWatchStatsCodec(t *testing.T) {
+	for _, ms := range []uint32{0, 1, 10, 250, 1000, 60_000, 1 << 31} {
+		body := WatchStatsBody(ms)
+		got, err := ParseWatchStats(body)
+		if err != nil {
+			t.Fatalf("interval %d: %v", ms, err)
+		}
+		if got != ms {
+			t.Fatalf("interval %d round-tripped to %d", ms, got)
+		}
+	}
+	for _, bad := range [][]byte{nil, {1}, {1, 2, 3}, {1, 2, 3, 4, 5}} {
+		if _, err := ParseWatchStats(bad); err == nil {
+			t.Fatalf("body %v accepted", bad)
+		}
+	}
+}
+
+func TestClampWatchInterval(t *testing.T) {
+	cases := map[uint32]uint32{
+		0:                  DefaultWatchIntervalMS,
+		1:                  MinWatchIntervalMS,
+		MinWatchIntervalMS: MinWatchIntervalMS,
+		250:                250,
+		MaxWatchIntervalMS: MaxWatchIntervalMS,
+		1 << 31:            MaxWatchIntervalMS,
+	}
+	for in, want := range cases {
+		if got := ClampWatchInterval(in); got != want {
+			t.Fatalf("ClampWatchInterval(%d) = %d, want %d", in, got, want)
+		}
 	}
 }

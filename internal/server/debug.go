@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
-	"strings"
 
+	"eleos/internal/metrics"
 	"eleos/internal/trace"
 )
 
@@ -40,27 +40,15 @@ func (s *Server) DebugHandler() http.Handler {
 	return mux
 }
 
-// serveMetricsText renders the registry snapshot in the conventional
-// one-line-per-sample text form. Registry names use '.' separators;
-// the exposition flattens them to '_' so scrapers accept them.
+// serveMetricsText renders the registry snapshot in Prometheus text
+// exposition format (see WritePrometheus): # HELP/# TYPE headers, the
+// path-encoded tenant/source/channel dimensions lifted into labels, and
+// the exporter labels (gc.policy) as an eleos_info sample.
 func (s *Server) serveMetricsText(w http.ResponseWriter, _ *http.Request) {
 	snap := s.ctl.MetricsSnapshot()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	flat := func(name string) string { return strings.ReplaceAll(name, ".", "_") }
-	for _, c := range snap.Counters {
-		fmt.Fprintf(w, "%s %d\n", flat(c.Name), c.Value)
-	}
-	for _, g := range snap.Gauges {
-		fmt.Fprintf(w, "%s %d\n", flat(g.Name), g.Value)
-	}
-	for _, h := range snap.Histograms {
-		n := flat(h.Name)
-		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
-		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
-		fmt.Fprintf(w, "%s_p50 %g\n", n, h.P50)
-		fmt.Fprintf(w, "%s_p95 %g\n", n, h.P95)
-		fmt.Fprintf(w, "%s_p99 %g\n", n, h.P99)
-	}
+	snap.Labels = append(snap.Labels, metrics.Label{Key: "gc.policy", Value: s.ctl.GCPolicyName()})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, snap)
 }
 
 // serveTraceChrome dumps the flight recorder as Chrome trace_event JSON,

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"eleos/internal/metrics"
+)
+
+// Prometheus text exposition of the registry snapshot. The registry
+// names instruments with '.'-separated paths and encodes dimensions
+// (tenant, program source, flash channel) into the path; the exporter
+// lifts those back out as proper labels so one scrape config covers any
+// number of tenants:
+//
+//	qos.<tenant>.admitted_bytes      -> eleos_qos_admitted_bytes_total{tenant="..."}
+//	write.tenant.<tenant>.bytes      -> eleos_write_tenant_bytes_total{tenant="..."}
+//	flash.src.<source>.wblocks       -> eleos_flash_src_wblocks_total{source="..."}
+//	flash.chan<i>.<field>            -> eleos_flash_channel_<field>{channel="i"}
+//
+// Everything else flattens '.' to '_' under the eleos_ namespace;
+// counters get the conventional _total suffix, histograms render as
+// real Prometheus histograms (cumulative le buckets, _sum, _count), and
+// exporter labels (gc.policy) become one eleos_info gauge.
+
+// promHelp carries HELP strings for the families worth documenting;
+// families not listed get a generic line.
+var promHelp = map[string]string{
+	"eleos_qos_admitted_bytes_total":    "Bytes admitted through per-tenant QoS admission.",
+	"eleos_qos_throttled_total":         "Admissions delayed by per-tenant rate limiting.",
+	"eleos_qos_inflight_bytes":          "Bytes currently inside a tenant's inflight budget.",
+	"eleos_write_tenant_bytes_total":    "Logical bytes written, attributed to the issuing tenant.",
+	"eleos_write_tenant_pages_total":    "Logical pages written, attributed to the issuing tenant.",
+	"eleos_flash_src_bytes_total":       "Physical bytes programmed, split by traffic source.",
+	"eleos_flash_src_wblocks_total":     "WBLOCK programs, split by traffic source.",
+	"eleos_flash_programmed_bytes_total": "Physical bytes programmed to flash, all sources.",
+	"eleos_core_write_bytes_accepted_total": "Logical bytes accepted by the controller write path.",
+	"eleos_core_gc_bytes_moved_total":   "Valid bytes relocated by garbage collection.",
+	"eleos_server_watch_pushes_total":   "stats_full frames pushed to watch_stats subscribers.",
+	"eleos_info":                        "Exporter facts (active GC policy and friends) as labels.",
+}
+
+// promSample is one rendered sample line within a family.
+type promSample struct {
+	labels string // rendered {k="v"} pairs, "" for none
+	value  string
+}
+
+// promFamily groups the samples that share a metric name.
+type promFamily struct {
+	name    string
+	typ     string // counter | gauge
+	samples []promSample
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers per family, labeled
+// samples, deterministic order.
+func WritePrometheus(w io.Writer, snap metrics.Snapshot) {
+	fams := make(map[string]*promFamily)
+	order := []string{}
+	add := func(name, typ string, s promSample) {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{name: name, typ: typ}
+			fams[name] = f
+			order = append(order, name)
+		}
+		f.samples = append(f.samples, s)
+	}
+
+	for _, c := range snap.Counters {
+		name, labels := promName(c.Name)
+		add(name+"_total", "counter", promSample{labels: labels, value: fmt.Sprintf("%d", c.Value)})
+	}
+	for _, g := range snap.Gauges {
+		name, labels := promName(g.Name)
+		add(name, "gauge", promSample{labels: labels, value: fmt.Sprintf("%d", g.Value)})
+	}
+	if len(snap.Labels) > 0 {
+		var parts []string
+		for _, l := range snap.Labels {
+			parts = append(parts, fmt.Sprintf("%s=%q", promFlat(l.Key), l.Value))
+		}
+		add("eleos_info", "gauge", promSample{labels: "{" + strings.Join(parts, ",") + "}", value: "1"})
+	}
+
+	// Snapshot sections are sorted by instrument name; emitting families
+	// in first-seen order keeps the output deterministic while holding
+	// each family's samples contiguous, as the format requires.
+	for _, name := range order {
+		f := fams[name]
+		writePromHeader(w, f.name, f.typ)
+		for _, s := range f.samples {
+			fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, s.value)
+		}
+	}
+
+	for _, h := range snap.Histograms {
+		name, labels := promName(h.Name)
+		writePromHeader(w, name, "histogram")
+		inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+		leLabel := func(le string) string {
+			if inner == "" {
+				return fmt.Sprintf("{le=%q}", le)
+			}
+			return fmt.Sprintf("{%s,le=%q}", inner, le)
+		}
+		var cum int64
+		for i, b := range h.Buckets {
+			cum += b
+			if i < len(h.Bounds) {
+				fmt.Fprintf(w, "%s_bucket%s %d\n", name, leLabel(fmt.Sprintf("%d", h.Bounds[i])), cum)
+			} else {
+				fmt.Fprintf(w, "%s_bucket%s %d\n", name, leLabel("+Inf"), cum)
+			}
+		}
+		fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, h.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count)
+	}
+}
+
+func writePromHeader(w io.Writer, name, typ string) {
+	help := promHelp[name]
+	if help == "" {
+		help = "eleos instrument " + name + "."
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// promName maps a registry instrument name to its (family, labels)
+// exposition form, extracting the path-encoded dimensions.
+func promName(name string) (string, string) {
+	// %q's escaping (backslash, quote, newline) matches the exposition
+	// format's label-value escaping.
+	if tenant, field, ok := promSplit(name, "qos."); ok {
+		return "eleos_qos_" + promFlat(field), fmt.Sprintf("{tenant=%q}", tenant)
+	}
+	if tenant, field, ok := promSplit(name, "write.tenant."); ok {
+		return "eleos_write_tenant_" + promFlat(field), fmt.Sprintf("{tenant=%q}", tenant)
+	}
+	if src, field, ok := promSplit(name, "flash.src."); ok {
+		return "eleos_flash_src_" + promFlat(field), fmt.Sprintf("{source=%q}", src)
+	}
+	if rest, ok := strings.CutPrefix(name, "flash.chan"); ok {
+		if i := strings.IndexByte(rest, '.'); i > 0 && isDigits(rest[:i]) {
+			return "eleos_flash_channel_" + promFlat(rest[i+1:]), fmt.Sprintf("{channel=%q}", rest[:i])
+		}
+	}
+	return "eleos_" + promFlat(name), ""
+}
+
+// promSplit splits "<prefix><label>.<field>" at the LAST dot after the
+// prefix: field names never contain dots, tenant tags may.
+func promSplit(name, prefix string) (label, field string, ok bool) {
+	rest, found := strings.CutPrefix(name, prefix)
+	if !found {
+		return "", "", false
+	}
+	i := strings.LastIndexByte(rest, '.')
+	if i <= 0 || i == len(rest)-1 {
+		return "", "", false
+	}
+	return rest[:i], rest[i+1:], true
+}
+
+func isDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// promFlat maps a dotted registry path segment to a legal metric-name
+// fragment: dots become underscores, anything outside [a-zA-Z0-9_]
+// becomes '_'.
+func promFlat(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

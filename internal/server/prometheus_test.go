@@ -1,0 +1,81 @@
+package server_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eleos/internal/metrics"
+	"eleos/internal/server"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte
+// against testdata/prometheus.golden: HELP/TYPE headers, the
+// tenant/source/channel label extraction (including a tenant tag that
+// itself contains a dot), histogram buckets, and the eleos_info labels.
+// Regenerate with: go test ./internal/server -run Golden -update
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("core.write.batches").Add(12)
+	reg.Counter("core.write.bytes_accepted").Add(48_000)
+	reg.Counter("flash.programmed_bytes").Add(96_000)
+	reg.Counter("flash.src.user.bytes").Add(64_000)
+	reg.Counter("flash.src.user.wblocks").Add(2)
+	reg.Counter("flash.src.gc.bytes").Add(32_000)
+	reg.Counter("flash.src.gc.wblocks").Add(1)
+	reg.Counter("qos.default.admitted_bytes").Add(1000)
+	reg.Counter("qos.default.throttled").Add(0)
+	reg.Counter("qos.team.a.admitted_bytes").Add(2000) // tenant tag with a dot
+	reg.Counter("qos.team.a.throttled").Add(3)
+	reg.Counter("write.tenant.default.bytes").Add(900)
+	reg.Counter("write.tenant.team.a.pages").Add(7)
+	reg.Gauge("server.active_conns").Set(2)
+	reg.Gauge("qos.team.a.inflight_bytes").Set(512)
+	reg.Gauge("flash.chan0.queue_depth").Set(3)
+	h := reg.Histogram("server.request_ns", []int64{1000, 1_000_000})
+	h.Observe(500)
+	h.Observe(2000)
+	h.Observe(5_000_000)
+
+	snap := reg.Snapshot()
+	snap.Labels = append(snap.Labels, metrics.Label{Key: "gc.policy", Value: "wear-aware"})
+
+	var sb strings.Builder
+	server.WritePrometheus(&sb, snap)
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden file (regenerate with -update if intentional)")
+		gl := strings.Split(string(want), "\n")
+		ol := strings.Split(got, "\n")
+		for i := 0; i < len(gl) || i < len(ol); i++ {
+			var g, o string
+			if i < len(gl) {
+				g = gl[i]
+			}
+			if i < len(ol) {
+				o = ol[i]
+			}
+			if g != o {
+				t.Errorf("line %d:\n  golden: %s\n  got:    %s", i+1, g, o)
+			}
+		}
+	}
+}

@@ -137,6 +137,8 @@ type srvMetrics struct {
 	bytesIn   *metrics.Counter
 	bytesOut  *metrics.Counter
 
+	watchPushes *metrics.Counter
+
 	activeConns   *metrics.Gauge
 	inflightBytes *metrics.Gauge
 
@@ -155,6 +157,8 @@ func newSrvMetrics(reg *metrics.Registry) srvMetrics {
 		badFrames: reg.Counter("server.bad_frames"),
 		bytesIn:   reg.Counter("server.bytes_in"),
 		bytesOut:  reg.Counter("server.bytes_out"),
+
+		watchPushes: reg.Counter("server.watch_pushes"),
 
 		activeConns:   reg.Gauge("server.active_conns"),
 		inflightBytes: reg.Gauge("server.inflight_bytes"),
@@ -343,12 +347,40 @@ func (s *Server) Drain(ctx context.Context) error {
 // connState is one connection's reusable hot-path machinery: the frame
 // writer with its scratch, the reply-body scratch the dispatch cases
 // append into, the zero-copy page views of the coalesced flush path,
-// and the connection's coalescing seat. One goroutine owns all of it.
+// and the connection's coalescing seat. One goroutine owns all of it —
+// except while a stats watcher is active, when the watcher goroutine
+// shares the socket's write side under wmu.
 type connState struct {
 	fw      *netproto.FrameWriter
 	scratch []byte       // reply bodies are appended here
 	views   []core.LPage // batch views for coalesced flushes
 	pf      pendingFlush // reusable coalescing seat
+
+	// wmu serializes frame writes (and the write deadline) between the
+	// request/reply loop and the watch_stats push goroutine. Uncontended
+	// unless the connection subscribed to watch_stats.
+	wmu          sync.Mutex
+	watch        *watcher
+	pendingWatch uint32 // granted interval (ms) to start after the reply
+}
+
+// watcher is one connection's active watch_stats subscription.
+type watcher struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// stopWatcher tears down the connection's push goroutine, if any, and
+// waits for it to finish (so its final push, if one was in flight, is on
+// the wire before the caller writes anything else). Safe to call with no
+// watcher active.
+func (cn *connState) stopWatcher() {
+	if cn.watch == nil {
+		return
+	}
+	close(cn.watch.stop)
+	<-cn.watch.done
+	cn.watch = nil
 }
 
 // u64 builds a one-u64 reply body in the connection's scratch.
@@ -364,9 +396,14 @@ func (s *Server) handle(conn net.Conn) {
 	// requests that never name a session.
 	cid := s.connSeq.Add(1)
 	s.trc.Emit(trace.KConnOpen, 0, cid, 0, 0, 0)
+	cn := &connState{fw: netproto.NewFrameWriter(conn), pf: pendingFlush{done: make(chan struct{}, 1)}}
 	defer func() {
 		s.trc.Emit(trace.KConnClose, 0, cid, 0, 0, 0)
+		// Close before reaping the watcher: a push blocked on a stalled
+		// peer fails immediately once the socket is gone, so the reap
+		// never waits out a write deadline.
 		_ = conn.Close()
+		cn.stopWatcher()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.stats.ActiveConns--
@@ -377,7 +414,6 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		s.met.activeConns.Add(-1)
 	}()
-	cn := &connState{fw: netproto.NewFrameWriter(conn), pf: pendingFlush{done: make(chan struct{}, 1)}}
 	legacy := s.cfg.LegacyCopyPath
 	for {
 		s.mu.Lock()
@@ -386,7 +422,15 @@ func (s *Server) handle(conn net.Conn) {
 		if draining {
 			return
 		}
-		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		if cn.watch != nil {
+			// A watching connection is expected to sit quiet between
+			// pushes; suspend the idle timeout. Drain's read-deadline poke
+			// (an absolute past deadline) still overrides this and aborts
+			// the stream.
+			_ = conn.SetReadDeadline(time.Time{})
+		} else {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		var (
 			typ  byte
 			body []byte
@@ -431,6 +475,7 @@ func (s *Server) handle(conn net.Conn) {
 		if fbuf != nil {
 			fbuf.Release()
 		}
+		cn.wmu.Lock()
 		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
 		if legacy {
 			if rtail != nil {
@@ -441,8 +486,17 @@ func (s *Server) handle(conn net.Conn) {
 		} else {
 			err = cn.fw.WriteFrame2(rtyp, rhead, rtail)
 		}
+		cn.wmu.Unlock()
 		if err != nil {
 			return
+		}
+		if cn.pendingWatch != 0 {
+			// The subscription starts only after its grant reply is on the
+			// wire, so the client never sees a push ahead of the grant.
+			w := &watcher{stop: make(chan struct{}), done: make(chan struct{})}
+			cn.watch = w
+			go s.watchLoop(conn, cn, cn.pendingWatch, w.stop, w.done)
+			cn.pendingWatch = 0
 		}
 		outBytes := int64(5 + len(rhead) + len(rtail))
 		s.mu.Lock()
@@ -537,15 +591,79 @@ func (s *Server) dispatch(cn *connState, typ byte, body []byte) (rtyp byte, head
 		return netproto.MsgRespStats, raw, nil
 
 	case netproto.MsgStatsFull:
-		snap := s.ctl.MetricsSnapshot()
-		snap.Labels = append(snap.Labels, metrics.Label{Key: "gc.policy", Value: s.ctl.GCPolicyName()})
-		return netproto.MsgRespStatsFull, netproto.EncodeStatsFull(snap), nil
+		return netproto.MsgRespStatsFull, netproto.EncodeStatsFull(s.statsPayload()), nil
+
+	case netproto.MsgWatchStats:
+		ms, err := netproto.ParseWatchStats(body)
+		if err != nil {
+			return s.badRequest(cn, err)
+		}
+		if cn.watch != nil || cn.pendingWatch != 0 {
+			return s.errCode(cn, netproto.CodeBadRequest, "watch_stats already active on this connection")
+		}
+		cn.pendingWatch = netproto.ClampWatchInterval(ms)
+		return netproto.MsgRespWatchStats, netproto.WatchStatsBody(cn.pendingWatch), nil
+
+	case netproto.MsgWatchStatsStop:
+		if len(body) != 0 {
+			return s.badRequest(cn, fmt.Errorf("watch_stats_stop: want empty body, have %d bytes", len(body)))
+		}
+		// Reap the pusher before replying: any final push is on the wire
+		// ahead of the stop ack, so the client drains deterministically.
+		cn.stopWatcher()
+		cn.pendingWatch = 0
+		return netproto.MsgRespWatchStatsStop, nil, nil
 
 	case netproto.MsgTraceDump:
 		return netproto.MsgRespTraceDump, netproto.EncodeTraceDump(s.ctl.TraceDump()), nil
 
 	default:
 		return s.badRequest(cn, fmt.Errorf("unknown message type 0x%02x", typ))
+	}
+}
+
+// statsPayload assembles one stats_full body's worth of telemetry: the
+// cross-layer instrument snapshot, the exporter labels, and the device
+// health census taken alongside it.
+func (s *Server) statsPayload() netproto.StatsFull {
+	snap := s.ctl.MetricsSnapshot()
+	snap.Labels = append(snap.Labels, metrics.Label{Key: "gc.policy", Value: s.ctl.GCPolicyName()})
+	return netproto.StatsFull{Snap: snap, Health: s.ctl.DeviceHealth()}
+}
+
+// watchLoop is one connection's watch_stats pusher: every interval it
+// snapshots the registry + health census and writes a stats push frame,
+// sharing the socket's write side with the reply loop under cn.wmu. A
+// peer that cannot drain pushes within IOTimeout loses the connection —
+// the write deadline fires, the socket is closed, and the reader
+// unblocks into its teardown path. Snapshot and encode happen outside
+// wmu so a slow peer never holds the lock hostage longer than one
+// kernel write.
+func (s *Server) watchLoop(conn net.Conn, cn *connState, intervalMS uint32, stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(time.Duration(intervalMS) * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		body := netproto.EncodeStatsFull(s.statsPayload())
+		cn.wmu.Lock()
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+		err := netproto.WriteFrame(conn, netproto.MsgStatsPush, body)
+		cn.wmu.Unlock()
+		if err != nil {
+			_ = conn.Close()
+			return
+		}
+		out := int64(5 + len(body))
+		s.mu.Lock()
+		s.stats.BytesOut += out
+		s.mu.Unlock()
+		s.met.bytesOut.Add(out)
+		s.met.watchPushes.Inc()
 	}
 }
 

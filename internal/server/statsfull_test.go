@@ -9,6 +9,7 @@ import (
 	"eleos/internal/addr"
 	"eleos/internal/client"
 	"eleos/internal/core"
+	"eleos/internal/health"
 	"eleos/internal/metrics"
 	"eleos/internal/server"
 )
@@ -75,10 +76,11 @@ func TestStatsFullRoundTripTCP(t *testing.T) {
 	}
 
 	want := quiesce(t, ctl)
-	got, err := cl.StatsFull()
+	sf, err := cl.StatsFull()
 	if err != nil {
 		t.Fatal(err)
 	}
+	got := sf.Snap
 
 	// Fold the fetch's own footprint into the expectation.
 	for i := range want.Counters {
@@ -113,6 +115,36 @@ func TestStatsFullRoundTripTCP(t *testing.T) {
 	}
 	if got.Label("gc.policy") != "min-cost-decline" {
 		t.Fatalf("gc.policy label = %q, want min-cost-decline (default)", got.Label("gc.policy"))
+	}
+
+	// The v3 health census rides the same reply; it must describe the
+	// device consistently with itself and with the snapshot.
+	h := sf.Health
+	if h.EBlocksTotal == 0 {
+		t.Fatal("health census is empty")
+	}
+	if sum := h.FreeEBlocks + h.OpenEBlocks + h.UsedEBlocks + h.BadEBlocks + h.ReservedEBlocks; sum != h.EBlocksTotal {
+		t.Fatalf("EBLOCK states sum to %d, total is %d", sum, h.EBlocksTotal)
+	}
+	var hist int64
+	for _, n := range h.EraseHist {
+		hist += n
+	}
+	if hist != h.EBlocksTotal {
+		t.Fatalf("erase histogram covers %d EBLOCKs of %d", hist, h.EBlocksTotal)
+	}
+	if h.ValidBytes <= 0 {
+		t.Fatalf("ValidBytes = %d after writing data", h.ValidBytes)
+	}
+	// The controller attributed physical programs by source; the census
+	// and the counters came from one server, so the per-source split must
+	// cover every program exactly.
+	var srcBytes int64
+	for _, v := range health.SourceBytes(got) {
+		srcBytes += v
+	}
+	if fp := got.Counter("flash.programmed_bytes"); srcBytes != fp {
+		t.Fatalf("per-source bytes sum to %d, flash.programmed_bytes = %d", srcBytes, fp)
 	}
 }
 

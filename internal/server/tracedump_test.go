@@ -169,8 +169,20 @@ func TestDebugHandler(t *testing.T) {
 		return rec
 	}
 
-	metricsOut := get("/metrics").Body.String()
-	for _, want := range []string{"server_batches 1", "core_write_batches 1", "core_write_init_ns_count 1"} {
+	metricsRec := get("/metrics")
+	if ct := metricsRec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	metricsOut := metricsRec.Body.String()
+	for _, want := range []string{
+		"# TYPE eleos_server_batches_total counter",
+		"eleos_server_batches_total 1",
+		"eleos_core_write_batches_total 1",
+		"# TYPE eleos_core_write_init_ns histogram",
+		"eleos_core_write_init_ns_count 1",
+		`eleos_flash_src_bytes_total{source="user"}`,
+		`eleos_info{gc_policy="min-cost-decline"} 1`,
+	} {
 		if !strings.Contains(metricsOut, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, metricsOut)
 		}
